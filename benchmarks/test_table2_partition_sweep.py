@@ -1,0 +1,67 @@
+"""Table 2: throughput vs number of sparse-variable partitions (PS).
+
+Paper values (words/sec, 48 GPUs, PS architecture):
+
+    model   P=8     P=16    P=32    P=64    P=128   P=256
+    LM      50.5k   78.6k   96.5k   96.1k   98.9k   93.2k
+    NMT     90.7k   97.0k   96.5k   101.6k  98.5k   100.0k
+"""
+
+import pytest
+
+from conftest import _mark_benchmark, fmt, plan_for, print_table
+from repro.cluster.simulator import throughput
+
+PARTITIONS = (8, 16, 32, 64, 128, 256)
+
+PAPER = {
+    "lm": {8: 50_500, 16: 78_600, 32: 96_500, 64: 96_100, 128: 98_900,
+           256: 93_200},
+    "nmt": {8: 90_700, 16: 97_000, 32: 96_500, 64: 101_600, 128: 98_500,
+            256: 100_000},
+}
+
+
+def sweep(profile, cluster):
+    return {
+        p: throughput(profile, plan_for("tf_ps", profile, p), cluster)
+        for p in PARTITIONS
+    }
+
+
+def test_table2_rows(benchmark, profiles, paper_cluster):
+    _mark_benchmark(benchmark)
+    rows = []
+    sweeps = {}
+    for name in ("lm", "nmt"):
+        values = sweep(profiles[name], paper_cluster)
+        sweeps[name] = values
+        rows.append([name] + [
+            f"{fmt(values[p])} ({fmt(PAPER[name][p])})" for p in PARTITIONS
+        ])
+    print_table(
+        "Table 2: words/sec vs partition count (simulated (paper))",
+        ["model"] + [f"P={p}" for p in PARTITIONS], rows,
+    )
+
+    lm = sweeps["lm"]
+    # Shape: LM improves substantially from 8 to the optimum...
+    assert max(lm.values()) > 1.4 * lm[8]
+    # ...the optimum sits in the paper's 32-128 band...
+    best = max(lm, key=lm.get)
+    assert 32 <= best <= 128
+    # ...and 256 partitions are worse than the optimum (theta2 kicks in).
+    assert lm[256] < lm[best]
+    # NMT is much flatter than LM (the paper's 1.12x vs 1.98x spread).
+    nmt = sweeps["nmt"]
+    lm_spread = max(lm.values()) / min(lm.values())
+    nmt_spread = max(nmt.values()) / min(nmt.values())
+    assert nmt_spread < lm_spread
+
+
+def test_bench_partition_sweep_point(benchmark, profiles, paper_cluster):
+    profile = profiles["lm"]
+    result = benchmark(
+        throughput, profile, plan_for("tf_ps", profile, 128), paper_cluster
+    )
+    assert result > 0

@@ -1,0 +1,138 @@
+"""Table 3: per-machine network transfer closed forms.
+
+The paper derives, for one variable of w bytes over N machines:
+
+    type    arch   one variable      m variables
+    dense   PS     2 w (N-1)         4 w m (N-1)/N
+    dense   AR     4 w (N-1)/N       4 w m (N-1)/N
+    sparse  PS     2 alpha w (N-1)   4 alpha w m (N-1)/N
+    sparse  AR     2 alpha w (N-1)   2 alpha w m (N-1)
+
+This bench regenerates the table two ways: from the *functional plane*
+(executing real collectives/PS rounds and reading the byte transcript) and
+checks the measured bytes against the formulas.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import _mark_benchmark, print_table
+from repro.cluster.spec import ClusterSpec
+from repro.comm import Transcript, ring_allgatherv, ring_allreduce
+from repro.tensor.sparse import IndexedSlices
+
+N = 4
+W_ELEMENTS = 1200
+ALPHA = 0.1
+ROWS = 100
+DIM = W_ELEMENTS // ROWS
+
+
+def dense_ar_bytes_per_machine() -> float:
+    arrays = [np.zeros(W_ELEMENTS, dtype=np.float32) for _ in range(N)]
+    transcript = Transcript()
+    ring_allreduce(arrays, machines=list(range(N)), transcript=transcript)
+    loads = transcript.bytes_per_machine()
+    return loads[0]["out"] + loads[0]["in"]
+
+
+def sparse_ar_bytes_per_machine() -> float:
+    rows = int(ALPHA * ROWS)
+    contributions = [
+        IndexedSlices(np.zeros((rows, DIM), np.float32),
+                      list(range(rows)), (ROWS, DIM))
+        for _ in range(N)
+    ]
+    transcript = Transcript()
+    ring_allgatherv(contributions, machines=list(range(N)),
+                    transcript=transcript)
+    loads = transcript.bytes_per_machine("allgatherv")
+    return loads[0]["out"] + loads[0]["in"]
+
+
+def ps_bytes_server_machine(alpha: float) -> float:
+    """PS round for one variable: N-1 remote pulls + N-1 remote pushes."""
+    transcript = Transcript()
+    payload = alpha * W_ELEMENTS * 4
+    server = 0
+    for m in range(1, N):
+        transcript.record("pull", server, m, int(payload))
+        transcript.record("push", m, server, int(payload))
+    loads = transcript.bytes_per_machine()
+    return loads[server]["out"] + loads[server]["in"]
+
+
+def test_table3_one_variable(benchmark):
+    _mark_benchmark(benchmark)
+    w = W_ELEMENTS * 4
+    measured = {
+        ("dense", "PS"): ps_bytes_server_machine(1.0),
+        ("dense", "AR"): dense_ar_bytes_per_machine(),
+        ("sparse", "PS"): ps_bytes_server_machine(ALPHA),
+        ("sparse", "AR"): sparse_ar_bytes_per_machine(),
+    }
+    expected = {
+        ("dense", "PS"): 2 * w * (N - 1),
+        ("dense", "AR"): 4 * w * (N - 1) / N,
+        ("sparse", "PS"): 2 * ALPHA * w * (N - 1),
+        ("sparse", "AR"): 2 * ALPHA * w * (N - 1),
+    }
+    rows = []
+    for key in expected:
+        rows.append([
+            key[0], key[1],
+            f"{measured[key]:,.0f}",
+            f"{expected[key]:,.0f}",
+        ])
+        assert measured[key] == pytest.approx(expected[key], rel=0.02), key
+    print_table(
+        f"Table 3 (one variable, N={N}, w={w} bytes, alpha={ALPHA}): "
+        "bytes per machine",
+        ["type", "arch", "measured", "formula"], rows,
+    )
+
+
+def test_table3_sparse_ar_grows_with_n_ps_does_not(benchmark):
+    _mark_benchmark(benchmark)
+    """The scaling argument of section 3.1: AR sparse transfer grows
+    linearly in N on *every* machine; PS concentrates it on one."""
+    w = W_ELEMENTS * 4
+    for n in (2, 4, 8):
+        rows = int(ALPHA * ROWS)
+        contributions = [
+            IndexedSlices(np.zeros((rows, DIM), np.float32),
+                          list(range(rows)), (ROWS, DIM))
+            for _ in range(n)
+        ]
+        transcript = Transcript()
+        ring_allgatherv(contributions, machines=list(range(n)),
+                        transcript=transcript)
+        per_machine = transcript.bytes_per_machine("allgatherv")[0]["out"]
+        assert per_machine == pytest.approx(ALPHA * w * (n - 1), rel=0.02)
+
+
+def test_table3_m_variables_ps_balanced(benchmark):
+    _mark_benchmark(benchmark)
+    """With m variables spread evenly, every machine carries
+    4 w m (N-1)/N bytes under PS (the balanced-placement formula)."""
+    m = 8
+    w = W_ELEMENTS * 4
+    transcript = Transcript()
+    for v in range(m):
+        server = v % N
+        for machine in range(N):
+            if machine == server:
+                continue
+            transcript.record("pull", server, machine, w)
+            transcript.record("push", machine, server, w)
+    loads = transcript.bytes_per_machine()
+    expected = 4 * w * m * (N - 1) / N
+    for machine in range(N):
+        total = loads[machine]["out"] + loads[machine]["in"]
+        assert total == pytest.approx(expected, rel=1e-6)
+
+
+def test_bench_ring_allreduce(benchmark):
+    arrays = [np.zeros(W_ELEMENTS, dtype=np.float32) for _ in range(N)]
+    result = benchmark(ring_allreduce, arrays)
+    assert len(result) == N

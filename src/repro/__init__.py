@@ -1,0 +1,39 @@
+"""repro: a full reproduction of Parallax (EuroSys 2019).
+
+Sparsity-aware data-parallel training of deep neural networks: a hybrid
+Parameter-Server / AllReduce architecture, automatic sparse-variable
+partitioning, and transparent single-GPU-to-distributed graph
+transformation -- plus every substrate the paper depends on (dataflow
+graph framework with sparse autodiff, collectives, PS runtime, cluster /
+network simulator, model zoo, and the TF-PS / Horovod baselines).
+
+Quick start (the paper's Figure 3 shape)::
+
+    import repro as parallax
+
+    def builder():
+        model = build_my_model()          # single-GPU graph, uses
+        return model                      # parallax.partitioner() inside
+
+    runner = parallax.get_runner(builder, {"machines": 2,
+                                           "gpus_per_machine": 2})
+    for i in range(num_iters):
+        result = runner.step(i)
+"""
+
+from repro.core.api import ParallaxConfig, get_runner, shard
+from repro.core.partition_context import partitioner
+from repro.core.runner import DistributedRunner
+from repro.cluster.spec import ClusterSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ParallaxConfig",
+    "get_runner",
+    "shard",
+    "partitioner",
+    "DistributedRunner",
+    "ClusterSpec",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Baseline data-parallel strategies the paper compares against.
+
+* :func:`tf_ps_plan` -- TensorFlow's PS architecture ("TF-PS"): every
+  variable lives on a parameter server; no local aggregation, no smart
+  placement of aggregation/update ops.
+* :func:`horovod_plan` -- Horovod's pure collective architecture:
+  AllReduce for dense variables, AllGatherv for sparse ones.
+* :func:`opt_ps_plan` -- Parallax's optimized PS (OptPS of Table 4):
+  still PS-only, but with local aggregation and smart placement.
+"""
+
+from repro.baselines.tf_ps import tf_ps_plan
+from repro.baselines.horovod import horovod_plan
+from repro.baselines.opt_ps import opt_ps_plan
+
+__all__ = ["tf_ps_plan", "horovod_plan", "opt_ps_plan"]

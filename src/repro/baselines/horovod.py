@@ -1,0 +1,26 @@
+"""Horovod baseline: pure collective (AR) architecture.
+
+Horovod 0.11.2 synchronizes dense gradients with NCCL ring AllReduce and
+falls back to MPI AllGatherv for IndexedSlices gradients -- the fallback
+whose ``2*alpha*w*m*(N-1)`` per-machine transfer makes sparse models
+collapse at scale (paper Table 3 and section 6).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.plan import SyncMethod, SyncPlan, VariableAssignment
+from repro.nn.profiles import ModelProfile
+
+
+def horovod_plan(profile: ModelProfile) -> SyncPlan:
+    """Build the Horovod synchronization plan."""
+    assignments = []
+    for v in profile.variables:
+        method = SyncMethod.ALLGATHERV if v.is_sparse else SyncMethod.ALLREDUCE
+        assignments.append(VariableAssignment(v, method))
+    return SyncPlan(
+        name=f"horovod({profile.name})",
+        assignments=assignments,
+        local_aggregation=False,
+        smart_placement=False,
+    )

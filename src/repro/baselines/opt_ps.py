@@ -1,0 +1,30 @@
+"""OptPS: Parallax's optimized PS architecture (Table 4 ablation point).
+
+Same variable placement as TF-PS, but with the two PS optimizations the
+paper folds into OptPS (section 6.4): per-machine local gradient
+aggregation, and smart placement of global-aggregation/update ops on the
+server that owns each variable.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.plan import SyncMethod, SyncPlan, VariableAssignment
+from repro.nn.profiles import ModelProfile
+
+
+def opt_ps_plan(profile: ModelProfile, num_partitions: int = 1) -> SyncPlan:
+    """Build the OptPS synchronization plan."""
+    assignments = []
+    for v in profile.variables:
+        partitions = num_partitions if v.is_sparse else 1
+        if v.rows is not None:
+            partitions = min(partitions, v.rows)
+        assignments.append(
+            VariableAssignment(v, SyncMethod.PS, num_partitions=partitions)
+        )
+    return SyncPlan(
+        name=f"opt_ps({profile.name})",
+        assignments=assignments,
+        local_aggregation=True,
+        smart_placement=True,
+    )

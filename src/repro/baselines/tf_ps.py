@@ -1,0 +1,38 @@
+"""TF-PS baseline: the naive parameter-server architecture.
+
+Models TensorFlow 1.6's ``SyncReplicasOptimizer`` setup the paper
+evaluates as "TF-PS": every variable (dense and sparse alike) is stored on
+parameter servers, every worker pushes its own gradient (no per-machine
+local aggregation), and aggregation/update ops follow TF's default
+placement rather than being colocated with their variable's server.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.plan import SyncMethod, SyncPlan, VariableAssignment
+from repro.nn.profiles import ModelProfile
+
+
+def tf_ps_plan(profile: ModelProfile, num_partitions: int = 1) -> SyncPlan:
+    """Build the TF-PS synchronization plan.
+
+    Args:
+        profile: model to synchronize.
+        num_partitions: partition count for sparse variables.  The paper
+            tunes this manually for TF-PS ("we perform a manual search
+            ... as the frameworks do not provide automatic search").
+    """
+    assignments = []
+    for v in profile.variables:
+        partitions = num_partitions if v.is_sparse else 1
+        if v.rows is not None:
+            partitions = min(partitions, v.rows)
+        assignments.append(
+            VariableAssignment(v, SyncMethod.PS, num_partitions=partitions)
+        )
+    return SyncPlan(
+        name=f"tf_ps({profile.name})",
+        assignments=assignments,
+        local_aggregation=False,
+        smart_placement=False,
+    )

@@ -1,0 +1,158 @@
+"""Command-line interface: regenerate paper experiments from the shell.
+
+Usage::
+
+    python -m repro.cli table1            # PS vs AR throughput
+    python -m repro.cli table2            # partition sweep
+    python -m repro.cli table4            # architecture ablation
+    python -m repro.cli table6            # sparsity-degree sweep
+    python -m repro.cli fig8              # scaling curves
+    python -m repro.cli fig9              # normalized throughput
+    python -m repro.cli all               # everything
+    python -m repro.cli table2 --machines 4 --gpus 4   # custom cluster
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict
+
+from repro.baselines import horovod_plan, opt_ps_plan, tf_ps_plan
+from repro.cluster.simulator import throughput
+from repro.cluster.spec import ClusterSpec
+from repro.core.hybrid import hybrid_plan
+from repro.nn.profiles import (
+    PAPER_PROFILES,
+    TABLE6_ALPHA,
+    constructed_lm_profile,
+)
+
+PARTITIONS = {"lm": 128, "nmt": 64}
+
+
+def _plan(kind: str, profile, partitions: int):
+    return {
+        "tf_ps": lambda: tf_ps_plan(profile, partitions),
+        "horovod": lambda: horovod_plan(profile),
+        "opt_ps": lambda: opt_ps_plan(profile, partitions),
+        "parallax": lambda: hybrid_plan(profile, partitions),
+    }[kind]()
+
+
+def _fmt(value: float) -> str:
+    return f"{value / 1000:,.1f}k" if value >= 10_000 else f"{value:,.0f}"
+
+
+def table1(cluster: ClusterSpec) -> None:
+    print(f"\nTable 1 — PS vs AR throughput "
+          f"({cluster.total_gpus} simulated GPUs)")
+    print(f"{'model':<14}{'dense':>9}{'sparse':>9}{'alpha':>7}"
+          f"{'PS':>10}{'AR':>10}")
+    for name, profile in PAPER_PROFILES().items():
+        p = PARTITIONS.get(name, 1)
+        ps = throughput(profile, _plan("tf_ps", profile, p), cluster)
+        ar = throughput(profile, _plan("horovod", profile, p), cluster)
+        print(f"{name:<14}{profile.dense_elements / 1e6:>8.1f}M"
+              f"{profile.sparse_elements / 1e6:>8.1f}M"
+              f"{profile.alpha_model:>7.2f}{_fmt(ps):>10}{_fmt(ar):>10}")
+
+
+def table2(cluster: ClusterSpec) -> None:
+    partitions = (8, 16, 32, 64, 128, 256)
+    print(f"\nTable 2 — TF-PS throughput vs partition count")
+    print(f"{'model':<8}" + "".join(f"P={p:<9}" for p in partitions))
+    for name in ("lm", "nmt"):
+        profile = PAPER_PROFILES()[name]
+        row = [
+            _fmt(throughput(profile, _plan("tf_ps", profile, p), cluster))
+            for p in partitions
+        ]
+        print(f"{name:<8}" + "".join(f"{v:<11}" for v in row))
+
+
+def table4(cluster: ClusterSpec) -> None:
+    archs = ("horovod", "tf_ps", "opt_ps", "parallax")
+    labels = ("AR", "NaivePS", "OptPS", "HYB")
+    print(f"\nTable 4 — architecture ablation")
+    print(f"{'model':<8}" + "".join(f"{l:<12}" for l in labels))
+    for name in ("lm", "nmt"):
+        profile = PAPER_PROFILES()[name]
+        p = PARTITIONS[name]
+        row = [
+            _fmt(throughput(profile, _plan(a, profile, p), cluster))
+            for a in archs
+        ]
+        print(f"{name:<8}" + "".join(f"{v:<12}" for v in row))
+
+
+def table6(cluster: ClusterSpec) -> None:
+    print(f"\nTable 6 — sparsity-degree sweep (constructed LM)")
+    print(f"{'length':>7}{'alpha':>7}{'parallax':>12}{'tf_ps':>12}"
+          f"{'speedup':>9}")
+    for length in sorted(TABLE6_ALPHA, reverse=True):
+        profile = constructed_lm_profile(length)
+        px = throughput(profile, _plan("parallax", profile, 64), cluster)
+        ps = throughput(profile, _plan("tf_ps", profile, 64), cluster)
+        print(f"{length:>7}{TABLE6_ALPHA[length]:>7.2f}{_fmt(px):>12}"
+              f"{_fmt(ps):>12}{px / ps:>8.2f}x")
+
+
+def fig8(cluster: ClusterSpec) -> None:
+    print(f"\nFigure 8 — throughput vs machines (1/2/4/8, "
+          f"{cluster.gpus_per_machine} GPUs each)")
+    for name, profile in PAPER_PROFILES().items():
+        p = PARTITIONS.get(name, 1)
+        for arch in ("tf_ps", "horovod", "parallax"):
+            values = [
+                _fmt(throughput(
+                    profile, _plan(arch, profile, p),
+                    ClusterSpec(n, cluster.gpus_per_machine)))
+                for n in (1, 2, 4, 8)
+            ]
+            print(f"{name:<14}{arch:<10}" + " / ".join(values))
+
+
+def fig9(cluster: ClusterSpec) -> None:
+    print(f"\nFigure 9 — Parallax normalized throughput (vs 1 GPU)")
+    profiles = PAPER_PROFILES()
+    print(f"{'GPUs':<6}" + "".join(f"{n:<14}" for n in profiles))
+    for machines in (1, 2, 4, 8):
+        row = [machines * cluster.gpus_per_machine]
+        for name, profile in profiles.items():
+            p = PARTITIONS.get(name, 1)
+            base = throughput(profile, _plan("parallax", profile, p),
+                              ClusterSpec(1, 1))
+            t = throughput(profile, _plan("parallax", profile, p),
+                           ClusterSpec(machines, cluster.gpus_per_machine))
+            row.append(f"{t / base:.1f}x")
+        print(f"{row[0]:<6}" + "".join(f"{v:<14}" for v in row[1:]))
+
+
+COMMANDS: Dict[str, Callable[[ClusterSpec], None]] = {
+    "table1": table1, "table2": table2, "table4": table4, "table6": table6,
+    "fig8": fig8, "fig9": fig9,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate Parallax (EuroSys '19) experiments.",
+    )
+    parser.add_argument("experiment",
+                        choices=sorted(COMMANDS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--machines", type=int, default=8)
+    parser.add_argument("--gpus", type=int, default=6)
+    args = parser.parse_args(argv)
+    cluster = ClusterSpec(args.machines, args.gpus)
+    if args.experiment == "all":
+        for fn in COMMANDS.values():
+            fn(cluster)
+    else:
+        COMMANDS[args.experiment](cluster)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Cluster substrate: hardware spec, network model, cost model, simulator.
+
+The paper's evaluation ran on 8 machines x 6 TITAN Xp GPUs over 100 Gb/s
+InfiniBand.  This package simulates that testbed: a fluid max-min
+fair-share network model turns per-iteration flows into transfer times, a
+calibrated cost model covers the CPU-side work (sparse gradient
+aggregation, partition stitching), and the iteration simulator composes
+them into per-iteration time for any synchronization plan.
+"""
+
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.network import Flow, simulate_flows, maxmin_rates
+from repro.cluster.costmodel import CostModel, union_alpha
+from repro.cluster.plan import (
+    SyncMethod,
+    VariableAssignment,
+    SyncPlan,
+)
+from repro.cluster.simulator import IterationBreakdown, simulate_iteration
+
+__all__ = [
+    "ClusterSpec",
+    "Flow",
+    "simulate_flows",
+    "maxmin_rates",
+    "CostModel",
+    "union_alpha",
+    "SyncMethod",
+    "VariableAssignment",
+    "SyncPlan",
+    "IterationBreakdown",
+    "simulate_iteration",
+]

@@ -1,0 +1,121 @@
+"""Calibrated cost model for the performance plane.
+
+The paper reports wall-clock throughput on a real testbed; we reproduce
+it on a simulator, so every constant below is a *substitution* for a piece
+of 2018-era systems reality.  The table maps each constant to what it
+stands in for; values are calibrated (see ``examples/calibrate.py`` and
+EXPERIMENTS.md) so that the paper's headline ratios hold, and the shapes
+of all tables/figures are reproduced.
+
+===============================  =====================================
+Constant                         Stands in for
+===============================  =====================================
+nccl_bw                          NCCL ring AllReduce effective per-NIC
+                                 bandwidth over 100 Gb/s InfiniBand
+                                 (GPUDirect, ~60-75% line rate)
+intra_bw                         intra-machine GPU<->GPU over PCIe P2P
+mpi_bw                           OpenMPI AllGatherv effective bandwidth
+                                 (no NCCL support; TCP-over-IB path --
+                                 the paper notes this fallback)
+ps_nic_bw                        gRPC aggregate per-NIC throughput
+worker_stream_bw                 a single worker's gRPC stream rate
+dense_ps_overlap                 fraction of *compute time* under which
+                                 dense PS traffic can hide (TF pipelines
+                                 pulls/pushes layer-by-layer with
+                                 fwd/bwd); sparse embedding traffic sits
+                                 at iteration boundaries and cannot hide
+c_agg_sparse                     CPU ns/element to dedup+sum one sparse
+                                 gradient contribution (TF conditional
+                                 accumulator take_grad path)
+c_agg_dense                      vectorized dense summation ns/element
+agg_threads_per_machine          server-side op-level parallelism cap
+c_stitch                         per-partition cost of dynamic_stitch /
+                                 per-partition op scheduling (theta_2)
+c_rpc_per_variable               per-variable request/queueing overhead
+                                 of one PS round (pull + push RPCs are
+                                 issued per variable, poorly pipelined
+                                 in TF 1.x)
+c_sync_per_worker                per-worker barrier/bookkeeping cost of
+                                 synchronous PS training per sparse var;
+                                 local aggregation reduces it to one
+                                 participant (the local chief) per
+                                 machine
+c_apply_gathered                 per-element cost for every replica to
+                                 apply an AllGatherv'd sparse update
+step_latency                     per ring-step launch latency
+zipf_overlap                     cross-worker overlap of touched
+                                 embedding rows (Zipf head sharing),
+                                 controls local-aggregation dedup
+===============================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable constants of the performance simulator (seconds / bytes)."""
+
+    # Network (bytes/sec, one-way per NIC unless stated)
+    nccl_bw: float = 4.0e9
+    intra_bw: float = 8.0e9
+    mpi_bw: float = 11.0e9
+    ps_nic_bw: float = 11.0e9
+    worker_stream_bw: float = 0.8e9
+
+    # Fraction of compute time under which dense PS traffic hides
+    dense_ps_overlap: float = 0.9
+
+    # CPU-side costs (seconds per element / per unit)
+    c_agg_sparse: float = 2.4e-8
+    c_agg_dense: float = 1.0e-10
+    agg_threads_per_machine: int = 36  # 2x 18-core Xeon E5-2695
+    c_stitch: float = 3.0e-4
+    c_rpc_per_variable: float = 4.0e-3
+    c_sync_per_worker: float = 4.0e-3
+    c_apply_gathered: float = 5.3e-9
+
+    # Latencies
+    step_latency: float = 2.5e-5
+
+    # Sparsity overlap across workers (0 = disjoint rows, 1 = identical)
+    zipf_overlap: float = 0.9
+
+    def __post_init__(self):
+        for name in ("nccl_bw", "intra_bw", "mpi_bw", "ps_nic_bw",
+                     "worker_stream_bw"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.dense_ps_overlap <= 1.0:
+            raise ValueError("dense_ps_overlap must be in [0, 1]")
+        if not 0.0 <= self.zipf_overlap <= 1.0:
+            raise ValueError("zipf_overlap must be in [0, 1]")
+        if self.agg_threads_per_machine < 1:
+            raise ValueError("agg_threads_per_machine must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "CostModel":
+        return replace(self, **kwargs)
+
+
+def union_alpha(alpha: float, k: int, zipf_overlap: float) -> float:
+    """Effective row fraction after merging k workers' sparse gradients.
+
+    With fully independent batches the union of k samples of fraction
+    ``alpha`` is ``1 - (1 - alpha)^k``; natural-language batches overlap
+    far more than independence predicts because frequent (Zipf-head) words
+    recur in every batch.  ``zipf_overlap`` interpolates between the
+    independent union (0) and complete overlap (1):
+
+        alpha_eff = alpha + (1 - zipf_overlap) * (union_independent - alpha)
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    independent = 1.0 - (1.0 - alpha) ** k
+    return alpha + (1.0 - zipf_overlap) * (independent - alpha)
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,116 @@
+"""Synchronization plans: which method synchronizes which variable.
+
+A :class:`SyncPlan` is the shared contract between the strategy layer
+(baselines and Parallax's hybrid assignment) and the two execution planes:
+the functional engine transforms the graph according to it, and the
+performance simulator prices it.  It captures the paper's design space:
+
+* per-variable method -- AllReduce, AllGatherv, or PS;
+* per-variable partition count for PS-managed sparse variables;
+* the OptPS optimizations: local (per-machine) gradient aggregation and
+  smart placement of aggregation/update ops on the variable's server.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.nn.profiles import ModelProfile, VariableProfile
+
+
+class SyncMethod(enum.Enum):
+    """How one variable's gradients are synchronized across workers."""
+
+    ALLREDUCE = "allreduce"    # dense collective (NCCL-style ring)
+    ALLGATHERV = "allgatherv"  # sparse collective (MPI-style ring)
+    PS = "ps"                  # parameter server push/pull
+
+
+@dataclass(frozen=True)
+class VariableAssignment:
+    """One variable's synchronization decision."""
+
+    variable: VariableProfile
+    method: SyncMethod
+    num_partitions: int = 1
+
+    def __post_init__(self):
+        if self.num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if self.num_partitions > 1 and self.method is not SyncMethod.PS:
+            raise ValueError(
+                f"{self.variable.name}: partitioning only applies to PS "
+                f"variables (got {self.method})"
+            )
+        if (self.variable.rows is not None
+                and self.num_partitions > self.variable.rows):
+            raise ValueError(
+                f"{self.variable.name}: cannot split {self.variable.rows} "
+                f"rows into {self.num_partitions} partitions"
+            )
+
+    @property
+    def shard_nbytes(self) -> float:
+        return self.variable.nbytes / self.num_partitions
+
+
+@dataclass(frozen=True)
+class SyncPlan:
+    """A complete synchronization strategy for one model."""
+
+    name: str
+    assignments: List[VariableAssignment]
+    local_aggregation: bool = False
+    smart_placement: bool = False
+    average_gradients: bool = True
+
+    def by_method(self, method: SyncMethod) -> List[VariableAssignment]:
+        return [a for a in self.assignments if a.method is method]
+
+    @property
+    def allreduce_bytes(self) -> int:
+        return sum(a.variable.nbytes
+                   for a in self.by_method(SyncMethod.ALLREDUCE))
+
+    @property
+    def ps_assignments(self) -> List[VariableAssignment]:
+        return self.by_method(SyncMethod.PS)
+
+    @property
+    def gatherv_assignments(self) -> List[VariableAssignment]:
+        return self.by_method(SyncMethod.ALLGATHERV)
+
+    def with_partitions(self, num_partitions: int) -> "SyncPlan":
+        """Same plan with every PS *sparse* variable re-partitioned.
+
+        Mirrors the paper's ``partitioner`` scope: one partition count is
+        searched for all variables in the partitioner context.
+        """
+        updated = []
+        for a in self.assignments:
+            if a.method is SyncMethod.PS and a.variable.is_sparse:
+                bounded = num_partitions
+                if a.variable.rows is not None:
+                    bounded = min(bounded, a.variable.rows)
+                updated.append(replace(a, num_partitions=bounded))
+            else:
+                updated.append(a)
+        return replace(self, assignments=updated)
+
+    def max_partitions(self) -> int:
+        return max((a.num_partitions for a in self.assignments), default=1)
+
+    def describe(self) -> str:
+        lines = [f"SyncPlan {self.name!r} (local_agg={self.local_aggregation}, "
+                 f"smart_placement={self.smart_placement})"]
+        for a in self.assignments:
+            extra = (f" P={a.num_partitions}"
+                     if a.num_partitions > 1 else "")
+            lines.append(
+                f"  {a.variable.name}: {a.method.value}{extra} "
+                f"({a.variable.num_elements:,} elems"
+                f"{', sparse' if a.variable.is_sparse else ''})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Cluster hardware description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.graph.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Machines, GPUs, and NIC bandwidth.
+
+    Defaults model the paper's testbed: 8 machines, 6 GPUs each,
+    100 Gb/s InfiniBand (section 6.1).
+    """
+
+    num_machines: int = 8
+    gpus_per_machine: int = 6
+    nic_gbps: float = 100.0
+
+    def __post_init__(self):
+        if self.num_machines < 1:
+            raise ValueError("need at least one machine")
+        if self.gpus_per_machine < 1:
+            raise ValueError("need at least one GPU per machine")
+        if self.nic_gbps <= 0:
+            raise ValueError("NIC bandwidth must be positive")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_machines * self.gpus_per_machine
+
+    @property
+    def nic_bytes_per_sec(self) -> float:
+        return self.nic_gbps * 1e9 / 8.0
+
+    def gpu_devices(self) -> List[DeviceSpec]:
+        """All worker devices, ordered machine-major (worker index order)."""
+        return [
+            DeviceSpec.gpu(m, g)
+            for m in range(self.num_machines)
+            for g in range(self.gpus_per_machine)
+        ]
+
+    def server_devices(self) -> List[DeviceSpec]:
+        """One (CPU) server device per machine, as Parallax launches them."""
+        return [DeviceSpec.cpu(m) for m in range(self.num_machines)]
+
+    def machine_of_worker(self, worker_index: int) -> int:
+        if not 0 <= worker_index < self.total_gpus:
+            raise ValueError(f"worker index {worker_index} out of range")
+        return worker_index // self.gpus_per_machine
+
+    def workers_on_machine(self, machine: int) -> List[int]:
+        base = machine * self.gpus_per_machine
+        return list(range(base, base + self.gpus_per_machine))
+
+    def scaled(self, num_machines: int) -> "ClusterSpec":
+        """Same hardware with a different machine count (scaling sweeps)."""
+        return ClusterSpec(num_machines, self.gpus_per_machine, self.nic_gbps)
+
+
+PAPER_CLUSTER = ClusterSpec(num_machines=8, gpus_per_machine=6, nic_gbps=100.0)

@@ -1,0 +1,27 @@
+"""Communication substrate: collectives, PS runtime, byte accounting.
+
+Every primitive both *moves data* (numpy arrays / IndexedSlices between
+logical workers) and *records transfers* into a :class:`Transcript`, so the
+same execution yields correctness results and the per-machine network-byte
+profile the paper's Table 3 analyses.
+"""
+
+from repro.comm.transcript import Transcript, Transfer
+from repro.comm.allreduce import ring_allreduce, ring_allreduce_mean
+from repro.comm.allgatherv import ring_allgatherv
+from repro.comm.ps import (
+    DenseAccumulator,
+    SparseAccumulator,
+    place_variables,
+)
+
+__all__ = [
+    "Transcript",
+    "Transfer",
+    "ring_allreduce",
+    "ring_allreduce_mean",
+    "ring_allgatherv",
+    "DenseAccumulator",
+    "SparseAccumulator",
+    "place_variables",
+]

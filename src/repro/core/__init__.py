@@ -1,0 +1,67 @@
+"""Parallax core: the paper's primary contribution.
+
+* :mod:`repro.core.hybrid` -- sparsity-aware hybrid architecture
+  assignment over model profiles (PS for sparse variables, AllReduce for
+  dense; section 3.1).
+* :mod:`repro.core.partitioner` -- cost-model-driven search for the
+  number of sparse-variable partitions (section 3.2, Equation 1).
+* :mod:`repro.core.transform` -- automatic graph transformation from a
+  single-GPU graph to a distributed one (section 4.3).
+* :mod:`repro.core.api` -- the user-facing ``shard`` / ``partitioner`` /
+  ``get_runner`` interface (section 4.1, Figure 3).
+* :mod:`repro.core.runner` -- the functional distributed execution engine.
+"""
+
+from repro.core.hybrid import hybrid_plan, parallax_plan
+from repro.core.partitioner import (
+    PartitionCostModel,
+    PartitionSearch,
+    SearchResult,
+    brute_force_search,
+    fit_cost_model,
+)
+from repro.core.api import (
+    ParallaxConfig,
+    get_runner,
+    measure_alpha,
+    resolve_cluster,
+    shard,
+)
+from repro.core.partition_context import partitioner
+from repro.core.runner import DistributedRunner, DistributedSession
+from repro.core.transform import (
+    GraphSyncPlan,
+    classify_variables,
+    transform_graph,
+    TransformedGraph,
+)
+from repro.core.transform.plan import (
+    ar_graph_plan,
+    hybrid_graph_plan,
+    ps_graph_plan,
+)
+
+__all__ = [
+    "hybrid_plan",
+    "parallax_plan",
+    "PartitionCostModel",
+    "PartitionSearch",
+    "SearchResult",
+    "brute_force_search",
+    "fit_cost_model",
+    "ParallaxConfig",
+    "get_runner",
+    "measure_alpha",
+    "resolve_cluster",
+    "shard",
+    "partitioner",
+    "DistributedRunner",
+    "DistributedSession",
+    "GraphSyncPlan",
+    "classify_variables",
+    "transform_graph",
+    "TransformedGraph",
+    "ar_graph_plan",
+    "hybrid_graph_plan",
+    "ps_graph_plan",
+]

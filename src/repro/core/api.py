@@ -1,0 +1,299 @@
+"""The Parallax user API: ``shard``, ``partitioner``, ``get_runner``.
+
+Mirrors the paper's Figure 3 programming model: a user writes a
+single-GPU model builder, marks input data with :func:`shard`, wraps
+to-be-partitioned variables in :func:`partitioner`, and obtains a
+distributed runner from :func:`get_runner` -- everything else (sparsity
+classification, hybrid assignment, partition-count search, graph
+transformation, placement) is automatic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.partition_context import partitioner, sampling_partitions
+from repro.core.partitioner import PartitionSearch, SearchResult
+from repro.core.runner import DistributedRunner
+from repro.core.transform.plan import (
+    GraphSyncPlan,
+    ar_graph_plan,
+    classify_variables,
+    hybrid_graph_plan,
+    ps_graph_plan,
+)
+from repro.graph.session import Session
+from repro.nn.datasets import Dataset
+from repro.nn.models.common import BuiltModel
+from repro.tensor.sparse import IndexedSlices
+
+__all__ = ["shard", "partitioner", "ParallaxConfig", "get_runner"]
+
+
+def shard(dataset: Dataset) -> Dataset:
+    """Mark input data for splitting across GPUs (paper Figure 3, line 6).
+
+    The runner gives each model replica a disjoint round-robin shard; this
+    call records the user's intent and returns the dataset unchanged
+    (sharding needs the replica count, which only the runner knows).
+    """
+    dataset._parallax_shard = True  # type: ignore[attr-defined]
+    return dataset
+
+
+@dataclass
+class ParallaxConfig:
+    """Optional knobs of ``get_runner`` (paper section 4.1).
+
+    Attributes:
+        architecture: "hybrid" (Parallax), "ps", "opt_ps", or "ar" --
+            mostly for ablations; the paper's Parallax is "hybrid".
+        local_aggregation: aggregate gradients per machine before pushing.
+        smart_placement: colocate aggregation/update ops with their
+            variable's server.
+        average_dense / average_sparse: aggregation method per variable
+            type (mean when True, sum when False).
+        search_partitions: run the Equation-1 partition search.
+        sample_iterations / sample_warmup: iterations measured (after
+            discarding warmup) per sampled partition count.  The paper
+            runs 100 and discards 50; tests use small values.
+        max_partitions: upper bound for the search.
+        sparse_as_dense_threshold: sparse variables whose *measured* alpha
+            reaches this are synchronized as dense via AllReduce
+            (section 3.1's near-1 refinement).  Set > 1 to disable.
+        alpha_measure_batches: batches used to measure per-variable alpha
+            (0 disables measurement and the threshold rule).
+        save_path: if set, ``runner.save()`` writes variables here by
+            default (the config's "file path to save trained variables").
+        seed: variable-initialization seed.
+    """
+
+    architecture: str = "hybrid"
+    local_aggregation: bool = True
+    smart_placement: bool = True
+    average_dense: bool = True
+    average_sparse: bool = True
+    search_partitions: bool = True
+    sample_iterations: int = 2
+    sample_warmup: int = 1
+    max_partitions: int = 512
+    sparse_as_dense_threshold: float = 0.95
+    alpha_measure_batches: int = 2
+    save_path: Optional[str] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.architecture not in ("hybrid", "ps", "opt_ps", "ar"):
+            raise ValueError(
+                f"unknown architecture {self.architecture!r}; expected "
+                "hybrid, ps, opt_ps, or ar"
+            )
+        if self.sample_iterations < 1:
+            raise ValueError("sample_iterations must be >= 1")
+
+
+def resolve_cluster(resource_info: Union[ClusterSpec, dict, str],
+                    ) -> ClusterSpec:
+    """Accept a ClusterSpec, a dict, or a JSON resource file path.
+
+    The file format mirrors Parallax's resource description: a list of
+    machines with their GPU ids, e.g.::
+
+        {"machines": [{"hostname": "w0", "gpus": [0,1,2]},
+                      {"hostname": "w1", "gpus": [0,1,2]}]}
+    """
+    if isinstance(resource_info, ClusterSpec):
+        return resource_info
+    if isinstance(resource_info, str):
+        with open(resource_info) as f:
+            resource_info = json.load(f)
+    if not isinstance(resource_info, dict):
+        raise TypeError(f"cannot interpret {resource_info!r} as resources")
+    if "machines" in resource_info and isinstance(resource_info["machines"],
+                                                  list):
+        machines = resource_info["machines"]
+        gpu_counts = {len(m["gpus"]) for m in machines}
+        if len(gpu_counts) != 1:
+            raise ValueError(
+                "machines must have equal GPU counts; got "
+                f"{sorted(gpu_counts)}"
+            )
+        return ClusterSpec(
+            num_machines=len(machines),
+            gpus_per_machine=gpu_counts.pop(),
+            nic_gbps=float(resource_info.get("nic_gbps", 100.0)),
+        )
+    return ClusterSpec(
+        num_machines=int(resource_info.get("machines", 1)),
+        gpus_per_machine=int(resource_info.get("gpus_per_machine", 1)),
+        nic_gbps=float(resource_info.get("nic_gbps", 100.0)),
+    )
+
+
+def measure_alpha(model: BuiltModel, num_batches: int,
+                  seed: int = 0) -> Dict[str, float]:
+    """Measured per-variable alpha: unique rows touched / total rows.
+
+    Runs forward+backward on a few batches of the model's own dataset and
+    inspects each sparse gradient.  Shards of one partitioned variable are
+    merged into their parent's alpha.
+    """
+    graph = model.graph
+    sparse_vars = [name for name, sparse in classify_variables(graph).items()
+                   if sparse]
+    if not sparse_vars or num_batches < 1:
+        return {}
+    session = Session(graph, seed=seed)
+    grad_tensors = {
+        name: graph.get_op(graph.gradient_info[name]).output
+        for name in sparse_vars
+    }
+    # parent -> (unique row ids seen per batch, total rows)
+    fractions: Dict[str, List[float]] = {name: [] for name in sparse_vars}
+    for b in range(num_batches):
+        feed = model.feed(model.dataset.batch(model.batch_size, b))
+        values = session.run([grad_tensors[n] for n in sparse_vars], feed)
+        for name, value in zip(sparse_vars, values):
+            if not isinstance(value, IndexedSlices):
+                raise TypeError(
+                    f"gradient of {name!r} is not IndexedSlices at runtime"
+                )
+            fractions[name].append(value.alpha())
+    per_var = {name: float(np.mean(f)) for name, f in fractions.items()}
+
+    # Merge partition shards into their parent (weighted by rows).
+    merged: Dict[str, List] = {}
+    for name, alpha in per_var.items():
+        var = graph.variables[name]
+        info = getattr(var, "partition_info", None)
+        parent = info["parent"] if info else name
+        rows = var.shape[0]
+        merged.setdefault(parent, []).append((alpha, rows, name))
+    result: Dict[str, float] = {}
+    for parent, entries in merged.items():
+        total_rows = sum(rows for _, rows, _ in entries)
+        weighted = sum(alpha * rows for alpha, rows, _ in entries)
+        parent_alpha = weighted / total_rows
+        for _, _, name in entries:
+            result[name] = parent_alpha
+    return result
+
+
+def _make_plan(graph, config: ParallaxConfig,
+               sparse_as_dense: Dict[str, bool]) -> GraphSyncPlan:
+    if config.architecture == "hybrid":
+        return hybrid_graph_plan(
+            graph,
+            local_aggregation=config.local_aggregation,
+            smart_placement=config.smart_placement,
+            average_dense=config.average_dense,
+            average_sparse=config.average_sparse,
+            sparse_as_dense=sparse_as_dense,
+        )
+    if config.architecture == "ps":
+        return ps_graph_plan(graph, local_aggregation=False,
+                             smart_placement=False,
+                             average_dense=config.average_dense,
+                             average_sparse=config.average_sparse)
+    if config.architecture == "opt_ps":
+        return ps_graph_plan(graph, local_aggregation=True,
+                             smart_placement=True,
+                             average_dense=config.average_dense,
+                             average_sparse=config.average_sparse,
+                             name="opt_ps")
+    return ar_graph_plan(graph, average_dense=config.average_dense,
+                         average_sparse=config.average_sparse)
+
+
+def _partition_bounds(model: BuiltModel, config: ParallaxConfig) -> int:
+    """Largest partition count any partitioner-scoped variable allows."""
+    pvars = model.graph.get_collection("partitioned_variables")
+    if not pvars:
+        return 1
+    max_rows = min(p.full_shape[0] for p in pvars)
+    return max(1, min(config.max_partitions, max_rows))
+
+
+def get_runner(
+    model_builder: Callable[[], BuiltModel],
+    resource_info: Union[ClusterSpec, dict, str],
+    config: Optional[ParallaxConfig] = None,
+) -> DistributedRunner:
+    """Automatically parallelize a single-GPU model (Figure 3, line 19).
+
+    Args:
+        model_builder: zero-argument callable building the single-GPU
+            graph -- including ``gradients`` and ``opt.update`` -- and
+            returning a :class:`BuiltModel`.  Variables created inside a
+            ``parallax.partitioner()`` scope within the builder are
+            partitioned with the searched count.
+        resource_info: cluster description (ClusterSpec, dict, or a JSON
+            resource file path).
+        config: optional :class:`ParallaxConfig`.
+
+    Returns:
+        A :class:`DistributedRunner`; its ``partition_search`` attribute
+        records the Equation-1 search when one ran.
+    """
+    cluster = resolve_cluster(resource_info)
+    cfg = config if config is not None else ParallaxConfig()
+
+    def build(num_partitions: int) -> BuiltModel:
+        with sampling_partitions(num_partitions):
+            model = model_builder()
+        if not model.graph.gradient_info:
+            raise ValueError(
+                "model builder must call gradients() and opt.update() on "
+                "the single-GPU graph (see paper Figure 3)"
+            )
+        return model
+
+    initial = max(1, cluster.num_machines)
+    probe = build(initial)
+
+    # Sparse-as-dense refinement from measured alpha (section 3.1).
+    sparse_as_dense: Dict[str, bool] = {}
+    if (cfg.alpha_measure_batches > 0
+            and cfg.sparse_as_dense_threshold <= 1.0
+            and cfg.architecture == "hybrid"):
+        alphas = measure_alpha(probe, cfg.alpha_measure_batches,
+                               seed=cfg.seed)
+        sparse_as_dense = {
+            name: alpha >= cfg.sparse_as_dense_threshold
+            for name, alpha in alphas.items()
+        }
+
+    search_result: Optional[SearchResult] = None
+    best_partitions = initial
+    max_partitions = _partition_bounds(probe, cfg)
+    uses_ps = cfg.architecture in ("hybrid", "ps", "opt_ps")
+    if cfg.search_partitions and uses_ps and max_partitions > 1:
+
+        def measure(num_partitions: int) -> float:
+            model = build(num_partitions)
+            plan = _make_plan(model.graph, cfg, sparse_as_dense)
+            runner = DistributedRunner(model, cluster, plan, seed=cfg.seed)
+            total = cfg.sample_warmup + cfg.sample_iterations
+            times = [runner.step(i).wall_time for i in range(total)]
+            return float(np.mean(times[cfg.sample_warmup:]))
+
+        search = PartitionSearch(measure, initial=initial,
+                                 max_partitions=max_partitions)
+        search_result = search.run()
+        best_partitions = search_result.best_partitions
+
+    final_model = (probe if best_partitions == initial
+                   else build(best_partitions))
+    plan = _make_plan(final_model.graph, cfg, sparse_as_dense)
+    runner = DistributedRunner(final_model, cluster, plan, seed=cfg.seed)
+    runner.partition_search = search_result
+    runner.config = cfg
+    if cfg.save_path:
+        runner.default_save_path = cfg.save_path
+    return runner

@@ -1,0 +1,69 @@
+"""Hybrid architecture assignment: the paper's section 3.1 decision rule.
+
+Dense variables synchronize by ring AllReduce; sparse variables go to
+parameter servers.  One refinement from the paper: a sparse variable whose
+alpha is close to 1 communicates almost its full size anyway, so the
+efficient AR transport can beat PS despite the 1/alpha extra volume --
+"if the alpha value of a sparse variable is close to 1, then it may be
+helpful to handle the variable as a dense variable and use AllReduce."
+The crossover is exposed as ``sparse_as_dense_threshold``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.plan import SyncMethod, SyncPlan, VariableAssignment
+from repro.nn.profiles import ModelProfile
+
+# Above this alpha a "sparse" variable is synchronized as dense.  The
+# paper states the principle without a number; the ablation bench
+# (benchmarks/test_ablations.py) sweeps it.
+DEFAULT_SPARSE_AS_DENSE_THRESHOLD = 0.95
+
+
+def hybrid_plan(
+    profile: ModelProfile,
+    num_partitions: int = 1,
+    sparse_as_dense_threshold: float = DEFAULT_SPARSE_AS_DENSE_THRESHOLD,
+    local_aggregation: bool = True,
+    smart_placement: bool = True,
+) -> SyncPlan:
+    """Build Parallax's hybrid synchronization plan.
+
+    Args:
+        profile: model to synchronize.
+        num_partitions: partition count for PS-managed sparse variables
+            (normally chosen by :mod:`repro.core.partitioner`).
+        sparse_as_dense_threshold: alpha above which a sparse variable is
+            treated as dense and AllReduced.
+        local_aggregation: per-machine aggregation before pushing.
+        smart_placement: colocate aggregation/update ops with servers.
+    """
+    assignments = []
+    for v in profile.variables:
+        if v.is_sparse and v.alpha < sparse_as_dense_threshold:
+            partitions = num_partitions
+            if v.rows is not None:
+                partitions = min(partitions, v.rows)
+            assignments.append(
+                VariableAssignment(v, SyncMethod.PS,
+                                   num_partitions=partitions)
+            )
+        elif v.is_sparse:
+            # Near-dense access: the gradient is still IndexedSlices, but
+            # densifying and AllReducing moves barely more data over the
+            # far faster transport.
+            assignments.append(VariableAssignment(v, SyncMethod.ALLREDUCE))
+        else:
+            assignments.append(VariableAssignment(v, SyncMethod.ALLREDUCE))
+    return SyncPlan(
+        name=f"parallax({profile.name})",
+        assignments=assignments,
+        local_aggregation=local_aggregation,
+        smart_placement=smart_placement,
+    )
+
+
+# Parallax == hybrid assignment with all optimizations on.
+parallax_plan = hybrid_plan

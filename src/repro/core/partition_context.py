@@ -1,0 +1,70 @@
+"""Thread-local state behind the ``parallax.partitioner()`` context.
+
+Variables created inside a ``partitioner()`` scope are partitioned into
+the *active* number of partitions -- a value Parallax itself varies while
+sampling iteration times for the partition search (paper sections 3.2 and
+4.2: "the number of partitions for sampling is passed to the workers").
+
+Kept in its own dependency-free module so low-level layers
+(``repro.nn.layers``) can consult it without importing the core package.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, Optional
+
+_state = threading.local()
+
+
+def _depth() -> int:
+    return getattr(_state, "depth", 0)
+
+
+def active_partitions() -> Optional[int]:
+    """Partition count for variables created in the current scope.
+
+    Returns None outside any ``partitioner()`` scope.  Inside a scope it
+    returns the sampling value installed by the runner (default 1 when a
+    graph is built outside ``get_runner``).
+    """
+    if _depth() == 0:
+        return None
+    return getattr(_state, "value", None) or 1
+
+
+@contextlib.contextmanager
+def partitioner() -> Iterator[None]:
+    """Mark variables created inside as targets for partition search.
+
+    Mirrors paper Figure 3 line 9.  Each ``partitioner()`` use partitions
+    its variables with the same searched count; nesting is rejected, like
+    Parallax ("each partitioner partitions variables into the same number
+    of partitions ... multiple partitioners must be created and applied
+    independently").
+    """
+    if _depth() > 0:
+        raise RuntimeError("partitioner() scopes cannot be nested")
+    _state.depth = _depth() + 1
+    try:
+        yield
+    finally:
+        _state.depth -= 1
+
+
+@contextlib.contextmanager
+def sampling_partitions(value: int) -> Iterator[None]:
+    """Install the partition count the next graph build should use.
+
+    Used by ``get_runner`` while it rebuilds the model at different
+    partition counts during the search.
+    """
+    if value < 1:
+        raise ValueError("partition count must be >= 1")
+    previous = getattr(_state, "value", None)
+    _state.value = int(value)
+    try:
+        yield
+    finally:
+        _state.value = previous

@@ -1,0 +1,173 @@
+"""Sparse-variable partitioning search (paper section 3.2).
+
+Parallax models iteration time as a function of the partition count P:
+
+    iter_time(P) = theta0 + theta1 / P + theta2 * P          (Equation 1)
+
+theta0 is fixed cost, theta1 the parallelizable aggregation work, theta2
+the per-partition overhead (stitching, per-partition op management).  The
+model is fitted to sampled iteration times; because it is convex in P,
+Parallax brackets the minimum by doubling P from an initial guess (the
+number of machines) until time rises, then halving below the initial
+guess until time rises, and finally reads the best P off the fitted curve
+between the sampled extremes -- no extrapolation (section 3.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PartitionCostModel:
+    """Fitted Equation-1 coefficients."""
+
+    theta0: float
+    theta1: float
+    theta2: float
+
+    def predict(self, num_partitions: int) -> float:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        return (self.theta0 + self.theta1 / num_partitions
+                + self.theta2 * num_partitions)
+
+    def best_partitions(self, lo: int, hi: int) -> int:
+        """argmin of the fitted curve over integer P in [lo, hi].
+
+        The unconstrained minimizer is sqrt(theta1/theta2); clamping to the
+        sampled range implements the paper's no-extrapolation rule.
+        """
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        if self.theta2 <= 0:
+            return hi  # no partitioning penalty detected: more is better
+        if self.theta1 <= 0:
+            return lo
+        continuous = math.sqrt(self.theta1 / self.theta2)
+        candidates = {lo, hi, max(lo, min(hi, int(math.floor(continuous)))),
+                      max(lo, min(hi, int(math.ceil(continuous))))}
+        return min(candidates, key=self.predict)
+
+
+def fit_cost_model(samples: List[Tuple[int, float]]) -> PartitionCostModel:
+    """Least-squares fit of Equation 1 to (P, iteration time) samples."""
+    if len(samples) < 3:
+        raise ValueError(
+            f"need at least 3 samples to fit 3 coefficients, got "
+            f"{len(samples)}"
+        )
+    ps = np.array([float(p) for p, _ in samples])
+    ts = np.array([float(t) for _, t in samples])
+    design = np.stack([np.ones_like(ps), 1.0 / ps, ps], axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, ts, rcond=None)
+    return PartitionCostModel(*map(float, coeffs))
+
+
+@dataclass
+class SearchResult:
+    """Outcome of the partition search."""
+
+    best_partitions: int
+    samples: List[Tuple[int, float]]
+    model: Optional[PartitionCostModel]
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.samples)
+
+
+class PartitionSearch:
+    """The doubling/halving bracket search around the convex minimum.
+
+    Args:
+        measure: callback returning the (sampled) iteration time for a
+            given partition count.  On the functional plane this runs real
+            training iterations; on the performance plane it queries the
+            simulator.
+        initial: starting P; the paper uses the number of machines.
+        min_partitions: smallest P that fits in memory (paper Table 5's
+            "Min" column starts here).
+        max_partitions: upper bound (cannot exceed the variable's rows).
+    """
+
+    def __init__(
+        self,
+        measure: Callable[[int], float],
+        initial: int,
+        min_partitions: int = 1,
+        max_partitions: int = 1 << 14,
+    ):
+        if not 1 <= min_partitions <= max_partitions:
+            raise ValueError("require 1 <= min_partitions <= max_partitions")
+        self.measure = measure
+        self.initial = max(min_partitions, min(initial, max_partitions))
+        self.min_partitions = min_partitions
+        self.max_partitions = max_partitions
+        self._cache: Dict[int, float] = {}
+
+    def _time(self, p: int) -> float:
+        if p not in self._cache:
+            self._cache[p] = float(self.measure(p))
+        return self._cache[p]
+
+    def run(self) -> SearchResult:
+        """Bracket, fit, and pick the best partition count."""
+        # Phase 1: double from the initial point until time increases.
+        p = self.initial
+        self._time(p)
+        while p * 2 <= self.max_partitions:
+            if self._time(p * 2) > self._time(p):
+                break
+            p *= 2
+        # Phase 2: halve below the initial point until time increases.
+        p = self.initial
+        while p // 2 >= self.min_partitions and p // 2 > 0:
+            if self._time(p // 2) > self._time(p):
+                break
+            p //= 2
+
+        samples = sorted(self._cache.items())
+        lo, hi = samples[0][0], samples[-1][0]
+        if len(samples) < 3:
+            # Degenerate bracket (tiny search space): pick the best sample.
+            best = min(samples, key=lambda kv: kv[1])[0]
+            return SearchResult(best, samples, None)
+        model = fit_cost_model(samples)
+        best = model.best_partitions(lo, hi)
+        # Guard against a poor fit: never do worse than the best sample.
+        best_sampled, best_sampled_time = min(samples, key=lambda kv: kv[1])
+        if self._time(best) > best_sampled_time:
+            best = best_sampled
+        return SearchResult(best, sorted(self._cache.items()), model)
+
+
+def brute_force_search(
+    measure: Callable[[int], float],
+    min_partitions: int,
+    max_partitions: int,
+    step: int = 2,
+    give_up_ratio: float = 0.9,
+) -> SearchResult:
+    """The paper's brute-force comparison method (section 6.5).
+
+    Starts from the smallest feasible partition count and multiplies by
+    ``step``, stopping when throughput drops below ``give_up_ratio`` of
+    the best seen (the paper stops when it "drops more than 10%").
+    """
+    samples: List[Tuple[int, float]] = []
+    best_time = float("inf")
+    p = min_partitions
+    while p <= max_partitions:
+        t = float(measure(p))
+        samples.append((p, t))
+        best_time = min(best_time, t)
+        if t > best_time / give_up_ratio:
+            break
+        p *= step
+    best = min(samples, key=lambda kv: kv[1])[0]
+    return SearchResult(best, samples, None)

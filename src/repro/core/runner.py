@@ -1,0 +1,270 @@
+"""Functional distributed execution engine.
+
+:class:`DistributedSession` executes a transformed graph with one variable
+store per worker replica plus one for the parameter servers, routing every
+variable read/write by the accessing op's device placement.  It also
+records every cross-machine data movement into a
+:class:`~repro.comm.transcript.Transcript` -- the byte-accounting plane
+the Table 3 experiments check.
+
+:class:`DistributedRunner` drives synchronous data-parallel training: it
+shards the dataset across replicas (the ``parallax.shard`` semantics),
+feeds every replica its own batch, and fetches all replica losses plus the
+train op each iteration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.comm.transcript import Transcript
+from repro.core.transform.plan import GraphSyncPlan
+from repro.core.transform.transform import TransformedGraph, transform_graph
+from repro.graph.graph import Operation
+from repro.graph.session import Session, VariableStore
+from repro.nn.models.common import BuiltModel
+from repro.tensor.dense import nbytes_of
+
+# Collectives record their own ring transfers; the generic edge recorder
+# must not double-count their input edges.
+_SELF_ACCOUNTING = {"allreduce", "allgatherv"}
+
+
+class DistributedSession(Session):
+    """Executes a transformed graph across logical machines and GPUs."""
+
+    def __init__(self, transformed: TransformedGraph, seed: int = 0,
+                 transcript: Optional[Transcript] = None):
+        self.transformed = transformed
+        self.cluster = transformed.cluster
+        self.transcript = transcript if transcript is not None else Transcript()
+        # One store per replica plus one for all servers.  Stores hold the
+        # full variable set; routing decides which copy an op touches.
+        self.ps_store = VariableStore(transformed.graph, seed)
+        self.replica_stores = [
+            VariableStore(transformed.graph, seed)
+            for _ in range(transformed.num_replicas)
+        ]
+        self._seen_edges: set = set()
+        super().__init__(transformed.graph, seed=seed, store=self.ps_store)
+
+    # -- variable routing --------------------------------------------------
+    def _store_for(self, op: Optional[Operation]) -> VariableStore:
+        if op is None or op.device is None or not op.device.is_gpu:
+            return self.ps_store
+        replica = (op.device.machine * self.cluster.gpus_per_machine
+                   + op.device.index)
+        return self.replica_stores[replica]
+
+    def read_variable(self, name: str) -> np.ndarray:
+        return self._store_for(self._current_op).read(name)
+
+    def write_variable(self, name: str, value: np.ndarray) -> None:
+        self._store_for(self._current_op).write(name, value)
+
+    def replica_value(self, replica: int, name: str) -> np.ndarray:
+        return self.replica_stores[replica].read(name)
+
+    def server_value(self, name: str) -> np.ndarray:
+        return self.ps_store.read(name)
+
+    # -- execution ----------------------------------------------------------
+    def run(self, fetches, feed_dict=None):
+        self._seen_edges = set()
+        return super().run(fetches, feed_dict)
+
+    def _before_kernel(self, op: Operation, inputs) -> None:
+        """Record cross-machine edges: each (producer, consumer device)
+        pair is one transfer per iteration (a worker process pulls a value
+        once and reuses it)."""
+        if op.op_type in _SELF_ACCOUNTING or op.device is None:
+            return
+        for tensor, value in zip(op.inputs, inputs):
+            producer = tensor.op
+            if (value is None or producer.device is None
+                    or producer.op_type in _SELF_ACCOUNTING):
+                continue
+            if producer.device.machine == op.device.machine:
+                continue
+            edge = (producer.name, op.device.machine, op.device.device_type,
+                    op.device.index)
+            if edge in self._seen_edges:
+                continue
+            self._seen_edges.add(edge)
+            self.transcript.record(
+                tag=f"edge/{producer.op_type}",
+                src_machine=producer.device.machine,
+                dst_machine=op.device.machine,
+                nbytes=nbytes_of(value),
+            )
+
+
+@dataclass
+class IterationResult:
+    """Outcome of one synchronous training iteration."""
+
+    iteration: int
+    mean_loss: float
+    replica_losses: List[float]
+    wall_time: float
+
+
+class DistributedRunner:
+    """Synchronous data-parallel training over a transformed graph.
+
+    This is what ``parallax.get_runner`` returns: it owns the transformed
+    graph, the distributed session, and the per-replica input shards.
+    """
+
+    def __init__(
+        self,
+        model: BuiltModel,
+        cluster: ClusterSpec,
+        plan: GraphSyncPlan,
+        seed: int = 0,
+        transcript: Optional[Transcript] = None,
+    ):
+        self.model = model
+        self.cluster = cluster
+        self.plan = plan
+        self.transformed = transform_graph(model.graph, model.loss, cluster,
+                                           plan)
+        self.session = DistributedSession(self.transformed, seed=seed,
+                                          transcript=transcript)
+        n = self.transformed.num_replicas
+        self.shards = [model.dataset.shard(n, r) for r in range(n)]
+
+    @property
+    def num_replicas(self) -> int:
+        return self.transformed.num_replicas
+
+    @property
+    def transcript(self) -> Transcript:
+        return self.session.transcript
+
+    def feeds_for(self, iteration: int) -> Dict[str, np.ndarray]:
+        """Per-replica placeholder feeds for one iteration."""
+        feeds: Dict[str, np.ndarray] = {}
+        keys = list(self.model.placeholders.items())
+        for r in range(self.num_replicas):
+            batch = self.shards[r].batch(self.model.batch_size, iteration)
+            if len(batch) != len(keys):
+                raise ValueError(
+                    f"dataset yields {len(batch)} arrays but the model has "
+                    f"{len(keys)} placeholders"
+                )
+            for (_, tensor), array in zip(keys, batch):
+                name = self.transformed.placeholder_names[tensor.name][r]
+                feeds[name] = array
+        return feeds
+
+    def step(self, iteration: int) -> IterationResult:
+        """Run one training iteration.
+
+        Synchronous plans fetch every replica's loss plus the global train
+        op in one execution (all workers see the same variable snapshot).
+        Asynchronous plans step workers one after another: each applies
+        its own gradients before the next worker reads the variables, so
+        later workers see fresher (and earlier iterations' workers see
+        staler) state -- the staleness the paper's section 2.1 discusses.
+        """
+        start = time.perf_counter()
+        if self.transformed.replica_train_ops is None:
+            fetches = list(self.transformed.replica_losses)
+            fetches.append(self.transformed.train_op)
+            results = self.session.run(fetches, self.feeds_for(iteration))
+            losses = [float(v) for v in results[:-1]]
+        else:
+            feeds = self.feeds_for(iteration)
+            losses = []
+            for r in range(self.num_replicas):
+                loss_r, _ = self.session.run(
+                    [self.transformed.replica_losses[r],
+                     self.transformed.replica_train_ops[r]],
+                    feeds,
+                )
+                losses.append(float(loss_r))
+        return IterationResult(
+            iteration=iteration,
+            mean_loss=float(np.mean(losses)),
+            replica_losses=losses,
+            wall_time=time.perf_counter() - start,
+        )
+
+    def run(self, num_iterations: int,
+            start_iteration: int = 0) -> List[IterationResult]:
+        return [
+            self.step(i)
+            for i in range(start_iteration, start_iteration + num_iterations)
+        ]
+
+    # Filled in by get_runner when it drives this runner.
+    partition_search = None
+    config = None
+    default_save_path: Optional[str] = None
+
+    # -- checkpointing ------------------------------------------------------
+    def logical_state(self) -> Dict[str, np.ndarray]:
+        """Deduplicated variable state: PS values plus replica-0 copies.
+
+        Optimizer slot variables are included, so a save/restore round
+        trip resumes training exactly.
+        """
+        state: Dict[str, np.ndarray] = {}
+        for name in self.transformed.graph.variables:
+            if name.startswith("rep"):
+                prefix, _, base = name.partition("/")
+                if prefix == "rep0":
+                    state[base] = self.session.replica_stores[0].read(name)
+                continue
+            state[name] = self.session.ps_store.read(name)
+        return state
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Write all logical variable values to an ``.npz`` checkpoint."""
+        target = path or self.default_save_path
+        if not target:
+            raise ValueError("no checkpoint path given or configured")
+        np.savez(target, **self.logical_state())
+        return target if target.endswith(".npz") else target + ".npz"
+
+    def restore(self, path: str) -> None:
+        """Load a checkpoint into every store (servers and all replicas)."""
+        with np.load(path) as data:
+            values = {name: data[name] for name in data.files}
+        for name in self.transformed.graph.variables:
+            if name.startswith("rep"):
+                prefix, _, base = name.partition("/")
+                if base in values and prefix.startswith("rep"):
+                    replica = int(prefix[3:])
+                    self.session.replica_stores[replica].write(
+                        name, values[base].copy()
+                    )
+                continue
+            if name in values:
+                self.session.ps_store.write(name, values[name].copy())
+
+    # -- inspection helpers (used by tests and examples) -------------------
+    def replica_variable(self, replica: int, original_name: str) -> np.ndarray:
+        """Current value of an AR variable on one replica."""
+        names = self.transformed.replica_variables.get(original_name)
+        if names is None:
+            raise KeyError(f"{original_name!r} is not a replicated variable")
+        return self.session.replica_value(replica, names[replica])
+
+    def server_variable(self, original_name: str) -> np.ndarray:
+        """Current value of a PS variable on its server."""
+        if original_name not in self.transformed.ps_placement:
+            raise KeyError(f"{original_name!r} is not a PS variable")
+        return self.session.server_value(original_name)
+
+    def variable_value(self, original_name: str) -> np.ndarray:
+        """Current logical value of any variable (replica 0 view)."""
+        if original_name in self.transformed.ps_placement:
+            return self.server_variable(original_name)
+        return self.replica_variable(0, original_name)

@@ -1,0 +1,215 @@
+"""Distributed op kernels inserted by the graph transformation.
+
+These ops execute *for real* in the functional plane: ``allreduce`` runs
+the chunked ring algorithm over every replica's gradient, ``global_agg``
+implements the server-side accumulator, ``shard_lookup``/``stitch``
+implement the partitioned embedding read (TF's dynamic_partition /
+per-shard gather / dynamic_stitch pattern the paper's theta2-cost comes
+from).
+
+Collective kernels appear once per replica in the graph (so placement is
+explicit per GPU) but execute the underlying algorithm once per run,
+sharing results through the session's run cache.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.comm.allgatherv import ring_allgatherv
+from repro.comm.allreduce import ring_allreduce
+from repro.graph.gradients import register_custom_grad
+from repro.graph.ops import register_forward
+from repro.tensor.dense import TensorSpec
+from repro.tensor.sparse import IndexedSlices, concat_slices, to_dense
+
+
+def _replica_machines(op, runtime) -> List[int]:
+    """Machine of each collective participant, from the recorded devices."""
+    return [int(m) for m in op.attrs["machines"]]
+
+
+@register_forward("allreduce")
+def _allreduce_fwd(op, inputs, runtime):
+    """Ring AllReduce across replicas; this op returns replica r's copy."""
+    cache = runtime.run_cache.setdefault("collectives", {})
+    key = ("allreduce", op.attrs["group"])
+    if key not in cache:
+        transcript = getattr(runtime, "transcript", None)
+        reduced = ring_allreduce(
+            [np.asarray(v) for v in inputs],
+            machines=_replica_machines(op, runtime),
+            transcript=transcript,
+            tag=f"allreduce/{op.attrs['group']}",
+        )
+        if op.attrs.get("average", False):
+            reduced = [r / np.float32(len(inputs)) for r in reduced]
+        cache[key] = reduced
+    return cache[key][op.attrs["replica"]]
+
+
+@register_forward("allgatherv")
+def _allgatherv_fwd(op, inputs, runtime):
+    """Ring AllGatherv of IndexedSlices; returns replica r's copy."""
+    cache = runtime.run_cache.setdefault("collectives", {})
+    key = ("allgatherv", op.attrs["group"])
+    if key not in cache:
+        transcript = getattr(runtime, "transcript", None)
+        gathered = ring_allgatherv(
+            list(inputs),
+            machines=_replica_machines(op, runtime),
+            transcript=transcript,
+            tag=f"allgatherv/{op.attrs['group']}",
+        )
+        if op.attrs.get("average", False):
+            gathered = [g.scale(1.0 / len(inputs)) for g in gathered]
+        cache[key] = gathered
+    return cache[key][op.attrs["replica"]]
+
+
+@register_forward("densify")
+def _densify_fwd(op, inputs, runtime):
+    """IndexedSlices -> dense array (the sparse-as-dense AR path)."""
+    return to_dense(inputs[0])
+
+
+@register_forward("local_agg")
+def _local_agg_fwd(op, inputs, runtime):
+    """Per-machine aggregation before pushing to servers (paper sec. 4.3).
+
+    Sparse gradients are concatenated and duplicate indices combined --
+    this dedup is exactly the transfer saving local aggregation buys.
+    Dense gradients are summed.
+    """
+    if isinstance(inputs[0], IndexedSlices):
+        return concat_slices(list(inputs)).combine()
+    total = np.array(inputs[0], copy=True)
+    for value in inputs[1:]:
+        total = total + value
+    return total
+
+
+@register_forward("global_agg")
+def _global_agg_fwd(op, inputs, runtime):
+    """Server-side accumulator: aggregates per-machine (or per-worker)
+    contributions for one variable/shard."""
+    if isinstance(inputs[0], IndexedSlices):
+        combined = concat_slices(list(inputs)).combine()
+        if op.attrs.get("average", False):
+            combined = combined.scale(1.0 / op.attrs["num_workers"])
+        return combined
+    total = np.array(inputs[0], copy=True)
+    for value in inputs[1:]:
+        total = total + value
+    if op.attrs.get("average", False):
+        total = total / np.float32(op.attrs["num_workers"])
+    return total
+
+
+@register_forward("shard_lookup")
+def _shard_lookup_fwd(op, inputs, runtime):
+    """Server-side gather of the rows of one shard a batch needs.
+
+    Returns the shard's rows for the ids in ``[lo, hi)``, in order of
+    appearance; only these rows travel to the worker.
+    """
+    shard, ids = inputs
+    lo, hi = op.attrs["lo"], op.attrs["hi"]
+    flat = np.asarray(ids, dtype=np.int64).reshape(-1)
+    mask = (flat >= lo) & (flat < hi)
+    return np.asarray(shard)[flat[mask] - lo]
+
+
+@register_forward("stitch")
+def _stitch_fwd(op, inputs, runtime):
+    """Worker-side dynamic_stitch: reassemble per-shard rows in id order."""
+    ids = np.asarray(inputs[0], dtype=np.int64)
+    rows_per_shard = inputs[1:]
+    offsets = np.asarray(op.attrs["offsets"])
+    flat = ids.reshape(-1)
+    owner = np.searchsorted(offsets, flat, side="right") - 1
+    out = np.empty((flat.size,) + tuple(op.attrs["row_shape"]),
+                   dtype=np.float32)
+    for p, rows in enumerate(rows_per_shard):
+        positions = np.nonzero(owner == p)[0]
+        if positions.size:
+            out[positions] = rows
+    return out.reshape(tuple(ids.shape) + tuple(op.attrs["row_shape"]))
+
+
+# ----------------------------------------------------------------------
+# Custom symbolic gradients.  The generic vjp node would take the full
+# shard tensor as an input, creating a bogus server->worker transfer of
+# the entire variable; these builders produce gradient ops that only read
+# the ids and the upstream gradient.
+# ----------------------------------------------------------------------
+@register_forward("shard_lookup_grad")
+def _shard_lookup_grad_fwd(op, inputs, runtime):
+    """Gradient of shard_lookup w.r.t. its shard: shard-local slices."""
+    ids, upstream = inputs
+    lo, hi = op.attrs["lo"], op.attrs["hi"]
+    flat = np.asarray(ids, dtype=np.int64).reshape(-1)
+    mask = (flat >= lo) & (flat < hi)
+    vals = np.asarray(upstream)
+    return IndexedSlices(vals, flat[mask] - lo,
+                         (hi - lo,) + tuple(op.attrs["row_shape"]))
+
+
+@register_forward("stitch_grad")
+def _stitch_grad_fwd(op, inputs, runtime):
+    """Gradient of stitch w.r.t. one shard's rows input."""
+    ids, upstream = inputs
+    offsets = np.asarray(op.attrs["offsets"])
+    flat = np.asarray(ids, dtype=np.int64).reshape(-1)
+    owner = np.searchsorted(offsets, flat, side="right") - 1
+    positions = np.nonzero(owner == op.attrs["shard"])[0]
+    grad = np.asarray(upstream).reshape(
+        (flat.size,) + tuple(op.attrs["row_shape"])
+    )
+    return grad[positions]
+
+
+@register_custom_grad("shard_lookup")
+def _shard_lookup_grad_builder(graph, op, acc):
+    """Symbolic gradient for shard_lookup: depends on ids + upstream only.
+
+    The resulting op lives on the worker (ambient device scope) and its
+    IndexedSlices output is what flows into local/global aggregation.
+    """
+    ids = op.inputs[1]
+    grad_op = graph.add_op(
+        "shard_lookup_grad",
+        [ids, acc],
+        op.inputs[0].spec,
+        name=f"grad/{op.name}/shard",
+        attrs={
+            "lo": op.attrs["lo"],
+            "hi": op.attrs["hi"],
+            "row_shape": op.attrs["row_shape"],
+            "is_sparse": True,
+        },
+    )
+    return [(0, grad_op.output, True)]
+
+
+@register_custom_grad("stitch")
+def _stitch_grad_builder(graph, op, acc):
+    """Symbolic gradient for stitch: one dense rows-gradient per shard."""
+    ids = op.inputs[0]
+    results = []
+    for p, rows_input in enumerate(op.inputs[1:]):
+        grad_op = graph.add_op(
+            "stitch_grad",
+            [ids, acc],
+            rows_input.spec,
+            name=f"grad/{op.name}/shard{p}",
+            attrs={
+                "shard": p,
+                "offsets": op.attrs["offsets"],
+                "row_shape": op.attrs["row_shape"],
+            },
+        )
+        results.append((p + 1, grad_op.output, False))
+    return results

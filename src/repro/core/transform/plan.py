@@ -1,0 +1,138 @@
+"""Graph-level synchronization plans and variable classification.
+
+The performance plane plans over :class:`~repro.nn.profiles.ModelProfile`
+inventories; the functional plane plans over the variables of an actual
+graph.  This module provides the graph-side plan plus the classification
+step Parallax performs after autodiff: a variable is *sparse* iff its
+gradient tensor is IndexedSlices-typed (paper section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cluster.plan import SyncMethod
+from repro.graph.gradients import grad_tensor_is_sparse
+from repro.graph.graph import Graph
+
+
+def classify_variables(graph: Graph) -> Dict[str, bool]:
+    """Variable name -> is_sparse, from recorded gradient info.
+
+    Requires ``gradients()`` to have run on the graph (it populates
+    ``graph.gradient_info``, the MetaGraphDef extension).  Variables
+    without a recorded gradient (non-trainable, unused) are omitted.
+    """
+    result: Dict[str, bool] = {}
+    for var_name, grad_name in graph.gradient_info.items():
+        grad_op = graph.get_op(grad_name)
+        result[var_name] = grad_tensor_is_sparse(grad_op.output)
+    return result
+
+
+@dataclass(frozen=True)
+class GraphSyncPlan:
+    """Synchronization decisions for the variables of one graph.
+
+    ``average_dense`` / ``average_sparse`` mirror ParallaxConfig's
+    per-type aggregation methods (paper section 4.1: "aggregation methods
+    for each type of variable indicating whether to compute the average
+    ... or to compute the sum instead").
+    """
+
+    name: str
+    methods: Dict[str, SyncMethod]
+    local_aggregation: bool = True
+    smart_placement: bool = True
+    average_dense: bool = True
+    average_sparse: bool = True
+    # Asynchronous PS training (paper section 2.1: "Parallax supports both
+    # synchronous and asynchronous training").  Each worker applies its own
+    # gradients to the servers without waiting for the others; only valid
+    # when every variable uses the PS method (collectives are inherently
+    # synchronous).
+    asynchronous: bool = False
+
+    def __post_init__(self):
+        if self.asynchronous:
+            offenders = [
+                name for name, m in self.methods.items()
+                if m is not SyncMethod.PS
+            ]
+            if offenders:
+                raise ValueError(
+                    "asynchronous training requires the PS method for every "
+                    f"variable; offending: {offenders[:3]}"
+                )
+
+    def average_for(self, is_sparse: bool) -> bool:
+        return self.average_sparse if is_sparse else self.average_dense
+
+    def method_of(self, var_name: str) -> SyncMethod:
+        try:
+            return self.methods[var_name]
+        except KeyError:
+            raise KeyError(
+                f"plan {self.name!r} has no method for variable "
+                f"{var_name!r}"
+            ) from None
+
+    @property
+    def ps_variables(self):
+        return [v for v, m in self.methods.items() if m is SyncMethod.PS]
+
+    @property
+    def has_ps(self) -> bool:
+        return any(m is SyncMethod.PS for m in self.methods.values())
+
+    @property
+    def has_collective(self) -> bool:
+        return any(m is not SyncMethod.PS for m in self.methods.values())
+
+
+def hybrid_graph_plan(graph: Graph, local_aggregation: bool = True,
+                      smart_placement: bool = True,
+                      average_dense: bool = True,
+                      average_sparse: bool = True,
+                      sparse_as_dense: Dict[str, bool] = None) -> GraphSyncPlan:
+    """Parallax's rule: sparse -> PS, dense -> AllReduce (section 3.1).
+
+    ``sparse_as_dense`` optionally names sparse variables whose measured
+    alpha is near 1 and which should be AllReduced despite their sparse
+    gradient type (the section 3.1 refinement).
+    """
+    overrides = sparse_as_dense or {}
+    methods = {}
+    for name, sparse in classify_variables(graph).items():
+        if sparse and not overrides.get(name, False):
+            methods[name] = SyncMethod.PS
+        else:
+            methods[name] = SyncMethod.ALLREDUCE
+    return GraphSyncPlan("parallax", methods, local_aggregation,
+                         smart_placement, average_dense, average_sparse)
+
+
+def ps_graph_plan(graph: Graph, local_aggregation: bool = False,
+                  smart_placement: bool = False,
+                  average_dense: bool = True,
+                  average_sparse: bool = True,
+                  asynchronous: bool = False,
+                  name: str = "ps") -> GraphSyncPlan:
+    """Everything on parameter servers (TF-PS when both flags are off,
+    OptPS when both are on; ``asynchronous=True`` for async SGD)."""
+    methods = {name_: SyncMethod.PS for name_ in classify_variables(graph)}
+    return GraphSyncPlan(name, methods, local_aggregation, smart_placement,
+                         average_dense, average_sparse, asynchronous)
+
+
+def ar_graph_plan(graph: Graph, average_dense: bool = True,
+                  average_sparse: bool = True) -> GraphSyncPlan:
+    """Pure collective plan (Horovod): AllReduce dense, AllGatherv sparse."""
+    methods = {
+        name: SyncMethod.ALLGATHERV if sparse else SyncMethod.ALLREDUCE
+        for name, sparse in classify_variables(graph).items()
+    }
+    return GraphSyncPlan("horovod", methods, local_aggregation=False,
+                         smart_placement=False, average_dense=average_dense,
+                         average_sparse=average_sparse)

@@ -1,0 +1,37 @@
+"""Dataflow graph substrate (a miniature TensorFlow).
+
+Parallax is, at heart, a *graph transformer*: it takes a single-GPU
+dataflow graph, finds the variables and their gradients, and rewrites the
+graph for distributed execution.  This package provides the graph IR that
+makes that a real program transformation rather than a mock:
+
+* :class:`~repro.graph.graph.Graph`, :class:`~repro.graph.graph.Operation`
+  and :class:`~repro.graph.graph.Tensor` -- the static IR with device
+  placement on every op.
+* :mod:`repro.graph.ops` -- op builders plus forward/backward kernel
+  registries.
+* :func:`~repro.graph.gradients.gradients` -- reverse-mode autodiff that
+  adds gradient ops to the graph and records the variable->gradient map
+  (the paper's MetaGraphDef modification, section 5).
+* :class:`~repro.graph.session.Session` -- a single-device executor with a
+  per-session variable store, so replicas can hold independent state.
+"""
+
+from repro.graph.graph import Graph, Operation, Tensor, get_default_graph
+from repro.graph.device import DeviceSpec
+from repro.graph.variables import Variable
+from repro.graph.gradients import gradients
+from repro.graph.session import Session
+from repro.graph import ops
+
+__all__ = [
+    "Graph",
+    "Operation",
+    "Tensor",
+    "get_default_graph",
+    "DeviceSpec",
+    "Variable",
+    "gradients",
+    "Session",
+    "ops",
+]

@@ -1,0 +1,71 @@
+"""Device specifications.
+
+Placement strings follow a simplified TensorFlow convention::
+
+    /machine:<m>/gpu:<g>     a GPU on machine m (worker compute)
+    /machine:<m>/cpu:0       the CPU of machine m (server-side ops)
+
+Every operation in a transformed graph carries one of these; the
+performance plane uses them to decide which NIC and which compute resource
+each op loads.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+_DEVICE_RE = re.compile(r"^/machine:(\d+)/(gpu|cpu):(\d+)$")
+
+
+@dataclass(frozen=True, order=True)
+class DeviceSpec:
+    """A parsed placement target."""
+
+    machine: int
+    device_type: str  # "gpu" or "cpu"
+    index: int
+
+    def __post_init__(self):
+        if self.device_type not in ("gpu", "cpu"):
+            raise ValueError(f"unknown device type {self.device_type!r}")
+        if self.machine < 0 or self.index < 0:
+            raise ValueError("machine and index must be non-negative")
+
+    @classmethod
+    def parse(cls, spec: str) -> "DeviceSpec":
+        match = _DEVICE_RE.match(spec)
+        if match is None:
+            raise ValueError(f"malformed device spec {spec!r}")
+        return cls(
+            machine=int(match.group(1)),
+            device_type=match.group(2),
+            index=int(match.group(3)),
+        )
+
+    @classmethod
+    def gpu(cls, machine: int, index: int) -> "DeviceSpec":
+        return cls(machine=machine, device_type="gpu", index=index)
+
+    @classmethod
+    def cpu(cls, machine: int) -> "DeviceSpec":
+        return cls(machine=machine, device_type="cpu", index=0)
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.device_type == "gpu"
+
+    def __str__(self) -> str:
+        return f"/machine:{self.machine}/{self.device_type}:{self.index}"
+
+
+def canonicalize(device: Optional[object]) -> Optional[DeviceSpec]:
+    """Accept a DeviceSpec, a spec string, or None."""
+    if device is None:
+        return None
+    if isinstance(device, DeviceSpec):
+        return device
+    if isinstance(device, str):
+        return DeviceSpec.parse(device)
+    raise TypeError(f"cannot interpret {device!r} as a device")

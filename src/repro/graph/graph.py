@@ -1,0 +1,261 @@
+"""The static dataflow graph IR: Graph, Operation, Tensor.
+
+The IR is deliberately close to TensorFlow 1.x's:
+
+* a :class:`Graph` owns a set of uniquely-named :class:`Operation` objects;
+* each op has a type, input :class:`Tensor` references, attributes, and a
+  device placement;
+* each op produces exactly one output tensor (composite ops like LSTM are
+  built from primitives, which is also what makes the distributed
+  transformation realistic -- it must cope with deep graphs).
+
+Graphs additionally carry the *gradient info* map (variable name ->
+gradient tensor name) that the paper adds to MetaGraphDef so that Parallax
+can locate the gradient of every variable after autodiff (section 5).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.graph.device import DeviceSpec, canonicalize
+from repro.tensor.dense import TensorSpec
+
+_thread_local = threading.local()
+
+
+def _graph_stack() -> List["Graph"]:
+    if not hasattr(_thread_local, "stack"):
+        _thread_local.stack = []
+    return _thread_local.stack
+
+
+def get_default_graph() -> "Graph":
+    """The innermost graph made default via ``with graph.as_default():``.
+
+    A process-wide fallback graph is created lazily so small scripts and
+    tests can build ops without any ceremony.
+    """
+    stack = _graph_stack()
+    if stack:
+        return stack[-1]
+    if not hasattr(_thread_local, "fallback"):
+        _thread_local.fallback = Graph()
+    return _thread_local.fallback
+
+
+class Tensor:
+    """A symbolic handle to the output of an operation."""
+
+    def __init__(self, op: "Operation", spec: TensorSpec):
+        self.op = op
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return self.op.name
+
+    @property
+    def graph(self) -> "Graph":
+        return self.op.graph
+
+    @property
+    def shape(self):
+        return self.spec.shape
+
+    @property
+    def dtype(self) -> str:
+        return self.spec.dtype
+
+    def __repr__(self) -> str:
+        return f"<Tensor {self.name!r} {self.op.op_type} shape={self.spec.shape}>"
+
+
+class Operation:
+    """A node in the dataflow graph.
+
+    Attributes:
+        name: unique within the graph.
+        op_type: kernel key, e.g. ``"matmul"``; dispatched by the executor.
+        inputs: data inputs (tensors whose values feed the kernel).
+        control_inputs: ops that must run first but contribute no value.
+        attrs: static attributes (axis, shape, variable name, ...).
+        device: optional :class:`DeviceSpec` placement.
+    """
+
+    def __init__(
+        self,
+        graph: "Graph",
+        name: str,
+        op_type: str,
+        inputs: Sequence[Tensor],
+        spec: TensorSpec,
+        attrs: Optional[dict] = None,
+        device: Optional[DeviceSpec] = None,
+    ):
+        self.graph = graph
+        self.name = name
+        self.op_type = op_type
+        self.inputs: List[Tensor] = list(inputs)
+        self.control_inputs: List["Operation"] = []
+        self.attrs: dict = dict(attrs or {})
+        self.device: Optional[DeviceSpec] = device
+        self.output = Tensor(self, spec)
+
+    def add_control_input(self, op: "Operation") -> None:
+        if op.graph is not self.graph:
+            raise ValueError("control input must belong to the same graph")
+        if op is not self and op not in self.control_inputs:
+            self.control_inputs.append(op)
+
+    def __repr__(self) -> str:
+        dev = f" on {self.device}" if self.device else ""
+        return f"<Operation {self.name!r} type={self.op_type}{dev}>"
+
+
+class Graph:
+    """A container of operations plus training metadata."""
+
+    def __init__(self):
+        self._ops: Dict[str, Operation] = {}
+        self._name_counts: Dict[str, int] = {}
+        self._device_stack: List[DeviceSpec] = []
+        # variable name -> Variable object (populated by repro.graph.variables)
+        self.variables: Dict[str, object] = {}
+        # variable name -> gradient tensor name; the MetaGraphDef extension
+        # from paper section 5 ("modified MetaGraphDef enables Parallax to
+        # track exact mapping between model variables and their gradients").
+        self.gradient_info: Dict[str, str] = {}
+        # arbitrary metadata used by transforms (e.g. partitioner groups)
+        self.collections: Dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Default-graph / device scoping
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def as_default(self):
+        _graph_stack().append(self)
+        try:
+            yield self
+        finally:
+            _graph_stack().pop()
+
+    @contextlib.contextmanager
+    def device(self, spec):
+        """Place ops created in this scope on *spec* (innermost wins)."""
+        self._device_stack.append(canonicalize(spec))
+        try:
+            yield
+        finally:
+            self._device_stack.pop()
+
+    def current_device(self) -> Optional[DeviceSpec]:
+        return self._device_stack[-1] if self._device_stack else None
+
+    # ------------------------------------------------------------------
+    # Op management
+    # ------------------------------------------------------------------
+    def unique_name(self, base: str) -> str:
+        count = self._name_counts.get(base, 0)
+        self._name_counts[base] = count + 1
+        return base if count == 0 else f"{base}_{count}"
+
+    def add_op(
+        self,
+        op_type: str,
+        inputs: Sequence[Tensor],
+        spec: TensorSpec,
+        name: Optional[str] = None,
+        attrs: Optional[dict] = None,
+        device=None,
+    ) -> Operation:
+        for tensor in inputs:
+            if tensor.graph is not self:
+                raise ValueError(
+                    f"input {tensor.name!r} belongs to a different graph"
+                )
+        name = self.unique_name(name or op_type)
+        if name in self._ops:
+            raise ValueError(f"duplicate op name {name!r}")
+        placement = canonicalize(device) if device is not None else self.current_device()
+        op = Operation(self, name, op_type, inputs, spec, attrs, placement)
+        self._ops[name] = op
+        return op
+
+    def get_op(self, name: str) -> Operation:
+        try:
+            return self._ops[name]
+        except KeyError:
+            raise KeyError(f"no op named {name!r} in graph") from None
+
+    def has_op(self, name: str) -> bool:
+        return name in self._ops
+
+    @property
+    def operations(self) -> List[Operation]:
+        return list(self._ops.values())
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    # ------------------------------------------------------------------
+    # Collections (named op lists, used by the partitioner API)
+    # ------------------------------------------------------------------
+    def add_to_collection(self, key: str, value) -> None:
+        self.collections.setdefault(key, []).append(value)
+
+    def get_collection(self, key: str) -> list:
+        return list(self.collections.get(key, []))
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def ancestors(self, ops: Iterable[Operation]) -> Set[Operation]:
+        """All transitive predecessors of *ops* (data + control edges).
+
+        Parallax uses this to identify the "main computation" subgraph:
+        every ancestor of the gradient ops (paper section 4.3).
+        """
+        seen: Set[Operation] = set()
+        stack = list(ops)
+        while stack:
+            op = stack.pop()
+            if op in seen:
+                continue
+            seen.add(op)
+            stack.extend(t.op for t in op.inputs)
+            stack.extend(op.control_inputs)
+        return seen
+
+    def topo_sort(self, targets: Iterable[Operation]) -> List[Operation]:
+        """Dependency-ordered list of every op needed to run *targets*."""
+        order: List[Operation] = []
+        state: Dict[Operation, int] = {}  # 1 = visiting, 2 = done
+
+        def visit(op: Operation):
+            status = state.get(op)
+            if status == 2:
+                return
+            if status == 1:
+                raise ValueError(f"cycle detected through op {op.name!r}")
+            state[op] = 1
+            for tensor in op.inputs:
+                visit(tensor.op)
+            for ctrl in op.control_inputs:
+                visit(ctrl)
+            state[op] = 2
+            order.append(op)
+
+        for target in targets:
+            visit(target)
+        return order
+
+    def consumers(self, op: Operation) -> List[Operation]:
+        """Ops that read *op*'s output (linear scan; graphs are small)."""
+        return [
+            other
+            for other in self._ops.values()
+            if any(t.op is op for t in other.inputs)
+        ]

@@ -1,0 +1,481 @@
+"""Op builders and kernel registries.
+
+Each op type has up to three pieces:
+
+* a **builder** (public function below) that adds the op to the default
+  graph with shape inference;
+* a **forward kernel** registered in :data:`FORWARD`, called by the
+  executor with the op and its input values;
+* a **VJP rule** registered in :data:`VJP`, called by autodiff with the
+  upstream gradient; it returns one gradient (or ``None``) per input.
+
+Other packages (the distributed transforms, the PS runtime) register
+additional op types through :func:`register_forward`, keeping the executor
+open for extension without modification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.graph import Graph, Operation, Tensor, get_default_graph
+from repro.tensor import math as k
+from repro.tensor.dense import TensorSpec, as_array
+from repro.tensor.sparse import IndexedSlices
+
+FORWARD: Dict[str, Callable] = {}
+VJP: Dict[str, Callable] = {}
+
+
+def register_forward(op_type: str):
+    def deco(fn):
+        if op_type in FORWARD:
+            raise ValueError(f"forward kernel for {op_type!r} already registered")
+        FORWARD[op_type] = fn
+        return fn
+
+    return deco
+
+
+def register_vjp(op_type: str):
+    def deco(fn):
+        if op_type in VJP:
+            raise ValueError(f"VJP for {op_type!r} already registered")
+        VJP[op_type] = fn
+        return fn
+
+    return deco
+
+
+def _graph(graph: Optional[Graph]) -> Graph:
+    return graph if graph is not None else get_default_graph()
+
+
+# ======================================================================
+# Leaf ops
+# ======================================================================
+def placeholder(shape, dtype="float32", name="placeholder", graph=None) -> Tensor:
+    g = _graph(graph)
+    op = g.add_op("placeholder", [], TensorSpec(tuple(shape), dtype), name=name)
+    return op.output
+
+
+@register_forward("placeholder")
+def _placeholder_fwd(op, inputs, runtime):
+    raise RuntimeError(
+        f"placeholder {op.name!r} was not fed; pass it in feed_dict"
+    )
+
+
+def constant(value, name="constant", graph=None) -> Tensor:
+    g = _graph(graph)
+    arr = as_array(value)
+    op = g.add_op(
+        "constant", [], TensorSpec.of(arr), name=name, attrs={"value": arr}
+    )
+    return op.output
+
+
+@register_forward("constant")
+def _constant_fwd(op, inputs, runtime):
+    return op.attrs["value"]
+
+
+@register_forward("read_var")
+def _read_var_fwd(op, inputs, runtime):
+    return runtime.read_variable(op.attrs["variable"])
+
+
+# read_var's "gradient" is simply the upstream gradient; autodiff stops
+# there and records it as the variable's gradient.
+@register_vjp("read_var")
+def _read_var_vjp(op, inputs, output, grad):
+    return []
+
+
+def identity(x: Tensor, name="identity", graph=None) -> Tensor:
+    g = _graph(graph)
+    return g.add_op("identity", [x], x.spec, name=name).output
+
+
+@register_forward("identity")
+def _identity_fwd(op, inputs, runtime):
+    return inputs[0]
+
+
+@register_vjp("identity")
+def _identity_vjp(op, inputs, output, grad):
+    return [grad]
+
+
+# ======================================================================
+# Linear algebra / elementwise
+# ======================================================================
+def matmul(a: Tensor, b: Tensor, name="matmul", graph=None) -> Tensor:
+    g = _graph(graph)
+    if a.spec.shape[-1] != b.spec.shape[0]:
+        raise ValueError(
+            f"matmul shape mismatch: {a.spec.shape} @ {b.spec.shape}"
+        )
+    spec = TensorSpec(a.spec.shape[:-1] + (b.spec.shape[-1],), a.dtype)
+    return g.add_op("matmul", [a, b], spec, name=name).output
+
+
+@register_forward("matmul")
+def _matmul_fwd(op, inputs, runtime):
+    return k.matmul(inputs[0], inputs[1])
+
+
+@register_vjp("matmul")
+def _matmul_vjp(op, inputs, output, grad):
+    da, db = k.matmul_grad(inputs[0], inputs[1], grad)
+    return [da, db]
+
+
+def add(a: Tensor, b: Tensor, name="add", graph=None) -> Tensor:
+    g = _graph(graph)
+    if a.spec.shape != b.spec.shape:
+        raise ValueError(f"add shape mismatch: {a.spec.shape} vs {b.spec.shape}")
+    return g.add_op("add", [a, b], a.spec, name=name).output
+
+
+@register_forward("add")
+def _add_fwd(op, inputs, runtime):
+    return inputs[0] + inputs[1]
+
+
+@register_vjp("add")
+def _add_vjp(op, inputs, output, grad):
+    return [grad, grad]
+
+
+def mul(a: Tensor, b: Tensor, name="mul", graph=None) -> Tensor:
+    g = _graph(graph)
+    if a.spec.shape != b.spec.shape:
+        raise ValueError(f"mul shape mismatch: {a.spec.shape} vs {b.spec.shape}")
+    return g.add_op("mul", [a, b], a.spec, name=name).output
+
+
+@register_forward("mul")
+def _mul_fwd(op, inputs, runtime):
+    return inputs[0] * inputs[1]
+
+
+@register_vjp("mul")
+def _mul_vjp(op, inputs, output, grad):
+    return [grad * inputs[1], grad * inputs[0]]
+
+
+def scale(x: Tensor, factor: float, name="scale", graph=None) -> Tensor:
+    g = _graph(graph)
+    return g.add_op(
+        "scale", [x], x.spec, name=name, attrs={"factor": float(factor)}
+    ).output
+
+
+@register_forward("scale")
+def _scale_fwd(op, inputs, runtime):
+    value = inputs[0]
+    if isinstance(value, IndexedSlices):
+        return value.scale(op.attrs["factor"])
+    return value * op.attrs["factor"]
+
+
+@register_vjp("scale")
+def _scale_vjp(op, inputs, output, grad):
+    return [grad * op.attrs["factor"]]
+
+
+def add_bias(x: Tensor, b: Tensor, name="add_bias", graph=None) -> Tensor:
+    g = _graph(graph)
+    if b.spec.shape != (x.spec.shape[-1],):
+        raise ValueError(
+            f"bias shape {b.spec.shape} incompatible with input {x.spec.shape}"
+        )
+    return g.add_op("add_bias", [x, b], x.spec, name=name).output
+
+
+@register_forward("add_bias")
+def _add_bias_fwd(op, inputs, runtime):
+    return k.add_bias(inputs[0], inputs[1])
+
+
+@register_vjp("add_bias")
+def _add_bias_vjp(op, inputs, output, grad):
+    dx, db = k.add_bias_grad(grad)
+    return [dx, db]
+
+
+def relu(x: Tensor, name="relu", graph=None) -> Tensor:
+    g = _graph(graph)
+    return g.add_op("relu", [x], x.spec, name=name).output
+
+
+@register_forward("relu")
+def _relu_fwd(op, inputs, runtime):
+    return k.relu(inputs[0])
+
+
+@register_vjp("relu")
+def _relu_vjp(op, inputs, output, grad):
+    return [k.relu_grad(inputs[0], grad)]
+
+
+def tanh(x: Tensor, name="tanh", graph=None) -> Tensor:
+    g = _graph(graph)
+    return g.add_op("tanh", [x], x.spec, name=name).output
+
+
+@register_forward("tanh")
+def _tanh_fwd(op, inputs, runtime):
+    return k.tanh(inputs[0])
+
+
+@register_vjp("tanh")
+def _tanh_vjp(op, inputs, output, grad):
+    return [k.tanh_grad(output, grad)]
+
+
+def sigmoid(x: Tensor, name="sigmoid", graph=None) -> Tensor:
+    g = _graph(graph)
+    return g.add_op("sigmoid", [x], x.spec, name=name).output
+
+
+@register_forward("sigmoid")
+def _sigmoid_fwd(op, inputs, runtime):
+    return k.sigmoid(inputs[0])
+
+
+@register_vjp("sigmoid")
+def _sigmoid_vjp(op, inputs, output, grad):
+    return [k.sigmoid_grad(output, grad)]
+
+
+# ======================================================================
+# Shape ops
+# ======================================================================
+def reshape(x: Tensor, shape, name="reshape", graph=None) -> Tensor:
+    g = _graph(graph)
+    shape = tuple(int(d) for d in shape)
+    known = [d for d in shape if d != -1]
+    if shape.count(-1) > 1:
+        raise ValueError("reshape allows at most one -1 dim")
+    if shape.count(-1) == 1:
+        rest = int(np.prod(known)) if known else 1
+        if rest == 0 or x.spec.num_elements % rest != 0:
+            raise ValueError(f"cannot reshape {x.spec.shape} to {shape}")
+        shape = tuple(
+            x.spec.num_elements // rest if d == -1 else d for d in shape
+        )
+    if int(np.prod(shape)) != x.spec.num_elements:
+        raise ValueError(f"cannot reshape {x.spec.shape} to {shape}")
+    spec = TensorSpec(shape, x.dtype)
+    return g.add_op(
+        "reshape", [x], spec, name=name, attrs={"shape": shape}
+    ).output
+
+
+@register_forward("reshape")
+def _reshape_fwd(op, inputs, runtime):
+    return np.reshape(inputs[0], op.attrs["shape"])
+
+
+@register_vjp("reshape")
+def _reshape_vjp(op, inputs, output, grad):
+    return [np.reshape(grad, np.asarray(inputs[0]).shape)]
+
+
+def concat(tensors: Sequence[Tensor], axis: int, name="concat", graph=None) -> Tensor:
+    g = _graph(graph)
+    if not tensors:
+        raise ValueError("concat needs at least one tensor")
+    base = tensors[0].spec
+    axis = axis if axis >= 0 else base.rank + axis
+    total = 0
+    for t in tensors:
+        if t.spec.rank != base.rank:
+            raise ValueError("concat inputs must share rank")
+        for d in range(base.rank):
+            if d != axis and t.spec.shape[d] != base.shape[d]:
+                raise ValueError(
+                    f"concat mismatch on dim {d}: {t.spec.shape} vs {base.shape}"
+                )
+        total += t.spec.shape[axis]
+    shape = base.shape[:axis] + (total,) + base.shape[axis + 1:]
+    spec = TensorSpec(shape, base.dtype)
+    return g.add_op(
+        "concat", list(tensors), spec, name=name, attrs={"axis": axis}
+    ).output
+
+
+@register_forward("concat")
+def _concat_fwd(op, inputs, runtime):
+    return np.concatenate(inputs, axis=op.attrs["axis"])
+
+
+@register_vjp("concat")
+def _concat_vjp(op, inputs, output, grad):
+    axis = op.attrs["axis"]
+    sizes = [np.asarray(x).shape[axis] for x in inputs]
+    splits = np.cumsum(sizes)[:-1]
+    return list(np.split(grad, splits, axis=axis))
+
+
+def slice_axis(x: Tensor, lo: int, hi: int, axis: int = -1,
+               name="slice", graph=None) -> Tensor:
+    """Contiguous slice ``[lo, hi)`` along *axis* (static bounds)."""
+    g = _graph(graph)
+    axis = axis if axis >= 0 else x.spec.rank + axis
+    if not (0 <= lo <= hi <= x.spec.shape[axis]):
+        raise ValueError(
+            f"slice [{lo},{hi}) out of range for dim {x.spec.shape[axis]}"
+        )
+    shape = x.spec.shape[:axis] + (hi - lo,) + x.spec.shape[axis + 1:]
+    spec = TensorSpec(shape, x.dtype)
+    return g.add_op(
+        "slice", [x], spec, name=name, attrs={"lo": lo, "hi": hi, "axis": axis}
+    ).output
+
+
+@register_forward("slice")
+def _slice_fwd(op, inputs, runtime):
+    sl = [slice(None)] * np.asarray(inputs[0]).ndim
+    sl[op.attrs["axis"]] = slice(op.attrs["lo"], op.attrs["hi"])
+    return np.asarray(inputs[0])[tuple(sl)]
+
+
+@register_vjp("slice")
+def _slice_vjp(op, inputs, output, grad):
+    full = np.zeros_like(np.asarray(inputs[0]))
+    sl = [slice(None)] * full.ndim
+    sl[op.attrs["axis"]] = slice(op.attrs["lo"], op.attrs["hi"])
+    full[tuple(sl)] = grad
+    return [full]
+
+
+# ======================================================================
+# Sparse access
+# ======================================================================
+def gather(params: Tensor, indices: Tensor, name="gather", graph=None) -> Tensor:
+    """Row lookup; its VJP yields an :class:`IndexedSlices`.
+
+    When ``params`` is a variable read, the sparse gradient type flows back
+    to the variable, which is how Parallax classifies it as sparse.
+    """
+    g = _graph(graph)
+    if not params.spec.rank:
+        raise ValueError("gather params must have rank >= 1")
+    spec = TensorSpec(indices.spec.shape + params.spec.shape[1:], params.dtype)
+    return g.add_op("gather", [params, indices], spec, name=name).output
+
+
+@register_forward("gather")
+def _gather_fwd(op, inputs, runtime):
+    return k.gather(inputs[0], inputs[1])
+
+
+@register_vjp("gather")
+def _gather_vjp(op, inputs, output, grad):
+    params, indices = inputs
+    return [k.gather_grad(np.asarray(params).shape, indices, grad), None]
+
+
+# ======================================================================
+# Losses / reductions
+# ======================================================================
+def mean(x: Tensor, name="mean", graph=None) -> Tensor:
+    g = _graph(graph)
+    return g.add_op("mean", [x], TensorSpec((), x.dtype), name=name).output
+
+
+@register_forward("mean")
+def _mean_fwd(op, inputs, runtime):
+    return np.float32(k.mean_all(inputs[0]))
+
+
+@register_vjp("mean")
+def _mean_vjp(op, inputs, output, grad):
+    return [k.mean_all_grad(np.asarray(inputs[0]).shape, float(grad))]
+
+
+def softmax_xent(logits: Tensor, labels: Tensor, name="softmax_xent",
+                 graph=None) -> Tensor:
+    g = _graph(graph)
+    if logits.spec.rank != 2:
+        raise ValueError("softmax_xent expects rank-2 logits")
+    return g.add_op(
+        "softmax_xent", [logits, labels], TensorSpec((), logits.dtype), name=name
+    ).output
+
+
+@register_forward("softmax_xent")
+def _softmax_xent_fwd(op, inputs, runtime):
+    return np.float32(k.softmax_xent(inputs[0], inputs[1]))
+
+
+@register_vjp("softmax_xent")
+def _softmax_xent_vjp(op, inputs, output, grad):
+    return [k.softmax_xent_grad(inputs[0], inputs[1]) * float(grad), None]
+
+
+def mse_loss(pred: Tensor, target: Tensor, name="mse", graph=None) -> Tensor:
+    g = _graph(graph)
+    return g.add_op("mse", [pred, target], TensorSpec((), pred.dtype), name=name).output
+
+
+@register_forward("mse")
+def _mse_fwd(op, inputs, runtime):
+    return np.float32(k.mse(inputs[0], inputs[1]))
+
+
+@register_vjp("mse")
+def _mse_vjp(op, inputs, output, grad):
+    return [k.mse_grad(inputs[0], inputs[1]) * float(grad), None]
+
+
+# ======================================================================
+# Control / state ops (executed for effect; used by optimizers and the
+# distributed transforms)
+# ======================================================================
+def group(ops_or_tensors: Sequence, name="group", graph=None) -> Tensor:
+    """Run every input; produce nothing (a train_op is usually a group)."""
+    g = _graph(graph)
+    tensors: List[Tensor] = []
+    for item in ops_or_tensors:
+        tensors.append(item if isinstance(item, Tensor) else item.output)
+    op = g.add_op("group", tensors, TensorSpec(()), name=name)
+    return op.output
+
+
+@register_forward("group")
+def _group_fwd(op, inputs, runtime):
+    return None
+
+
+@register_forward("assign")
+def _assign_fwd(op, inputs, runtime):
+    runtime.write_variable(op.attrs["variable"], np.array(inputs[0]))
+    return None
+
+
+@register_forward("assign_sub")
+def _assign_sub_fwd(op, inputs, runtime):
+    name = op.attrs["variable"]
+    runtime.write_variable(name, runtime.read_variable(name) - inputs[0])
+    return None
+
+
+@register_forward("scatter_sub")
+def _scatter_sub_fwd(op, inputs, runtime):
+    name = op.attrs["variable"]
+    delta = inputs[0]
+    if not isinstance(delta, IndexedSlices):
+        raise TypeError(
+            f"scatter_sub on {name!r} expects IndexedSlices, got {type(delta)}"
+        )
+    current = runtime.read_variable(name)
+    k.scatter_sub(current, delta)
+    runtime.write_variable(name, current)
+    return None

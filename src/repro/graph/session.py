@@ -1,0 +1,160 @@
+"""Single-device graph executor with a private variable store.
+
+The Session owns variable state, not the graph: the distributed layers
+create one logical store per worker replica (AR) or per server (PS), all
+executing the *same* transformed graph.  Execution is a memoized
+topological walk, so forward activations computed for the loss are reused
+by the ``vjp`` gradient ops within a run.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.graph.graph import Graph, Operation, Tensor
+from repro.graph import ops as ops_mod
+from repro.tensor.dense import as_array
+
+_REPLICA_PREFIX = re.compile(r"^rep\d+/")
+
+
+def variable_rng(name: str, seed: int) -> np.random.Generator:
+    """Deterministic per-variable generator, replica-prefix invariant.
+
+    Seeding each variable from its *base* name (with any ``rep<k>/``
+    replica prefix stripped) guarantees two properties the distributed
+    engine depends on: every AllReduce replica of a variable starts from
+    identical values, and a transformed graph starts from exactly the
+    state a single-GPU run with the same seed would -- the basis of the
+    bit-equivalence tests.
+    """
+    base = _REPLICA_PREFIX.sub("", name)
+    return np.random.default_rng((seed, zlib.crc32(base.encode())))
+
+
+class VariableStore:
+    """Mutable mapping of variable name -> ndarray, with seeded init."""
+
+    def __init__(self, graph: Graph, seed: int = 0,
+                 names: Optional[Iterable[str]] = None):
+        self.graph = graph
+        self.seed = seed
+        self._values: Dict[str, np.ndarray] = {}
+        wanted = set(names) if names is not None else None
+        for name, var in graph.variables.items():
+            if wanted is not None and name not in wanted:
+                continue
+            self._values[name] = var.initial_value(variable_rng(name, seed))
+
+    def read(self, name: str) -> np.ndarray:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise KeyError(f"variable {name!r} has no value in this store") from None
+
+    def write(self, name: str, value: np.ndarray) -> None:
+        if name not in self._values:
+            raise KeyError(f"variable {name!r} was never initialized")
+        expected = self._values[name].shape
+        value = np.asarray(value)
+        if value.shape != expected:
+            raise ValueError(
+                f"assigning shape {value.shape} to variable {name!r} of shape "
+                f"{expected}"
+            )
+        self._values[name] = value
+
+    def names(self) -> List[str]:
+        return list(self._values)
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        return {name: value.copy() for name, value in self._values.items()}
+
+    def load(self, snapshot: Dict[str, np.ndarray]) -> None:
+        for name, value in snapshot.items():
+            self.write(name, value.copy())
+
+
+Fetch = Union[Tensor, Operation, str]
+
+
+class Session:
+    """Executes fetches against a graph, holding variable state.
+
+    A custom ``store`` may be injected so several sessions share state, or
+    so a distributed runtime routes variable reads elsewhere.
+    """
+
+    def __init__(self, graph: Graph, seed: int = 0,
+                 store: Optional[VariableStore] = None):
+        self.graph = graph
+        self.store = store if store is not None else VariableStore(graph, seed)
+        # Scratch space cleared at the start of each run; kernels (e.g. the
+        # shared-VJP cache) may stash per-run data here.
+        self.run_cache: Dict[str, dict] = {}
+
+    # -- variable access used by kernels --------------------------------
+    def read_variable(self, name: str) -> np.ndarray:
+        return self.store.read(name)
+
+    def write_variable(self, name: str, value: np.ndarray) -> None:
+        self.store.write(name, value)
+
+    # -- execution -------------------------------------------------------
+    def _resolve(self, fetch: Fetch) -> Operation:
+        if isinstance(fetch, Tensor):
+            return fetch.op
+        if isinstance(fetch, Operation):
+            return fetch
+        if isinstance(fetch, str):
+            return self.graph.get_op(fetch)
+        raise TypeError(f"cannot fetch {fetch!r}")
+
+    def run(self, fetches: Union[Fetch, Sequence[Fetch]],
+            feed_dict: Optional[dict] = None):
+        """Evaluate *fetches*; returns one value or a list matching input.
+
+        ``feed_dict`` maps placeholder tensors (or names) to values; any op
+        output may be overridden the same way, which the tests use to probe
+        intermediate behaviour.
+        """
+        single = not isinstance(fetches, (list, tuple))
+        fetch_list = [fetches] if single else list(fetches)
+        targets = [self._resolve(f) for f in fetch_list]
+
+        feeds: Dict[str, np.ndarray] = {}
+        for key, value in (feed_dict or {}).items():
+            name = key.name if isinstance(key, Tensor) else str(key)
+            feeds[name] = value if isinstance(value, np.ndarray) else as_array(value)
+
+        self.run_cache = {}
+        memo: Dict[str, object] = {}
+        for op in self.graph.topo_sort(targets):
+            if op.name in feeds:
+                memo[op.name] = feeds[op.name]
+                continue
+            kernel = ops_mod.FORWARD.get(op.op_type)
+            if kernel is None:
+                raise NotImplementedError(
+                    f"no kernel registered for op type {op.op_type!r} "
+                    f"(op {op.name!r})"
+                )
+            inputs = [memo[t.name] for t in op.inputs]
+            self._current_op = op
+            self._before_kernel(op, inputs)
+            memo[op.name] = kernel(op, inputs, self)
+        self._current_op = None
+
+        results = [memo[op.name] for op in targets]
+        return results[0] if single else results
+
+    # Subclass hooks -----------------------------------------------------
+    _current_op: Optional[Operation] = None
+
+    def _before_kernel(self, op: Operation, inputs) -> None:
+        """Called before each kernel; distributed sessions record
+        cross-machine data movement here."""

@@ -1,0 +1,281 @@
+"""Variables and partitioned variables.
+
+A :class:`Variable` is graph metadata plus a ``read_var`` op; its *state*
+lives in whatever session executes the graph, so different replicas (or
+parameter servers) can hold independent copies -- the property the
+distributed transformation relies on.
+
+A :class:`PartitionedVariable` models TF's variable partitioning: ``P``
+row-range shards, each an independent Variable, with a fused
+``part_gather`` op that routes lookups to shards and produces one
+IndexedSlices gradient *per shard* (so each partition gets its own
+aggregation and update op, paper section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph.graph import Graph, Tensor, get_default_graph
+from repro.graph.ops import register_forward
+from repro.tensor.dense import TensorSpec, as_array
+from repro.tensor.sparse import IndexedSlices
+
+Initializer = Callable[[Tuple[int, ...], np.random.Generator], np.ndarray]
+
+
+def zeros_initializer(shape, rng) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def normal_initializer(stddev: float = 0.05) -> Initializer:
+    def init(shape, rng):
+        return (rng.standard_normal(shape) * stddev).astype(np.float32)
+
+    return init
+
+
+def glorot_initializer() -> Initializer:
+    def init(shape, rng):
+        fan_in = shape[0] if shape else 1
+        fan_out = shape[-1] if shape else 1
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+    return init
+
+
+class Variable:
+    """A named, trainable (by default) tensor with graph-level identity."""
+
+    def __init__(
+        self,
+        name: str,
+        shape: Sequence[int],
+        initializer: Union[Initializer, np.ndarray, None] = None,
+        trainable: bool = True,
+        dtype: str = "float32",
+        graph: Optional[Graph] = None,
+        device=None,
+    ):
+        g = graph if graph is not None else get_default_graph()
+        self.graph = g
+        self.spec = TensorSpec(tuple(shape), dtype)
+        if isinstance(initializer, np.ndarray):
+            frozen = as_array(initializer)
+            if frozen.shape != self.spec.shape:
+                raise ValueError(
+                    f"initializer shape {frozen.shape} != variable shape "
+                    f"{self.spec.shape}"
+                )
+            self.initializer: Initializer = lambda shape, rng: frozen.copy()
+        else:
+            self.initializer = initializer or glorot_initializer()
+        self.trainable = trainable
+        read_op = g.add_op(
+            "read_var",
+            [],
+            self.spec,
+            name=name,
+            attrs={},
+            device=device,
+        )
+        # The variable's canonical name is its (uniquified) read op name.
+        self.name = read_op.name
+        read_op.attrs["variable"] = self.name
+        self._read_op = read_op
+        g.variables[self.name] = self
+
+    @property
+    def tensor(self) -> Tensor:
+        """The symbolic value of this variable (output of its read op)."""
+        return self._read_op.output
+
+    @property
+    def read_op(self):
+        return self._read_op
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.spec.shape
+
+    @property
+    def num_elements(self) -> int:
+        return self.spec.num_elements
+
+    @property
+    def nbytes(self) -> int:
+        return self.spec.nbytes
+
+    def initial_value(self, rng: np.random.Generator) -> np.ndarray:
+        value = self.initializer(self.spec.shape, rng)
+        return as_array(value)
+
+    def __repr__(self) -> str:
+        return f"<Variable {self.name!r} shape={self.spec.shape}>"
+
+
+def get_variable(name, shape, initializer=None, trainable=True,
+                 graph=None, device=None) -> Variable:
+    """TF-style convenience constructor (used throughout the model zoo)."""
+    return Variable(
+        name, shape, initializer=initializer, trainable=trainable,
+        graph=graph, device=device,
+    )
+
+
+class PartitionedVariable:
+    """A large variable split into ``P`` contiguous row-range shards."""
+
+    def __init__(
+        self,
+        name: str,
+        shape: Sequence[int],
+        num_partitions: int,
+        initializer: Union[Initializer, np.ndarray, None] = None,
+        graph: Optional[Graph] = None,
+    ):
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        shape = tuple(int(d) for d in shape)
+        if not shape:
+            raise ValueError("cannot partition a scalar variable")
+        if num_partitions > shape[0]:
+            raise ValueError(
+                f"cannot split {shape[0]} rows into {num_partitions} partitions"
+            )
+        g = graph if graph is not None else get_default_graph()
+        self.graph = g
+        self.name = name
+        self.full_shape = shape
+        self.num_partitions = int(num_partitions)
+        self.offsets = partition_offsets(shape[0], num_partitions)
+
+        if isinstance(initializer, np.ndarray):
+            full = as_array(initializer)
+            if full.shape != shape:
+                raise ValueError("initializer shape mismatch")
+        else:
+            full = None
+        base_init = initializer if full is None else None
+
+        self.partitions: List[Variable] = []
+        for p in range(self.num_partitions):
+            lo, hi = self.offsets[p], self.offsets[p + 1]
+            if full is not None:
+                init: Union[Initializer, np.ndarray, None] = full[lo:hi].copy()
+            else:
+                init = base_init
+            shard = Variable(
+                f"{name}/part_{p}",
+                (hi - lo,) + shape[1:],
+                initializer=init,
+                graph=g,
+            )
+            shard.partition_info = {  # type: ignore[attr-defined]
+                "parent": name,
+                "index": p,
+                "row_offset": lo,
+                "full_shape": shape,
+            }
+            self.partitions.append(shard)
+        g.add_to_collection("partitioned_variables", self)
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for d in self.full_shape:
+            n *= d
+        return n
+
+    def lookup(self, ids: Tensor, name: str = "embedding_lookup") -> Tensor:
+        """Partition-aware gather over the shards (fused routing op)."""
+        return partitioned_gather(self, ids, name=name)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PartitionedVariable {self.name!r} shape={self.full_shape} "
+            f"P={self.num_partitions}>"
+        )
+
+
+def partition_offsets(rows: int, num_partitions: int) -> List[int]:
+    """Row boundaries for an even split (first shards get the remainder)."""
+    base, extra = divmod(rows, num_partitions)
+    offsets = [0]
+    for p in range(num_partitions):
+        offsets.append(offsets[-1] + base + (1 if p < extra else 0))
+    return offsets
+
+
+def partitioned_gather(pvar: PartitionedVariable, ids: Tensor,
+                       name: str = "part_gather") -> Tensor:
+    """Build the fused routed-lookup op.
+
+    Inputs are ``[shard_0, ..., shard_{P-1}, ids]``; the kernel routes each
+    id to the shard owning that row, and the VJP emits one IndexedSlices
+    per shard (re-based to shard-local rows).  The final result is stitched
+    back into lookup order -- the "stitching" overhead the paper's cost
+    model charges as θ2·P.
+    """
+    g = pvar.graph
+    spec = TensorSpec(
+        ids.spec.shape + pvar.full_shape[1:], pvar.partitions[0].spec.dtype
+    )
+    inputs = [v.tensor for v in pvar.partitions] + [ids]
+    op = g.add_op(
+        "part_gather",
+        inputs,
+        spec,
+        name=name,
+        attrs={
+            "offsets": list(pvar.offsets),
+            "num_partitions": pvar.num_partitions,
+            "parent": pvar.name,
+        },
+    )
+    return op.output
+
+
+@register_forward("part_gather")
+def _part_gather_fwd(op, inputs, runtime):
+    *shards, ids = inputs
+    offsets = np.asarray(op.attrs["offsets"])
+    flat = np.asarray(ids, dtype=np.int64).reshape(-1)
+    # np.searchsorted on the partition boundaries finds the owning shard.
+    owner = np.searchsorted(offsets, flat, side="right") - 1
+    rows = np.empty((flat.size,) + shards[0].shape[1:], dtype=shards[0].dtype)
+    for p, shard in enumerate(shards):
+        mask = owner == p
+        if mask.any():
+            rows[mask] = shard[flat[mask] - offsets[p]]
+    return rows.reshape(tuple(np.asarray(ids).shape) + shards[0].shape[1:])
+
+
+def _part_gather_vjp(op, inputs, output, grad):
+    *shards, ids = inputs
+    offsets = np.asarray(op.attrs["offsets"])
+    flat = np.asarray(ids, dtype=np.int64).reshape(-1)
+    owner = np.searchsorted(offsets, flat, side="right") - 1
+    flat_grad = np.asarray(grad).reshape((flat.size,) + np.asarray(shards[0]).shape[1:])
+    grads = []
+    for p, shard in enumerate(shards):
+        mask = owner == p
+        grads.append(
+            IndexedSlices(
+                flat_grad[mask],
+                flat[mask] - offsets[p],
+                tuple(np.asarray(shard).shape),
+            )
+        )
+    grads.append(None)  # no gradient for the ids input
+    return grads
+
+
+# VJP registration lives here (not ops.py) to keep the partitioning logic
+# in one module; register directly into the table.
+from repro.graph import ops as _ops  # noqa: E402  (cycle-free at import time)
+
+_ops.VJP["part_gather"] = _part_gather_vjp

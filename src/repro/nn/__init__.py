@@ -1,0 +1,44 @@
+"""Neural-network substrate: layers, optimizers, datasets, and the model zoo.
+
+Every model the paper evaluates exists here twice:
+
+* a **runnable** configuration -- small enough to train in tests, built on
+  the graph IR, used for convergence and correctness experiments;
+* a paper-scale :class:`~repro.nn.profiles.ModelProfile` -- the exact
+  variable inventory (element counts, sparsity, per-variable alpha) from
+  paper Table 1, consumed by the performance simulator.
+"""
+
+from repro.nn import layers
+from repro.nn import datasets
+from repro.nn.optimizers import (
+    GradientDescentOptimizer,
+    MomentumOptimizer,
+    AdamOptimizer,
+)
+from repro.nn.profiles import (
+    ModelProfile,
+    VariableProfile,
+    resnet50_profile,
+    inception_v3_profile,
+    lm_profile,
+    nmt_profile,
+    constructed_lm_profile,
+    PAPER_PROFILES,
+)
+
+__all__ = [
+    "layers",
+    "datasets",
+    "GradientDescentOptimizer",
+    "MomentumOptimizer",
+    "AdamOptimizer",
+    "ModelProfile",
+    "VariableProfile",
+    "resnet50_profile",
+    "inception_v3_profile",
+    "lm_profile",
+    "nmt_profile",
+    "constructed_lm_profile",
+    "PAPER_PROFILES",
+]

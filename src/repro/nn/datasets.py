@@ -1,0 +1,184 @@
+"""Synthetic datasets standing in for ImageNet / One-Billion-Word / WMT.
+
+The distributed-training behaviour the paper measures depends on the data
+only through (a) batch shape and (b) the fraction of embedding rows a
+batch touches (alpha).  Token datasets therefore sample from a Zipf
+distribution over the vocabulary -- like natural language, a small head of
+the vocabulary dominates, and alpha is controlled by sequence length and
+vocabulary size exactly as in the paper's section 6.6 sweep.
+
+Datasets are deterministic given a seed, indexable, and support
+``shard(num_shards, index)`` -- the backing primitive of ``parallax.shard``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """A finite, indexable dataset of example tuples."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def example(self, index: int) -> Tuple[np.ndarray, ...]:
+        raise NotImplementedError
+
+    def shard(self, num_shards: int, index: int) -> "ShardedDataset":
+        """A disjoint 1/num_shards view (round-robin by example id)."""
+        if not 0 <= index < num_shards:
+            raise ValueError(f"shard index {index} out of range [0,{num_shards})")
+        return ShardedDataset(self, num_shards, index)
+
+    def batch(self, batch_size: int, batch_index: int) -> Tuple[np.ndarray, ...]:
+        """Batch *batch_index*, cycling through the dataset as needed."""
+        if len(self) == 0:
+            raise ValueError("cannot batch an empty dataset")
+        ids = [
+            (batch_index * batch_size + i) % len(self)
+            for i in range(batch_size)
+        ]
+        columns = list(zip(*(self.example(i) for i in ids)))
+        return tuple(np.stack(col) for col in columns)
+
+    def batches(self, batch_size: int,
+                num_batches: Optional[int] = None) -> Iterator[Tuple[np.ndarray, ...]]:
+        index = 0
+        while num_batches is None or index < num_batches:
+            yield self.batch(batch_size, index)
+            index += 1
+
+
+class ShardedDataset(Dataset):
+    """Every ``num_shards``-th example of a parent dataset."""
+
+    def __init__(self, parent: Dataset, num_shards: int, index: int):
+        self.parent = parent
+        self.num_shards = num_shards
+        self.index = index
+
+    def __len__(self) -> int:
+        total = len(self.parent)
+        base, extra = divmod(total, self.num_shards)
+        return base + (1 if self.index < extra else 0)
+
+    def example(self, index: int) -> Tuple[np.ndarray, ...]:
+        if index >= len(self):
+            raise IndexError(index)
+        return self.parent.example(index * self.num_shards + self.index)
+
+
+class SyntheticImageDataset(Dataset):
+    """Feature-vector images with class labels (ImageNet stand-in).
+
+    A linearly separable-ish signal is planted so small models measurably
+    learn, which the convergence experiments need.
+    """
+
+    def __init__(self, size: int = 1024, num_features: int = 64,
+                 num_classes: int = 10, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self._labels = rng.integers(0, num_classes, size=size)
+        centers = rng.standard_normal((num_classes, num_features)) * 2.0
+        noise = rng.standard_normal((size, num_features))
+        self._images = (centers[self._labels] + noise).astype(np.float32)
+
+    def __len__(self) -> int:
+        return self._images.shape[0]
+
+    def example(self, index: int):
+        return self._images[index], np.int64(self._labels[index])
+
+
+def zipf_token_sampler(vocab_size: int, s: float,
+                       rng: np.random.Generator):
+    """Sampler of token ids with Zipf(s) marginal over ``vocab_size``."""
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    probs = ranks ** (-s)
+    probs /= probs.sum()
+    cdf = np.cumsum(probs)
+
+    def sample(n: int) -> np.ndarray:
+        u = rng.random(n)
+        return np.searchsorted(cdf, u).astype(np.int64)
+
+    return sample
+
+
+class SyntheticTextDataset(Dataset):
+    """Token sequences for language modeling (One-Billion-Word stand-in).
+
+    Each example is ``(tokens, next_tokens)``; next-token targets follow a
+    planted bigram structure so perplexity actually decreases in training.
+    """
+
+    def __init__(self, size: int = 1024, vocab_size: int = 100,
+                 seq_len: int = 8, seed: int = 0, zipf_s: float = 1.1):
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.seq_len = seq_len
+        sample = zipf_token_sampler(vocab_size, zipf_s, rng)
+        # Planted structure: next token is a fixed permutation of the
+        # current one with high probability, else a fresh Zipf draw.
+        # Columns must be rewritten sequentially so the chain uses the
+        # *final* value of each position.
+        permutation = rng.permutation(vocab_size)
+        tokens = sample(size * (seq_len + 1)).reshape(size, seq_len + 1)
+        follow = rng.random((size, seq_len)) < 0.8
+        for t in range(1, seq_len + 1):
+            tokens[:, t] = np.where(follow[:, t - 1],
+                                    permutation[tokens[:, t - 1]],
+                                    tokens[:, t])
+        self._tokens = tokens
+
+    def __len__(self) -> int:
+        return self._tokens.shape[0]
+
+    def example(self, index: int):
+        row = self._tokens[index]
+        return row[:-1].copy(), row[1:].copy()
+
+    def measured_alpha(self, batch_size: int, num_batches: int = 8) -> float:
+        """Empirical fraction of vocab rows a batch touches (the paper's α).
+
+        Averaged over the first ``num_batches`` batches.
+        """
+        fractions = []
+        for b in range(num_batches):
+            tokens, _ = self.batch(batch_size, b)
+            fractions.append(np.unique(tokens).size / self.vocab_size)
+        return float(np.mean(fractions))
+
+
+class TranslationDataset(Dataset):
+    """Source/target sentence pairs (WMT English-German stand-in)."""
+
+    def __init__(self, size: int = 1024, src_vocab: int = 120,
+                 tgt_vocab: int = 120, src_len: int = 8, tgt_len: int = 8,
+                 seed: int = 0, zipf_s: float = 1.1):
+        rng = np.random.default_rng(seed)
+        self.src_vocab = src_vocab
+        self.tgt_vocab = tgt_vocab
+        self.src_len = src_len
+        self.tgt_len = tgt_len
+        src_sample = zipf_token_sampler(src_vocab, zipf_s, rng)
+        self._src = src_sample(size * src_len).reshape(size, src_len)
+        # Planted word-for-word "translation": a fixed vocabulary mapping
+        # applied to the source prefix, padded with Zipf noise.
+        mapping = rng.permutation(max(src_vocab, tgt_vocab))[:src_vocab] % tgt_vocab
+        tgt_sample = zipf_token_sampler(tgt_vocab, zipf_s, rng)
+        tgt = tgt_sample(size * tgt_len).reshape(size, tgt_len)
+        copy_len = min(src_len, tgt_len)
+        tgt[:, :copy_len] = mapping[self._src[:, :copy_len]]
+        self._tgt = tgt
+
+    def __len__(self) -> int:
+        return self._src.shape[0]
+
+    def example(self, index: int):
+        return self._src[index].copy(), self._tgt[index].copy()

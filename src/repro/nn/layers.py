@@ -1,0 +1,152 @@
+"""Layer builders over the graph IR.
+
+Layers are plain functions that create variables and wire ops; there is no
+layer object state beyond the variables registered in the graph, which
+keeps the single-GPU graph fully introspectable -- the property Parallax's
+transformation depends on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph import ops
+from repro.graph.graph import Tensor
+from repro.graph.variables import (
+    PartitionedVariable,
+    Variable,
+    get_variable,
+    glorot_initializer,
+    normal_initializer,
+    zeros_initializer,
+)
+
+
+def dense(x: Tensor, units: int, name: str, activation: Optional[str] = None,
+          use_bias: bool = True) -> Tensor:
+    """Fully connected layer ``activation(x @ W + b)``."""
+    in_dim = x.spec.shape[-1]
+    w = get_variable(f"{name}/kernel", (in_dim, units),
+                     initializer=glorot_initializer())
+    out = ops.matmul(x, w.tensor, name=f"{name}/matmul")
+    if use_bias:
+        b = get_variable(f"{name}/bias", (units,),
+                         initializer=zeros_initializer)
+        out = ops.add_bias(out, b.tensor, name=f"{name}/bias_add")
+    return _activate(out, activation, name)
+
+
+def conv_block(x: Tensor, features_out: int, name: str,
+               activation: Optional[str] = "relu") -> Tensor:
+    """Convolution proxy: a dense projection standing in for a conv layer.
+
+    See ``repro.tensor.math.conv_proxy`` for why this is a faithful
+    substitution at the level the paper's experiments observe.
+    """
+    in_dim = x.spec.shape[-1]
+    w = get_variable(f"{name}/conv_kernel", (in_dim, features_out),
+                     initializer=glorot_initializer())
+    out = ops.matmul(x, w.tensor, name=f"{name}/conv")
+    return _activate(out, activation, name)
+
+
+def residual_block(x: Tensor, features: int, name: str) -> Tensor:
+    """Two conv proxies plus a skip connection (the ResNet building block)."""
+    h = conv_block(x, features, f"{name}/conv1", activation="relu")
+    h = conv_block(h, x.spec.shape[-1], f"{name}/conv2", activation=None)
+    out = ops.add(x, h, name=f"{name}/skip_add")
+    return ops.relu(out, name=f"{name}/out_relu")
+
+
+def embedding(ids: Tensor, vocab_size: int, dim: int, name: str,
+              num_partitions: Optional[int] = None,
+              ) -> Tuple[Tensor, Union[Variable, PartitionedVariable]]:
+    """Embedding lookup; partitioned when ``num_partitions > 1``.
+
+    Returns ``(embedded, variable)``.  The lookup goes through ``gather``
+    (unpartitioned) or ``part_gather`` (partitioned), so the embedding's
+    gradient is IndexedSlices-typed -- this is what makes a model "sparse"
+    in the paper's sense.
+
+    When ``num_partitions`` is None and the call happens inside a
+    ``parallax.partitioner()`` scope, the scope's active partition count
+    applies (the value Parallax's search is currently sampling).
+    """
+    if num_partitions is None:
+        from repro.core.partition_context import active_partitions
+
+        num_partitions = active_partitions() or 1
+    num_partitions = min(num_partitions, vocab_size)
+    init = normal_initializer(stddev=0.05)
+    if num_partitions > 1:
+        pvar = PartitionedVariable(name, (vocab_size, dim), num_partitions,
+                                   initializer=init)
+        return pvar.lookup(ids, name=f"{name}/lookup"), pvar
+    var = get_variable(name, (vocab_size, dim), initializer=init)
+    return ops.gather(var.tensor, ids, name=f"{name}/lookup"), var
+
+
+def lstm(x_steps: Sequence[Tensor], hidden: int, name: str,
+         ) -> List[Tensor]:
+    """Unrolled LSTM over a list of per-timestep inputs.
+
+    Built from primitive ops (concat/matmul/slice/sigmoid/tanh/mul/add) so
+    autodiff and the distributed transformation see an ordinary deep graph,
+    as they would with TF's unrolled ``tf.nn.dynamic_rnn``.
+    Returns the hidden state at every step.
+    """
+    if not x_steps:
+        raise ValueError("lstm needs at least one timestep")
+    batch = x_steps[0].spec.shape[0]
+    in_dim = x_steps[0].spec.shape[-1]
+    w = get_variable(f"{name}/kernel", (in_dim + hidden, 4 * hidden),
+                     initializer=glorot_initializer())
+    b = get_variable(f"{name}/bias", (4 * hidden,),
+                     initializer=zeros_initializer)
+    h = ops.constant(np.zeros((batch, hidden), dtype="float32"),
+                     name=f"{name}/h0")
+    c = ops.constant(np.zeros((batch, hidden), dtype="float32"),
+                     name=f"{name}/c0")
+    outputs: List[Tensor] = []
+    for t, x in enumerate(x_steps):
+        prefix = f"{name}/step{t}"
+        z = ops.add_bias(
+            ops.matmul(ops.concat([x, h], axis=-1, name=f"{prefix}/xh"),
+                       w.tensor, name=f"{prefix}/matmul"),
+            b.tensor, name=f"{prefix}/bias",
+        )
+        i = ops.sigmoid(ops.slice_axis(z, 0, hidden, name=f"{prefix}/zi"),
+                        name=f"{prefix}/i")
+        f = ops.sigmoid(
+            ops.slice_axis(z, hidden, 2 * hidden, name=f"{prefix}/zf"),
+            name=f"{prefix}/f",
+        )
+        gate = ops.tanh(
+            ops.slice_axis(z, 2 * hidden, 3 * hidden, name=f"{prefix}/zg"),
+            name=f"{prefix}/g",
+        )
+        o = ops.sigmoid(
+            ops.slice_axis(z, 3 * hidden, 4 * hidden, name=f"{prefix}/zo"),
+            name=f"{prefix}/o",
+        )
+        c = ops.add(ops.mul(f, c, name=f"{prefix}/fc"),
+                    ops.mul(i, gate, name=f"{prefix}/ig"),
+                    name=f"{prefix}/c")
+        h = ops.mul(o, ops.tanh(c, name=f"{prefix}/tanh_c"),
+                    name=f"{prefix}/h")
+        outputs.append(h)
+    return outputs
+
+
+def _activate(x: Tensor, activation: Optional[str], name: str) -> Tensor:
+    if activation is None:
+        return x
+    if activation == "relu":
+        return ops.relu(x, name=f"{name}/relu")
+    if activation == "tanh":
+        return ops.tanh(x, name=f"{name}/tanh")
+    if activation == "sigmoid":
+        return ops.sigmoid(x, name=f"{name}/sigmoid")
+    raise ValueError(f"unknown activation {activation!r}")

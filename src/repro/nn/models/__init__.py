@@ -1,0 +1,20 @@
+"""Runnable model zoo: the four evaluation models at test scale.
+
+Each builder returns a :class:`BuiltModel` bundling the single-GPU graph,
+its placeholders, the loss, and a feed function -- exactly the artifact a
+Parallax user hands to ``parallax.get_runner`` (paper Figure 3).
+"""
+
+from repro.nn.models.common import BuiltModel
+from repro.nn.models.lm import build_lm
+from repro.nn.models.nmt import build_nmt
+from repro.nn.models.resnet import build_resnet
+from repro.nn.models.inception import build_inception
+
+__all__ = [
+    "BuiltModel",
+    "build_lm",
+    "build_nmt",
+    "build_resnet",
+    "build_inception",
+]

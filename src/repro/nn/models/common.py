@@ -1,0 +1,67 @@
+"""Shared plumbing for the runnable model zoo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph import ops
+from repro.graph.graph import Graph, Tensor
+from repro.nn.datasets import Dataset
+
+
+@dataclass
+class BuiltModel:
+    """A single-GPU model graph plus everything needed to feed it.
+
+    Attributes:
+        graph: the single-GPU computation graph.
+        loss: scalar loss tensor.
+        placeholders: name -> placeholder tensor (fed from dataset batches).
+        dataset: the dataset this model trains on.
+        batch_size: per-replica batch size.
+        logits: optional prediction tensor for accuracy-style metrics.
+        label_key: which placeholder holds the labels ``logits`` predicts.
+    """
+
+    graph: Graph
+    loss: Tensor
+    placeholders: Dict[str, Tensor]
+    dataset: Dataset
+    batch_size: int
+    logits: Optional[Tensor] = None
+    label_key: Optional[str] = None
+    name: str = "model"
+
+    def feed(self, batch: Tuple[np.ndarray, ...]) -> Dict[Tensor, np.ndarray]:
+        """Map a dataset batch (positional arrays) onto the placeholders."""
+        keys = list(self.placeholders)
+        if len(batch) != len(keys):
+            raise ValueError(
+                f"batch has {len(batch)} arrays but model {self.name!r} "
+                f"expects {len(keys)} placeholders ({keys})"
+            )
+        return {self.placeholders[k]: arr for k, arr in zip(keys, batch)}
+
+
+def mean_of(tensors: Sequence[Tensor], name: str) -> Tensor:
+    """Average a list of scalar tensors (per-timestep losses)."""
+    if not tensors:
+        raise ValueError("mean_of needs at least one tensor")
+    total = tensors[0]
+    for i, t in enumerate(tensors[1:]):
+        total = ops.add(total, t, name=f"{name}/sum{i}")
+    return ops.scale(total, 1.0 / len(tensors), name=f"{name}/mean")
+
+
+def split_steps(x: Tensor, seq_len: int, name: str) -> List[Tensor]:
+    """Split a (batch, seq, dim) tensor into per-timestep (batch, dim)."""
+    steps = []
+    batch = x.spec.shape[0]
+    dim = x.spec.shape[2]
+    for t in range(seq_len):
+        s = ops.slice_axis(x, t, t + 1, axis=1, name=f"{name}/t{t}")
+        steps.append(ops.reshape(s, (batch, dim), name=f"{name}/t{t}/squeeze"))
+    return steps

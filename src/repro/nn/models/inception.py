@@ -1,0 +1,63 @@
+"""Runnable Inception: multi-branch towers over feature-vector images.
+
+A scaled-down Szegedy et al. Inception-v3 built from conv proxies: a stem
+followed by "mixed" modules whose parallel branches are concatenated --
+exercising the ``concat`` op family in the distributed transformation.
+Entirely dense, like ResNet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph import ops
+from repro.graph.graph import Graph
+from repro.nn import layers
+from repro.nn.datasets import SyntheticImageDataset
+from repro.nn.models.common import BuiltModel
+
+
+def _mixed_module(x, branch_width: int, name: str):
+    """Two parallel conv branches concatenated on the feature axis."""
+    b0 = layers.conv_block(x, branch_width, name=f"{name}/branch0")
+    b1 = layers.conv_block(x, branch_width, name=f"{name}/branch1_a")
+    b1 = layers.conv_block(b1, branch_width, name=f"{name}/branch1_b")
+    return ops.concat([b0, b1], axis=-1, name=f"{name}/concat")
+
+
+def build_inception(
+    batch_size: int = 8,
+    num_features: int = 32,
+    num_classes: int = 10,
+    width: int = 16,
+    num_modules: int = 2,
+    dataset: Optional[SyntheticImageDataset] = None,
+    seed: int = 0,
+) -> BuiltModel:
+    """Build the Inception graph; returns the single-GPU artifact."""
+    if dataset is None:
+        dataset = SyntheticImageDataset(
+            size=512, num_features=num_features, num_classes=num_classes,
+            seed=seed,
+        )
+    graph = Graph()
+    with graph.as_default():
+        images = ops.placeholder((batch_size, num_features), name="images")
+        labels = ops.placeholder((batch_size,), dtype="int64", name="labels")
+
+        h = layers.conv_block(images, 2 * width, name="stem")
+        for m in range(num_modules):
+            h = _mixed_module(h, width, name=f"mixed{m + 1}")
+        logits = layers.dense(h, num_classes, name="fc")
+        loss = ops.softmax_xent(logits, labels, name="loss")
+
+    return BuiltModel(
+        graph=graph,
+        loss=loss,
+        placeholders={"images": images, "labels": labels},
+        dataset=dataset,
+        batch_size=batch_size,
+        logits=logits,
+        label_key="labels",
+        name="inception",
+    )

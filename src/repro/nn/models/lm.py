@@ -1,0 +1,85 @@
+"""Runnable LM: an LSTM language model with a sparse word embedding.
+
+A scaled-down Jozefowicz et al. big-LSTM: embedding lookup (sparse; the
+variable the paper's techniques exist for), a single unrolled LSTM,
+a projection, and a full softmax over the vocabulary.  At test scale the
+softmax weights are dense; the embedding gradient is IndexedSlices, which
+is what classifies the model as sparse.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph import ops
+from repro.graph.graph import Graph
+from repro.nn import layers
+from repro.nn.datasets import SyntheticTextDataset
+from repro.nn.models.common import BuiltModel, mean_of, split_steps
+
+
+def build_lm(
+    batch_size: int = 8,
+    vocab_size: int = 120,
+    seq_len: int = 4,
+    emb_dim: int = 16,
+    hidden: int = 24,
+    num_partitions: int = 1,
+    dataset: Optional[SyntheticTextDataset] = None,
+    seed: int = 0,
+) -> BuiltModel:
+    """Build the LM graph; returns the single-GPU artifact."""
+    if dataset is None:
+        dataset = SyntheticTextDataset(
+            size=512, vocab_size=vocab_size, seq_len=seq_len, seed=seed
+        )
+    graph = Graph()
+    with graph.as_default():
+        tokens = ops.placeholder((batch_size, seq_len), dtype="int64",
+                                 name="tokens")
+        targets = ops.placeholder((batch_size, seq_len), dtype="int64",
+                                  name="targets")
+        embedded, _ = layers.embedding(
+            tokens, vocab_size, emb_dim, name="embedding",
+            num_partitions=num_partitions,
+        )
+        x_steps = split_steps(embedded, seq_len, "emb_steps")
+        h_steps = layers.lstm(x_steps, hidden, name="lstm")
+
+        step_losses = []
+        last_logits = None
+        # Projection and softmax weights are shared across timesteps, so
+        # create them once and reuse the variable tensors per step.
+        proj_w = layers.get_variable(
+            "projection/kernel", (hidden, emb_dim),
+            initializer=layers.glorot_initializer(),
+        )
+        softmax_w = layers.get_variable(
+            "softmax/kernel", (emb_dim, vocab_size),
+            initializer=layers.glorot_initializer(),
+        )
+        for t, h in enumerate(h_steps):
+            projected = ops.matmul(h, proj_w.tensor, name=f"proj/t{t}")
+            logits = ops.matmul(projected, softmax_w.tensor,
+                                name=f"logits/t{t}")
+            step_targets = ops.reshape(
+                ops.slice_axis(targets, t, t + 1, axis=1,
+                               name=f"targets/t{t}"),
+                (batch_size,), name=f"targets/t{t}/squeeze",
+            )
+            step_losses.append(
+                ops.softmax_xent(logits, step_targets, name=f"xent/t{t}")
+            )
+            last_logits = logits
+        loss = mean_of(step_losses, name="loss")
+
+    return BuiltModel(
+        graph=graph,
+        loss=loss,
+        placeholders={"tokens": tokens, "targets": targets},
+        dataset=dataset,
+        batch_size=batch_size,
+        logits=last_logits,
+        label_key="targets",
+        name="lm",
+    )

@@ -1,0 +1,54 @@
+"""Runnable ResNet: a residual network over feature-vector images.
+
+A scaled-down He et al. ResNet built from conv proxies and residual
+blocks.  Entirely dense -- the control model for the sparsity experiments;
+under Parallax it must route every variable through AllReduce.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph import ops
+from repro.graph.graph import Graph
+from repro.nn import layers
+from repro.nn.datasets import SyntheticImageDataset
+from repro.nn.models.common import BuiltModel
+
+
+def build_resnet(
+    batch_size: int = 8,
+    num_features: int = 32,
+    num_classes: int = 10,
+    width: int = 32,
+    num_blocks: int = 3,
+    dataset: Optional[SyntheticImageDataset] = None,
+    seed: int = 0,
+) -> BuiltModel:
+    """Build the ResNet graph; returns the single-GPU artifact."""
+    if dataset is None:
+        dataset = SyntheticImageDataset(
+            size=512, num_features=num_features, num_classes=num_classes,
+            seed=seed,
+        )
+    graph = Graph()
+    with graph.as_default():
+        images = ops.placeholder((batch_size, num_features), name="images")
+        labels = ops.placeholder((batch_size,), dtype="int64", name="labels")
+
+        h = layers.conv_block(images, width, name="stem")
+        for b in range(num_blocks):
+            h = layers.residual_block(h, width, name=f"block{b + 1}")
+        logits = layers.dense(h, num_classes, name="fc")
+        loss = ops.softmax_xent(logits, labels, name="loss")
+
+    return BuiltModel(
+        graph=graph,
+        loss=loss,
+        placeholders={"images": images, "labels": labels},
+        dataset=dataset,
+        batch_size=batch_size,
+        logits=logits,
+        label_key="labels",
+        name="resnet",
+    )

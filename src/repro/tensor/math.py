@@ -1,0 +1,224 @@
+"""Numeric kernels used by the graph executor.
+
+Each kernel is a pure function over numpy arrays.  Backward kernels are
+kept next to their forward counterparts; the autodiff layer in
+``repro.graph.gradients`` wires them together.  The ``gather`` backward is
+the one place a *sparse* gradient (IndexedSlices) is born -- exactly as in
+TensorFlow, where that type propagates to the variable and marks it sparse.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.tensor.sparse import IndexedSlices
+
+
+# ----------------------------------------------------------------------
+# Elementwise / linear algebra
+# ----------------------------------------------------------------------
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a @ b
+
+
+def matmul_grad(a: np.ndarray, b: np.ndarray, g: np.ndarray):
+    return g @ b.T, a.T @ g
+
+
+def add_bias(x: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return x + b
+
+
+def add_bias_grad(g: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    return g, g.reshape(-1, g.shape[-1]).sum(axis=0)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, g: np.ndarray) -> np.ndarray:
+    return g * (x > 0)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def tanh_grad(y: np.ndarray, g: np.ndarray) -> np.ndarray:
+    return g * (1.0 - y * y)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid_grad(y: np.ndarray, g: np.ndarray) -> np.ndarray:
+    return g * y * (1.0 - y)
+
+
+# ----------------------------------------------------------------------
+# Embedding access (the sparse path)
+# ----------------------------------------------------------------------
+def gather(params: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Row lookup.  The forward op behind every embedding layer."""
+    return params[np.asarray(indices, dtype=np.int64)]
+
+
+def gather_grad(params_shape: Tuple[int, ...], indices: np.ndarray,
+                g: np.ndarray) -> IndexedSlices:
+    """Gradient of ``gather`` w.r.t. ``params``: an IndexedSlices.
+
+    Only the looked-up rows receive gradient -- this sparse type flowing to
+    a variable is what classifies the variable as *sparse* (paper sec. 5).
+    """
+    idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+    vals = np.asarray(g).reshape((idx.size,) + tuple(params_shape[1:]))
+    return IndexedSlices(vals, idx, tuple(params_shape))
+
+
+def scatter_add(target: np.ndarray, slices: IndexedSlices) -> np.ndarray:
+    """In-place sparse accumulation (the PS-server update primitive)."""
+    np.add.at(target, slices.indices, slices.values)
+    return target
+
+
+def scatter_sub(target: np.ndarray, slices: IndexedSlices) -> np.ndarray:
+    np.subtract.at(target, slices.indices, slices.values)
+    return target
+
+
+# ----------------------------------------------------------------------
+# Losses
+# ----------------------------------------------------------------------
+def softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=-1, keepdims=True)
+
+
+def softmax_xent(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy over the batch, integer labels."""
+    probs = softmax(logits)
+    n = logits.shape[0]
+    picked = probs[np.arange(n), np.asarray(labels, dtype=np.int64)]
+    return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+
+def softmax_xent_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    probs = softmax(logits)
+    n = logits.shape[0]
+    probs[np.arange(n), np.asarray(labels, dtype=np.int64)] -= 1.0
+    return probs / n
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> float:
+    diff = pred - target
+    return float((diff * diff).mean())
+
+
+def mse_grad(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+    return 2.0 * (pred - target) / pred.size
+
+
+# ----------------------------------------------------------------------
+# LSTM cell (used by the LM / NMT models)
+# ----------------------------------------------------------------------
+def lstm_cell(x: np.ndarray, h: np.ndarray, c: np.ndarray,
+              w: np.ndarray, b: np.ndarray):
+    """Single LSTM step.
+
+    ``w`` has shape ``(input+hidden, 4*hidden)`` with gate order i,f,g,o.
+    Returns ``(h_new, c_new, cache)`` where cache carries the activations
+    the backward pass needs.
+    """
+    hidden = h.shape[-1]
+    z = np.concatenate([x, h], axis=-1) @ w + b
+    i = sigmoid(z[..., 0 * hidden:1 * hidden])
+    f = sigmoid(z[..., 1 * hidden:2 * hidden])
+    g = tanh(z[..., 2 * hidden:3 * hidden])
+    o = sigmoid(z[..., 3 * hidden:4 * hidden])
+    c_new = f * c + i * g
+    tanh_c = tanh(c_new)
+    h_new = o * tanh_c
+    cache = (x, h, c, w, i, f, g, o, c_new, tanh_c)
+    return h_new, c_new, cache
+
+
+def lstm_cell_grad(dh: np.ndarray, dc: np.ndarray, cache):
+    """Backward of one LSTM step.
+
+    Returns gradients ``(dx, dh_prev, dc_prev, dw, db)``.
+    """
+    x, h, c, w, i, f, g, o, c_new, tanh_c = cache
+    hidden = h.shape[-1]
+
+    do = dh * tanh_c
+    dc_total = dc + dh * o * (1.0 - tanh_c * tanh_c)
+    di = dc_total * g
+    df = dc_total * c
+    dg = dc_total * i
+    dc_prev = dc_total * f
+
+    dz = np.concatenate(
+        [
+            di * i * (1.0 - i),
+            df * f * (1.0 - f),
+            dg * (1.0 - g * g),
+            do * o * (1.0 - o),
+        ],
+        axis=-1,
+    )
+    xh = np.concatenate([x, h], axis=-1)
+    dw = xh.T @ dz
+    db = dz.sum(axis=0)
+    dxh = dz @ w.T
+    dx = dxh[..., : x.shape[-1]]
+    dh_prev = dxh[..., x.shape[-1]:]
+    return dx, dh_prev, dc_prev, dw, db
+
+
+# ----------------------------------------------------------------------
+# Convolution proxy
+# ----------------------------------------------------------------------
+# The dense image models (ResNet-50, Inception-v3) matter to the paper
+# only through their *variable inventory* and FLOP cost; the distributed
+# machinery never looks inside a conv kernel.  We therefore implement
+# convolution as a patch-matmul over a channel-flattened input ("conv
+# proxy"): it has real weights, real gradients, and the right asymptotic
+# cost, while keeping the runnable models fast enough for tests.
+def conv_proxy(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``x``: (batch, features_in); ``w``: (features_in, features_out)."""
+    return x @ w
+
+
+def conv_proxy_grad(x: np.ndarray, w: np.ndarray, g: np.ndarray):
+    return matmul_grad(x, w, g)
+
+
+# ----------------------------------------------------------------------
+# Reductions / misc
+# ----------------------------------------------------------------------
+def mean_all(x: np.ndarray) -> float:
+    return float(np.mean(x))
+
+
+def mean_all_grad(shape: Tuple[int, ...], g: float) -> np.ndarray:
+    n = int(np.prod(shape)) if shape else 1
+    return np.full(shape, g / n, dtype=np.float32)
+
+
+def l2_norm(values) -> float:
+    """Global L2 norm over a list of arrays / IndexedSlices."""
+    total = 0.0
+    for v in values:
+        arr = v.values if isinstance(v, IndexedSlices) else np.asarray(v)
+        total += float((arr.astype(np.float64) ** 2).sum())
+    return float(np.sqrt(total))

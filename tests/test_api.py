@@ -1,0 +1,266 @@
+"""The Parallax user API: shard, partitioner, config, get_runner."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro as parallax
+from repro.cluster.spec import ClusterSpec
+from repro.core.api import (
+    ParallaxConfig,
+    get_runner,
+    measure_alpha,
+    resolve_cluster,
+    shard,
+)
+from repro.core.partition_context import (
+    active_partitions,
+    partitioner,
+    sampling_partitions,
+)
+from repro.graph import gradients
+from repro.graph.graph import Graph
+from repro.graph import ops
+from repro.nn import layers
+from repro.nn.datasets import SyntheticTextDataset
+from repro.nn.models import build_lm, build_resnet
+from repro.nn.models.common import BuiltModel, mean_of
+from repro.nn.optimizers import GradientDescentOptimizer
+
+SMALL = {"machines": 2, "gpus_per_machine": 2}
+
+
+def lm_builder(vocab=40, use_partitioner=True):
+    """Figure-3-style builder closure."""
+
+    def build():
+        ds = shard(SyntheticTextDataset(size=128, vocab_size=vocab,
+                                        seq_len=2, seed=0))
+        g = Graph()
+        with g.as_default():
+            tokens = ops.placeholder((4, 2), dtype="int64", name="tokens")
+            targets = ops.placeholder((4, 2), dtype="int64", name="targets")
+            if use_partitioner:
+                with partitioner():
+                    emb, _ = layers.embedding(tokens, vocab, 6, name="emb")
+            else:
+                emb, _ = layers.embedding(tokens, vocab, 6, name="emb")
+            flat = ops.reshape(emb, (4, 12), name="flat")
+            w = layers.get_variable("w", (12, vocab))
+            losses = []
+            for t in range(2):
+                logits = ops.matmul(
+                    ops.reshape(ops.slice_axis(emb, t, t + 1, axis=1,
+                                               name=f"e{t}"),
+                                (4, 6), name=f"es{t}"),
+                    ops.matmul(layers.get_variable(f"p{t}", (6, 12)).tensor,
+                               w.tensor, name=f"pw{t}"),
+                    name=f"logits{t}")
+                lbl = ops.reshape(ops.slice_axis(targets, t, t + 1, axis=1,
+                                                 name=f"l{t}"), (4,),
+                                  name=f"ls{t}")
+                losses.append(ops.softmax_xent(logits, lbl, name=f"x{t}"))
+            loss = mean_of(losses, "loss")
+            gvs = gradients(loss)
+            GradientDescentOptimizer(0.2).update(gvs)
+        return BuiltModel(graph=g, loss=loss,
+                          placeholders={"tokens": tokens,
+                                        "targets": targets},
+                          dataset=ds, batch_size=4, name="api_lm")
+
+    return build
+
+
+class TestPartitionContext:
+    def test_inactive_outside_scope(self):
+        assert active_partitions() is None
+
+    def test_default_one_inside_scope(self):
+        with partitioner():
+            assert active_partitions() == 1
+
+    def test_sampling_value_visible_in_scope(self):
+        with sampling_partitions(7):
+            assert active_partitions() is None  # needs partitioner() too
+            with partitioner():
+                assert active_partitions() == 7
+
+    def test_nested_partitioner_rejected(self):
+        with partitioner():
+            with pytest.raises(RuntimeError):
+                with partitioner():
+                    pass
+
+    def test_invalid_sampling_value(self):
+        with pytest.raises(ValueError):
+            with sampling_partitions(0):
+                pass
+
+    def test_embedding_uses_context(self):
+        g = Graph()
+        with g.as_default():
+            ids = ops.placeholder((3,), dtype="int64", name="ids")
+            with sampling_partitions(3), partitioner():
+                _, pv = layers.embedding(ids, 30, 4, name="emb")
+        assert len(pv.partitions) == 3
+
+
+class TestShard:
+    def test_marks_and_returns_dataset(self):
+        ds = SyntheticTextDataset(size=16, vocab_size=10, seq_len=2)
+        assert shard(ds) is ds
+        assert ds._parallax_shard is True
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ParallaxConfig()
+
+    def test_bad_architecture_rejected(self):
+        with pytest.raises(ValueError):
+            ParallaxConfig(architecture="magic")
+
+    def test_bad_sampling_rejected(self):
+        with pytest.raises(ValueError):
+            ParallaxConfig(sample_iterations=0)
+
+
+class TestResolveCluster:
+    def test_passthrough(self):
+        spec = ClusterSpec(2, 3)
+        assert resolve_cluster(spec) is spec
+
+    def test_simple_dict(self):
+        spec = resolve_cluster({"machines": 3, "gpus_per_machine": 4})
+        assert spec.num_machines == 3
+        assert spec.gpus_per_machine == 4
+
+    def test_machine_list_dict(self):
+        spec = resolve_cluster({
+            "machines": [{"hostname": "a", "gpus": [0, 1]},
+                         {"hostname": "b", "gpus": [0, 1]}],
+            "nic_gbps": 40,
+        })
+        assert spec.num_machines == 2
+        assert spec.gpus_per_machine == 2
+        assert spec.nic_gbps == 40
+
+    def test_resource_file(self, tmp_path):
+        path = tmp_path / "resources.json"
+        path.write_text(json.dumps(
+            {"machines": [{"hostname": "a", "gpus": [0, 1, 2]}]}))
+        spec = resolve_cluster(str(path))
+        assert spec.num_machines == 1
+        assert spec.gpus_per_machine == 3
+
+    def test_heterogeneous_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_cluster({
+                "machines": [{"hostname": "a", "gpus": [0]},
+                             {"hostname": "b", "gpus": [0, 1]}],
+            })
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_cluster(42)
+
+
+class TestMeasureAlpha:
+    def test_small_vocab_high_alpha(self):
+        model = build_lm(batch_size=16, vocab_size=10, seq_len=4,
+                         emb_dim=4, hidden=6, seed=0)
+        with model.graph.as_default():
+            gradients(model.loss)
+        alphas = measure_alpha(model, num_batches=2)
+        assert alphas["embedding"] > 0.5
+
+    def test_large_vocab_low_alpha(self):
+        model = build_lm(batch_size=4, vocab_size=500, seq_len=2,
+                         emb_dim=4, hidden=6, seed=0)
+        with model.graph.as_default():
+            gradients(model.loss)
+        alphas = measure_alpha(model, num_batches=2)
+        assert alphas["embedding"] < 0.2
+
+    def test_partition_shards_share_parent_alpha(self):
+        model = build_lm(batch_size=8, vocab_size=20, seq_len=3,
+                         emb_dim=4, hidden=6, num_partitions=3, seed=0)
+        with model.graph.as_default():
+            gradients(model.loss)
+        alphas = measure_alpha(model, num_batches=2)
+        shard_alphas = {v for k, v in alphas.items()
+                        if k.startswith("embedding/")}
+        assert len(shard_alphas) == 1  # merged to the parent value
+
+    def test_dense_model_empty(self):
+        model = build_resnet(batch_size=4, num_features=8, width=8,
+                             num_blocks=1, seed=0)
+        with model.graph.as_default():
+            gradients(model.loss)
+        assert measure_alpha(model, num_batches=2) == {}
+
+
+class TestGetRunner:
+    def test_runs_and_trains(self):
+        runner = get_runner(lm_builder(), SMALL,
+                            ParallaxConfig(search_partitions=False))
+        losses = [runner.step(i).mean_loss for i in range(6)]
+        assert losses[-1] < losses[0] + 0.05  # not diverging
+
+    def test_partition_search_executes(self):
+        cfg = ParallaxConfig(sample_iterations=1, sample_warmup=0,
+                             max_partitions=8)
+        runner = get_runner(lm_builder(), SMALL, cfg)
+        assert runner.partition_search is not None
+        assert runner.partition_search.num_samples >= 2
+
+    def test_small_vocab_sparse_as_dense(self):
+        """With a tiny vocabulary, alpha ~ 1 and the hybrid plan should
+        AllReduce the embedding rather than PS it."""
+        cfg = ParallaxConfig(search_partitions=False,
+                             sparse_as_dense_threshold=0.5,
+                             alpha_measure_batches=2)
+        runner = get_runner(lm_builder(vocab=8, use_partitioner=False),
+                            SMALL, cfg)
+        assert "emb" in runner.transformed.replica_variables
+        assert not runner.transformed.ps_placement
+
+    def test_large_vocab_stays_ps(self):
+        cfg = ParallaxConfig(search_partitions=False,
+                             sparse_as_dense_threshold=0.5,
+                             alpha_measure_batches=2)
+        runner = get_runner(lm_builder(vocab=500), SMALL, cfg)
+        assert any(name.startswith("emb")
+                   for name in runner.transformed.ps_placement)
+
+    def test_ps_architecture_override(self):
+        cfg = ParallaxConfig(architecture="ps", search_partitions=False,
+                             alpha_measure_batches=0)
+        runner = get_runner(lm_builder(), SMALL, cfg)
+        assert not runner.transformed.replica_variables
+
+    def test_ar_architecture_override(self):
+        cfg = ParallaxConfig(architecture="ar", search_partitions=False,
+                             alpha_measure_batches=0)
+        runner = get_runner(lm_builder(), SMALL, cfg)
+        assert not runner.transformed.ps_placement
+
+    def test_builder_without_optimizer_rejected(self):
+        def bad_builder():
+            g = Graph()
+            with g.as_default():
+                v = layers.get_variable("v", (3,))
+                loss = ops.mean(v.tensor)
+            return BuiltModel(graph=g, loss=loss, placeholders={},
+                              dataset=SyntheticTextDataset(size=4),
+                              batch_size=1)
+
+        with pytest.raises(ValueError, match="gradients"):
+            get_runner(bad_builder, SMALL)
+
+    def test_top_level_exports(self):
+        assert parallax.get_runner is get_runner
+        assert parallax.shard is shard
+        assert hasattr(parallax, "partitioner")
+        assert hasattr(parallax, "ParallaxConfig")

@@ -1,0 +1,241 @@
+"""Reverse-mode autodiff: numeric checks, sparse grads, accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, Session, gradients, ops
+from repro.graph.gradients import grad_tensor_is_sparse
+from repro.graph.variables import PartitionedVariable, Variable
+from repro.tensor.sparse import IndexedSlices
+
+
+def numeric_grad(sess, loss, var_name, feed, eps=1e-3):
+    base = sess.read_variable(var_name).copy()
+    grad = np.zeros_like(base, dtype=np.float64)
+    it = np.nditer(base, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        for sign in (+1, -1):
+            perturbed = base.copy()
+            perturbed[idx] += sign * eps
+            sess.write_variable(var_name, perturbed)
+            val = float(sess.run(loss, feed))
+            grad[idx] += sign * val / (2 * eps)
+        it.iternext()
+    sess.write_variable(var_name, base)
+    return grad
+
+
+def check_all_grads(graph, loss, feed, atol=2e-3):
+    with graph.as_default():
+        gvs = gradients(loss)
+    sess = Session(graph, seed=0)
+    for grad_tensor, var in gvs:
+        analytic = sess.run(grad_tensor, feed)
+        if isinstance(analytic, IndexedSlices):
+            analytic = analytic.to_dense()
+        numeric = numeric_grad(sess, loss, var.name, feed)
+        np.testing.assert_allclose(analytic, numeric, atol=atol,
+                                   err_msg=f"grad mismatch for {var.name}")
+    return gvs, sess
+
+
+class TestDenseGradients:
+    def test_matmul_bias_relu_chain(self):
+        g = Graph()
+        rng = np.random.default_rng(0)
+        with g.as_default():
+            x = ops.placeholder((3, 4), name="x")
+            w = Variable("w", (4, 5))
+            b = Variable("b", (5,))
+            labels = ops.placeholder((3,), dtype="int64", name="labels")
+            h = ops.relu(ops.add_bias(ops.matmul(x, w.tensor), b.tensor))
+            loss = ops.softmax_xent(h, labels)
+        feed = {"x": rng.standard_normal((3, 4)).astype(np.float32),
+                "labels": np.array([0, 1, 2])}
+        check_all_grads(g, loss, feed)
+
+    def test_mul_tanh_sigmoid_mean(self):
+        g = Graph()
+        rng = np.random.default_rng(1)
+        with g.as_default():
+            x = ops.placeholder((2, 3), name="x")
+            a = Variable("a", (2, 3))
+            b = Variable("b", (2, 3))
+            out = ops.mul(ops.tanh(a.tensor), ops.sigmoid(ops.add(b.tensor, x)))
+            loss = ops.mean(out)
+        feed = {"x": rng.standard_normal((2, 3)).astype(np.float32)}
+        check_all_grads(g, loss, feed)
+
+    def test_concat_slice_reshape_scale(self):
+        g = Graph()
+        with g.as_default():
+            a = Variable("a", (2, 3))
+            b = Variable("b", (2, 2))
+            cat = ops.concat([a.tensor, b.tensor], axis=1)
+            piece = ops.slice_axis(cat, 1, 4, axis=1)
+            flat = ops.reshape(piece, (6,))
+            loss = ops.mean(ops.scale(ops.mul(flat, flat), 3.0))
+        check_all_grads(g, loss, {})
+
+    def test_fan_out_accumulates(self):
+        """A tensor consumed twice must receive the sum of both paths."""
+        g = Graph()
+        with g.as_default():
+            a = Variable("a", (4,),
+                         initializer=np.array([1.0, 2.0, 3.0, 4.0],
+                                              dtype=np.float32))
+            double = ops.add(a.tensor, a.tensor)
+            loss = ops.mean(double)
+        with g.as_default():
+            gvs = gradients(loss)
+        grad = Session(g).run(gvs[0][0], {})
+        np.testing.assert_allclose(grad, np.full(4, 0.5), rtol=1e-6)
+
+    def test_mse_loss(self):
+        g = Graph()
+        rng = np.random.default_rng(2)
+        with g.as_default():
+            target = ops.placeholder((3, 2), name="t")
+            w = Variable("w", (3, 2))
+            loss = ops.mse_loss(w.tensor, target)
+        feed = {"t": rng.standard_normal((3, 2)).astype(np.float32)}
+        check_all_grads(g, loss, feed)
+
+
+class TestSparseGradients:
+    def build_embedding_model(self, partitions=1):
+        g = Graph()
+        with g.as_default():
+            ids = ops.placeholder((5,), dtype="int64", name="ids")
+            labels = ops.placeholder((5,), dtype="int64", name="labels")
+            if partitions > 1:
+                emb = PartitionedVariable("emb", (12, 4), partitions)
+                rows = emb.lookup(ids)
+            else:
+                emb_var = Variable("emb", (12, 4))
+                rows = ops.gather(emb_var.tensor, ids)
+            w = Variable("w", (4, 3))
+            loss = ops.softmax_xent(ops.matmul(rows, w.tensor), labels)
+        feed = {"ids": np.array([0, 3, 3, 7, 11]),
+                "labels": np.array([0, 1, 2, 0, 1])}
+        return g, loss, feed
+
+    def test_gather_grad_is_sparse_typed(self):
+        g, loss, feed = self.build_embedding_model()
+        with g.as_default():
+            gvs = gradients(loss)
+        by_name = {v.name: gt for gt, v in gvs}
+        assert grad_tensor_is_sparse(by_name["emb"])
+        assert not grad_tensor_is_sparse(by_name["w"])
+
+    def test_gather_grad_value_matches_numeric(self):
+        g, loss, feed = self.build_embedding_model()
+        check_all_grads(g, loss, feed)
+
+    def test_partitioned_grads_match_numeric(self):
+        g, loss, feed = self.build_embedding_model(partitions=3)
+        gvs, _ = check_all_grads(g, loss, feed)
+        sparse_flags = [grad_tensor_is_sparse(gt) for gt, v in gvs
+                        if v.name.startswith("emb/")]
+        assert sparse_flags and all(sparse_flags)
+
+    def test_sparse_grad_runtime_type(self):
+        g, loss, feed = self.build_embedding_model()
+        with g.as_default():
+            gvs = gradients(loss)
+        emb_grad = [gt for gt, v in gvs if v.name == "emb"][0]
+        value = Session(g).run(emb_grad, feed)
+        assert isinstance(value, IndexedSlices)
+        assert sorted(set(value.indices)) == [0, 3, 7, 11]
+
+    def test_embedding_used_twice_concatenates(self):
+        """Sparse gradients from two gathers of one variable concatenate
+        (TF semantics), preserving all contributions."""
+        g = Graph()
+        with g.as_default():
+            emb = Variable("emb", (6, 2))
+            ids_a = ops.constant(np.array([1, 2], dtype=np.int64))
+            ids_b = ops.constant(np.array([2, 3], dtype=np.int64))
+            both = ops.concat([ops.gather(emb.tensor, ids_a),
+                               ops.gather(emb.tensor, ids_b)], axis=0)
+            loss = ops.mean(both)
+        with g.as_default():
+            gvs = gradients(loss)
+        value = Session(g).run(gvs[0][0], {})
+        assert isinstance(value, IndexedSlices)
+        assert value.num_rows == 4  # concatenated, not combined
+        dense = value.to_dense()
+        assert dense[2].sum() == pytest.approx(2 * dense[1].sum(), rel=1e-5)
+
+
+class TestMechanics:
+    def test_loss_must_be_scalar(self):
+        g = Graph()
+        with g.as_default():
+            v = Variable("v", (2,))
+            with pytest.raises(ValueError, match="scalar"):
+                gradients(v.tensor)
+
+    def test_gradient_info_recorded(self):
+        g = Graph()
+        with g.as_default():
+            v = Variable("v", (3,))
+            loss = ops.mean(v.tensor)
+            gvs = gradients(loss)
+        assert g.gradient_info["v"] == gvs[0][0].name
+
+    def test_unused_variable_skipped(self):
+        g = Graph()
+        with g.as_default():
+            used = Variable("used", (2,))
+            Variable("unused", (2,))
+            loss = ops.mean(used.tensor)
+            gvs = gradients(loss)
+        assert [v.name for _, v in gvs] == ["used"]
+
+    def test_non_trainable_excluded_by_default(self):
+        g = Graph()
+        with g.as_default():
+            a = Variable("a", (2,))
+            b = Variable("b", (2,), trainable=False)
+            loss = ops.mean(ops.add(a.tensor, b.tensor))
+            gvs = gradients(loss)
+        assert [v.name for _, v in gvs] == ["a"]
+
+    def test_explicit_variable_list(self):
+        g = Graph()
+        with g.as_default():
+            a = Variable("a", (2,))
+            b = Variable("b", (2,))
+            loss = ops.mean(ops.add(a.tensor, b.tensor))
+            gvs = gradients(loss, [b])
+        assert [v.name for _, v in gvs] == ["b"]
+
+    def test_labels_receive_no_gradient(self):
+        g = Graph()
+        with g.as_default():
+            w = Variable("w", (2, 3))
+            labels = ops.constant(np.array([0, 1], dtype=np.int64))
+            loss = ops.softmax_xent(w.tensor, labels)
+            gradients(loss)
+        # No grad op should have been created for the labels input.
+        for op in g.operations:
+            if op.op_type == "vjp":
+                assert op.attrs["input_index"] != 1 or \
+                    g.get_op(op.attrs["forward_op"]).op_type != "softmax_xent"
+
+    def test_vjp_cache_shared_within_run(self):
+        """matmul's two vjp nodes share one underlying VJP computation."""
+        g = Graph()
+        with g.as_default():
+            a = Variable("a", (2, 2))
+            b = Variable("b", (2, 2))
+            loss = ops.mean(ops.matmul(a.tensor, b.tensor))
+            gvs = gradients(loss)
+        sess = Session(g)
+        sess.run([gt for gt, _ in gvs], {})
+        cache = sess.run_cache.get("vjp", {})
+        # one cache entry per (forward op, upstream) pair, reused by both
+        # input-index nodes
+        assert len(cache) >= 1

@@ -1,0 +1,28 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize("experiment", ["table1", "table4", "table6"])
+def test_cli_runs_each_table(experiment, capsys):
+    assert main([experiment, "--machines", "2", "--gpus", "2"]) == 0
+    out = capsys.readouterr().out
+    assert experiment.replace("table", "Table ") in out
+
+
+def test_cli_fig9_small_cluster(capsys):
+    assert main(["fig9", "--machines", "2", "--gpus", "2"]) == 0
+    assert "normalized" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["table99"])
+
+
+def test_cli_table2_custom_cluster(capsys):
+    assert main(["table2", "--machines", "4", "--gpus", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "P=128" in out

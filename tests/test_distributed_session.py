@@ -1,0 +1,110 @@
+"""DistributedSession: store routing and transfer-edge accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.runner import DistributedRunner, DistributedSession
+from repro.core.transform.plan import hybrid_graph_plan, ps_graph_plan
+from repro.graph import gradients
+from repro.nn.models import build_lm
+from repro.nn.optimizers import GradientDescentOptimizer
+
+CLUSTER = ClusterSpec(num_machines=2, gpus_per_machine=2)
+
+
+def make_runner(plan_fn=hybrid_graph_plan, **kwargs):
+    defaults = dict(batch_size=4, vocab_size=30, seq_len=2, emb_dim=6,
+                    hidden=8, num_partitions=2, seed=0)
+    defaults.update(kwargs)
+    model = build_lm(**defaults)
+    with model.graph.as_default():
+        gvs = gradients(model.loss)
+        GradientDescentOptimizer(0.2).update(gvs)
+    return DistributedRunner(model, CLUSTER, plan_fn(model.graph), seed=1)
+
+
+class TestStoreRouting:
+    def test_ps_variables_live_in_ps_store(self):
+        runner = make_runner()
+        session = runner.session
+        for shard in runner.transformed.ps_placement:
+            value = session.ps_store.read(shard)
+            assert value is not None
+
+    def test_replica_variables_isolated_per_store(self):
+        runner = make_runner()
+        session = runner.session
+        name = "rep0/lstm/kernel"
+        original = session.replica_stores[0].read(name).copy()
+        # Mutating replica 1's copy of ITS variable must not affect rep0.
+        session.replica_stores[1].write(
+            "rep1/lstm/kernel",
+            np.zeros_like(session.replica_stores[1].read("rep1/lstm/kernel")),
+        )
+        np.testing.assert_array_equal(session.replica_stores[0].read(name),
+                                      original)
+
+    def test_replica_initial_values_identical(self):
+        runner = make_runner()
+        a = runner.replica_variable(0, "lstm/kernel")
+        b = runner.replica_variable(1, "lstm/kernel")
+        np.testing.assert_array_equal(a, b)
+
+    def test_inspection_helpers_reject_wrong_kind(self):
+        runner = make_runner()
+        with pytest.raises(KeyError):
+            runner.replica_variable(0, "embedding/part_0")  # PS variable
+        with pytest.raises(KeyError):
+            runner.server_variable("lstm/kernel")  # AR variable
+
+
+class TestEdgeAccounting:
+    def test_transcript_resets_seen_edges_per_run(self):
+        runner = make_runner()
+        runner.step(0)
+        first = runner.transcript.total_network_bytes("edge/shard_lookup")
+        runner.step(1)
+        second = runner.transcript.total_network_bytes("edge/shard_lookup")
+        # Second iteration recorded fresh pulls (monotone growth).
+        assert second > first
+
+    def test_pull_deduped_per_consumer_device(self):
+        """A dense PS variable read by many ops on one GPU counts once."""
+        runner = make_runner(plan_fn=lambda g: ps_graph_plan(g))
+        runner.step(0)
+        runner.transcript.clear()
+        runner.step(1)
+        pulls = [t for t in runner.transcript.transfers
+                 if t.tag == "edge/read_var"]
+        # lstm/kernel is consumed by multiple timestep matmuls per
+        # replica; each (variable, replica-device) pair appears once.
+        keyed = {}
+        for t in pulls:
+            keyed.setdefault((t.src_machine, t.dst_machine, t.nbytes),
+                             0)
+            keyed[(t.src_machine, t.dst_machine, t.nbytes)] += 1
+        kernel_bytes = 14 * 4 * 8 * 4  # (in+hid) x 4*hidden x float32
+        kernel_pulls = [t for t in pulls if t.nbytes == kernel_bytes]
+        # 2 remote GPUs pull the kernel (2 on the server's own machine
+        # are local): exactly 2 transfers.
+        assert len(kernel_pulls) == 2
+
+    def test_collective_edges_not_double_counted(self):
+        runner = make_runner()
+        runner.step(0)
+        runner.transcript.clear()
+        runner.step(1)
+        # allreduce input edges (grads from other replicas) must not be
+        # recorded by the generic edge recorder.
+        generic_from_grads = [
+            t for t in runner.transcript.transfers
+            if t.tag.startswith("edge/") and "allreduce" in t.tag
+        ]
+        assert not generic_from_grads
+
+    def test_session_requires_transformed_graph(self):
+        runner = make_runner()
+        # The public API: DistributedSession wraps a TransformedGraph.
+        session = DistributedSession(runner.transformed, seed=2)
+        assert session.cluster is CLUSTER

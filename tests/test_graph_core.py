@@ -1,0 +1,194 @@
+"""Graph IR: naming, device scoping, traversal, collections."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, get_default_graph, ops
+from repro.graph.device import DeviceSpec, canonicalize
+from repro.tensor.dense import TensorSpec
+
+
+class TestDeviceSpec:
+    def test_parse_gpu(self):
+        d = DeviceSpec.parse("/machine:3/gpu:1")
+        assert d == DeviceSpec.gpu(3, 1)
+        assert d.is_gpu
+
+    def test_parse_cpu(self):
+        d = DeviceSpec.parse("/machine:0/cpu:0")
+        assert d == DeviceSpec.cpu(0)
+        assert not d.is_gpu
+
+    def test_roundtrip_str(self):
+        d = DeviceSpec.gpu(2, 5)
+        assert DeviceSpec.parse(str(d)) == d
+
+    def test_malformed_rejected(self):
+        for bad in ("/gpu:0", "machine:0/gpu:0", "/machine:0/tpu:0", ""):
+            with pytest.raises(ValueError):
+                DeviceSpec.parse(bad)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(machine=-1, device_type="gpu", index=0)
+
+    def test_canonicalize_accepts_all_forms(self):
+        assert canonicalize(None) is None
+        assert canonicalize("/machine:0/gpu:0") == DeviceSpec.gpu(0, 0)
+        d = DeviceSpec.cpu(1)
+        assert canonicalize(d) is d
+
+    def test_canonicalize_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            canonicalize(42)
+
+
+class TestNaming:
+    def test_unique_names_generated(self):
+        g = Graph()
+        with g.as_default():
+            a = ops.constant(1.0, name="c")
+            b = ops.constant(2.0, name="c")
+        assert a.name == "c"
+        assert b.name == "c_1"
+
+    def test_get_op_unknown_raises(self):
+        g = Graph()
+        with pytest.raises(KeyError):
+            g.get_op("nope")
+
+    def test_has_op(self):
+        g = Graph()
+        with g.as_default():
+            ops.constant(1.0, name="c")
+        assert g.has_op("c")
+        assert not g.has_op("d")
+
+
+class TestDefaultGraph:
+    def test_as_default_scoping(self):
+        g1, g2 = Graph(), Graph()
+        with g1.as_default():
+            assert get_default_graph() is g1
+            with g2.as_default():
+                assert get_default_graph() is g2
+            assert get_default_graph() is g1
+
+    def test_fallback_graph_exists(self):
+        assert get_default_graph() is not None
+
+    def test_cross_graph_input_rejected(self):
+        g1, g2 = Graph(), Graph()
+        with g1.as_default():
+            a = ops.constant(1.0)
+        with g2.as_default():
+            with pytest.raises(ValueError):
+                ops.identity(a)
+
+
+class TestDeviceScoping:
+    def test_ops_pick_up_ambient_device(self):
+        g = Graph()
+        with g.as_default(), g.device("/machine:1/gpu:0"):
+            t = ops.constant(1.0)
+        assert t.op.device == DeviceSpec.gpu(1, 0)
+
+    def test_innermost_device_wins(self):
+        g = Graph()
+        with g.as_default(), g.device("/machine:0/gpu:0"):
+            with g.device("/machine:1/cpu:0"):
+                t = ops.constant(1.0)
+        assert t.op.device == DeviceSpec.cpu(1)
+
+    def test_explicit_device_overrides_scope(self):
+        g = Graph()
+        with g.as_default(), g.device("/machine:0/gpu:0"):
+            op = g.add_op("constant", [], TensorSpec(()),
+                          attrs={"value": np.float32(0)},
+                          device="/machine:2/cpu:0")
+        assert op.device == DeviceSpec.cpu(2)
+
+    def test_no_device_by_default(self):
+        g = Graph()
+        with g.as_default():
+            t = ops.constant(1.0)
+        assert t.op.device is None
+
+
+class TestTraversal:
+    def build_chain(self):
+        g = Graph()
+        with g.as_default():
+            a = ops.constant(np.ones((2, 2)), name="a")
+            b = ops.relu(a, name="b")
+            c = ops.relu(b, name="c")
+        return g, a, b, c
+
+    def test_topo_sort_order(self):
+        g, a, b, c = self.build_chain()
+        order = [op.name for op in g.topo_sort([c.op])]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_topo_sort_only_reachable(self):
+        g, a, b, c = self.build_chain()
+        with g.as_default():
+            ops.constant(0.0, name="orphan")
+        names = {op.name for op in g.topo_sort([c.op])}
+        assert "orphan" not in names
+
+    def test_ancestors(self):
+        g, a, b, c = self.build_chain()
+        anc = {op.name for op in g.ancestors([c.op])}
+        assert anc == {"a", "b", "c"}
+
+    def test_consumers(self):
+        g, a, b, c = self.build_chain()
+        assert [op.name for op in g.consumers(b.op)] == ["c"]
+
+    def test_control_inputs_in_topo(self):
+        g, a, b, c = self.build_chain()
+        with g.as_default():
+            d = ops.constant(0.0, name="d")
+        c.op.add_control_input(d.op)
+        names = [op.name for op in g.topo_sort([c.op])]
+        assert names.index("d") < names.index("c")
+
+    def test_control_input_cross_graph_rejected(self):
+        g, a, b, c = self.build_chain()
+        other = Graph()
+        with other.as_default():
+            x = ops.constant(0.0)
+        with pytest.raises(ValueError):
+            c.op.add_control_input(x.op)
+
+    def test_cycle_detected(self):
+        g, a, b, c = self.build_chain()
+        # Force a cycle through control edges.
+        a.op.add_control_input(c.op)
+        with pytest.raises(ValueError, match="cycle"):
+            g.topo_sort([c.op])
+
+
+class TestCollections:
+    def test_add_and_get(self):
+        g = Graph()
+        g.add_to_collection("stuff", 1)
+        g.add_to_collection("stuff", 2)
+        assert g.get_collection("stuff") == [1, 2]
+
+    def test_get_missing_is_empty(self):
+        assert Graph().get_collection("none") == []
+
+    def test_get_returns_copy(self):
+        g = Graph()
+        g.add_to_collection("stuff", 1)
+        g.get_collection("stuff").append(99)
+        assert g.get_collection("stuff") == [1]
+
+
+def test_len_counts_ops():
+    g = Graph()
+    with g.as_default():
+        ops.constant(1.0)
+        ops.constant(2.0)
+    assert len(g) == 2

@@ -1,0 +1,142 @@
+"""Model zoo (single-GPU behaviour) and cluster spec."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import PAPER_CLUSTER, ClusterSpec
+from repro.core.transform.plan import classify_variables
+from repro.graph import Session, gradients
+from repro.graph.device import DeviceSpec
+from repro.nn.models import build_inception, build_lm, build_nmt, build_resnet
+from repro.nn.optimizers import GradientDescentOptimizer
+
+
+def train_single_gpu(model, lr, iters):
+    with model.graph.as_default():
+        gvs = gradients(model.loss)
+        train = GradientDescentOptimizer(lr).update(gvs)
+    sess = Session(model.graph, seed=0)
+    losses = []
+    for i, batch in enumerate(model.dataset.batches(model.batch_size, iters)):
+        loss, _ = sess.run([model.loss, train], model.feed(batch))
+        losses.append(float(loss))
+    return losses
+
+
+class TestClusterSpec:
+    def test_paper_cluster(self):
+        assert PAPER_CLUSTER.total_gpus == 48
+        assert PAPER_CLUSTER.nic_bytes_per_sec == 12.5e9
+
+    def test_devices_ordered_machine_major(self):
+        spec = ClusterSpec(2, 2)
+        assert spec.gpu_devices() == [
+            DeviceSpec.gpu(0, 0), DeviceSpec.gpu(0, 1),
+            DeviceSpec.gpu(1, 0), DeviceSpec.gpu(1, 1),
+        ]
+
+    def test_server_devices(self):
+        assert ClusterSpec(3, 1).server_devices() == [
+            DeviceSpec.cpu(0), DeviceSpec.cpu(1), DeviceSpec.cpu(2)
+        ]
+
+    def test_machine_of_worker(self):
+        spec = ClusterSpec(2, 3)
+        assert [spec.machine_of_worker(i) for i in range(6)] == \
+            [0, 0, 0, 1, 1, 1]
+
+    def test_machine_of_worker_bounds(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(2, 3).machine_of_worker(6)
+
+    def test_workers_on_machine(self):
+        assert ClusterSpec(2, 3).workers_on_machine(1) == [3, 4, 5]
+
+    def test_scaled(self):
+        scaled = PAPER_CLUSTER.scaled(2)
+        assert scaled.num_machines == 2
+        assert scaled.gpus_per_machine == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(0, 1)
+        with pytest.raises(ValueError):
+            ClusterSpec(1, 0)
+        with pytest.raises(ValueError):
+            ClusterSpec(1, 1, nic_gbps=0)
+
+
+class TestModelZoo:
+    def test_resnet_learns(self):
+        model = build_resnet(batch_size=8, num_features=16, num_classes=4,
+                             width=16, num_blocks=2, seed=0)
+        losses = train_single_gpu(model, lr=0.1, iters=40)
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_inception_learns(self):
+        model = build_inception(batch_size=8, num_features=16, num_classes=4,
+                                width=8, num_modules=2, seed=0)
+        losses = train_single_gpu(model, lr=0.1, iters=40)
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_lm_learns(self):
+        model = build_lm(batch_size=16, vocab_size=30, seq_len=4,
+                         emb_dim=12, hidden=16, seed=0)
+        losses = train_single_gpu(model, lr=1.0, iters=60)
+        assert losses[-1] < losses[0] - 0.2
+
+    def test_nmt_learns(self):
+        model = build_nmt(batch_size=16, src_vocab=25, tgt_vocab=25,
+                          src_len=3, tgt_len=3, emb_dim=12, hidden=12,
+                          seed=0)
+        losses = train_single_gpu(model, lr=1.0, iters=60)
+        assert losses[-1] < losses[0] - 0.2
+
+    def test_image_models_are_dense(self):
+        for builder in (build_resnet, build_inception):
+            model = builder(batch_size=4, num_features=8, width=8, seed=0)
+            with model.graph.as_default():
+                gradients(model.loss)
+            assert not any(classify_variables(model.graph).values())
+
+    def test_nlp_models_are_sparse(self):
+        lm = build_lm(batch_size=4, vocab_size=20, seq_len=2, emb_dim=4,
+                      hidden=4, seed=0)
+        with lm.graph.as_default():
+            gradients(lm.loss)
+        classes = classify_variables(lm.graph)
+        assert classes["embedding"] is True
+        assert any(not sparse for sparse in classes.values())
+
+    def test_nmt_has_two_sparse_embeddings(self):
+        model = build_nmt(batch_size=4, src_vocab=20, tgt_vocab=20,
+                          src_len=2, tgt_len=2, emb_dim=6, hidden=6, seed=0)
+        with model.graph.as_default():
+            gradients(model.loss)
+        sparse = [n for n, s in classify_variables(model.graph).items() if s]
+        assert set(sparse) == {"encoder/embedding", "decoder/embedding"}
+
+    def test_nmt_requires_matching_dims(self):
+        with pytest.raises(ValueError):
+            build_nmt(emb_dim=8, hidden=16)
+
+    def test_feed_maps_placeholders(self):
+        model = build_lm(batch_size=4, vocab_size=20, seq_len=2,
+                         emb_dim=4, hidden=4, seed=0)
+        batch = model.dataset.batch(4, 0)
+        feed = model.feed(batch)
+        assert set(t.name for t in feed) == {"tokens", "targets"}
+
+    def test_feed_arity_checked(self):
+        model = build_lm(batch_size=4, vocab_size=20, seq_len=2,
+                         emb_dim=4, hidden=4, seed=0)
+        with pytest.raises(ValueError):
+            model.feed((np.zeros((4, 2)),))
+
+    def test_logits_exposed_for_metrics(self):
+        model = build_resnet(batch_size=4, num_features=8, width=8,
+                             num_blocks=1, seed=0)
+        sess = Session(model.graph, seed=0)
+        batch = model.dataset.batch(4, 0)
+        logits = sess.run(model.logits, model.feed(batch))
+        assert logits.shape == (4, 10)

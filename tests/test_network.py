@@ -1,0 +1,124 @@
+"""Fluid network model: max-min fairness and flow completion times."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import (
+    Flow,
+    flows_from_matrix,
+    maxmin_rates,
+    simulate_flows,
+)
+
+BW = 100.0  # bytes/sec for readable arithmetic
+
+
+def caps(machines, bw=BW):
+    out = {}
+    for m in machines:
+        out[("out", m)] = bw
+        out[("in", m)] = bw
+    return out
+
+
+class TestMaxminRates:
+    def test_single_flow_gets_full_bandwidth(self):
+        flows = [Flow(0, 1, 100)]
+        assert maxmin_rates(flows, caps([0, 1])) == [BW]
+
+    def test_shared_egress_split_equally(self):
+        flows = [Flow(0, 1, 100), Flow(0, 2, 100)]
+        assert maxmin_rates(flows, caps([0, 1, 2])) == [BW / 2, BW / 2]
+
+    def test_unconstrained_flow_takes_leftover(self):
+        # Flows 0->1 and 0->2 share machine 0 egress; flow 3->2 then shares
+        # machine 2 ingress with flow 0->2 but can use the slack.
+        flows = [Flow(0, 1, 100), Flow(0, 2, 100), Flow(3, 2, 100)]
+        rates = maxmin_rates(flows, caps([0, 1, 2, 3]))
+        assert rates[0] == pytest.approx(BW / 2)
+        assert rates[1] == pytest.approx(BW / 2)
+        assert rates[2] == pytest.approx(BW / 2)
+
+    def test_incast_shares_ingress(self):
+        flows = [Flow(m, 0, 100) for m in range(1, 5)]
+        rates = maxmin_rates(flows, caps(range(5)))
+        assert rates == [BW / 4] * 4
+
+    def test_missing_capacity_raises(self):
+        with pytest.raises(KeyError):
+            maxmin_rates([Flow(0, 9, 10)], caps([0]))
+
+
+class TestSimulateFlows:
+    def test_single_flow_time(self):
+        assert simulate_flows([Flow(0, 1, 500)], BW) == pytest.approx(5.0)
+
+    def test_intra_machine_free(self):
+        assert simulate_flows([Flow(0, 0, 10 ** 9)], BW) == 0.0
+
+    def test_empty(self):
+        assert simulate_flows([], BW) == 0.0
+
+    def test_two_equal_flows_one_bottleneck(self):
+        flows = [Flow(0, 1, 100), Flow(0, 2, 100)]
+        assert simulate_flows(flows, BW) == pytest.approx(2.0)
+
+    def test_rates_recomputed_after_completion(self):
+        """A short flow finishes, freeing bandwidth for the longer one."""
+        flows = [Flow(0, 1, 100), Flow(0, 2, 300)]
+        # Phase 1: both at 50 B/s until the short one ends at t=2 (300-flow
+        # has 200 left).  Phase 2: 200 at full 100 B/s -> +2s.  Total 4.
+        assert simulate_flows(flows, BW) == pytest.approx(4.0)
+
+    def test_ps_hot_spot_asymmetry(self):
+        """The paper's section 3.1 argument: a server machine egressing
+        w(N-1) bytes finishes ~(N-1)x later than symmetric peers."""
+        n, w = 5, 1000
+        server_flows = [Flow(0, m, w) for m in range(1, n)]
+        hot = simulate_flows(server_flows, BW)
+        balanced = [Flow(m, (m + 1) % n, w) for m in range(n)]
+        cool = simulate_flows(balanced, BW)
+        assert hot == pytest.approx((n - 1) * w / BW)
+        assert cool == pytest.approx(w / BW)
+        assert hot / cool == pytest.approx(n - 1)
+
+    def test_stages_are_barriers(self):
+        flows = [Flow(0, 1, 100, stage=0), Flow(0, 1, 100, stage=1)]
+        assert simulate_flows(flows, BW) == pytest.approx(2.0)
+
+    def test_per_stage_latency(self):
+        flows = [Flow(0, 1, 100, stage=s) for s in range(3)]
+        total = simulate_flows(flows, BW, per_stage_latency=0.5)
+        assert total == pytest.approx(3 * (1.0 + 0.5))
+
+    def test_full_duplex(self):
+        """Opposite directions between two machines don't contend."""
+        flows = [Flow(0, 1, 100), Flow(1, 0, 100)]
+        assert simulate_flows(flows, BW) == pytest.approx(1.0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_flows([Flow(0, 1, 10)], 0.0)
+
+    def test_explicit_capacity_map(self):
+        capacity = caps([0, 1], bw=50.0)
+        t = simulate_flows([Flow(0, 1, 100)], BW, capacity=capacity)
+        assert t == pytest.approx(2.0)
+
+
+class TestFlowsFromMatrix:
+    def test_builds_flows(self):
+        flows = flows_from_matrix({(0, 1): 10.0, (1, 0): 20.0}, tag="x")
+        assert len(flows) == 2
+        assert {(f.src, f.dst, f.nbytes) for f in flows} == {
+            (0, 1, 10.0), (1, 0, 20.0)
+        }
+
+    def test_zero_entries_dropped(self):
+        assert flows_from_matrix({(0, 1): 0.0}) == []
+
+    def test_deterministic_order(self):
+        m = {(1, 0): 5.0, (0, 1): 5.0}
+        assert [(f.src, f.dst) for f in flows_from_matrix(m)] == [
+            (0, 1), (1, 0)
+        ]

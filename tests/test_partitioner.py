@@ -1,0 +1,176 @@
+"""Partition search: Equation-1 fitting and the bracket search."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.partitioner import (
+    PartitionCostModel,
+    PartitionSearch,
+    brute_force_search,
+    fit_cost_model,
+)
+
+
+def eq1(theta0, theta1, theta2):
+    return lambda p: theta0 + theta1 / p + theta2 * p
+
+
+class TestCostModel:
+    def test_predict(self):
+        model = PartitionCostModel(1.0, 8.0, 0.5)
+        assert model.predict(4) == pytest.approx(1.0 + 2.0 + 2.0)
+
+    def test_predict_invalid_p(self):
+        with pytest.raises(ValueError):
+            PartitionCostModel(1, 1, 1).predict(0)
+
+    def test_best_partitions_interior(self):
+        # minimum at sqrt(theta1/theta2) = sqrt(64) = 8
+        model = PartitionCostModel(1.0, 64.0, 1.0)
+        assert model.best_partitions(1, 100) == 8
+
+    def test_best_partitions_clamped_low(self):
+        model = PartitionCostModel(1.0, 64.0, 1.0)
+        assert model.best_partitions(16, 100) == 16
+
+    def test_best_partitions_clamped_high(self):
+        model = PartitionCostModel(1.0, 64.0, 1.0)
+        assert model.best_partitions(1, 4) == 4
+
+    def test_no_penalty_prefers_max(self):
+        model = PartitionCostModel(1.0, 64.0, 0.0)
+        assert model.best_partitions(1, 32) == 32
+
+    def test_no_gain_prefers_min(self):
+        model = PartitionCostModel(1.0, 0.0, 1.0)
+        assert model.best_partitions(2, 32) == 2
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionCostModel(1, 1, 1).best_partitions(5, 4)
+
+
+class TestFit:
+    def test_exact_recovery(self):
+        truth = (0.7, 12.0, 0.03)
+        f = eq1(*truth)
+        samples = [(p, f(p)) for p in (1, 2, 4, 8, 16, 32)]
+        model = fit_cost_model(samples)
+        assert model.theta0 == pytest.approx(truth[0], rel=1e-6)
+        assert model.theta1 == pytest.approx(truth[1], rel=1e-6)
+        assert model.theta2 == pytest.approx(truth[2], rel=1e-6)
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(0)
+        f = eq1(1.0, 20.0, 0.05)
+        samples = [(p, f(p) * (1 + rng.normal(0, 0.01)))
+                   for p in (1, 2, 4, 8, 16, 32, 64, 128)]
+        model = fit_cost_model(samples)
+        best = model.best_partitions(1, 128)
+        true_best = int(round(math.sqrt(20.0 / 0.05)))
+        assert abs(math.log2(best) - math.log2(true_best)) < 1.0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cost_model([(1, 1.0), (2, 0.5)])
+
+
+class TestBracketSearch:
+    def test_finds_convex_minimum(self):
+        f = eq1(0.5, 16.0, 0.01)  # continuous optimum at 40
+        search = PartitionSearch(f, initial=8, max_partitions=1024)
+        result = search.run()
+        assert f(result.best_partitions) <= f(8) and \
+            f(result.best_partitions) <= f(128)
+        assert 16 <= result.best_partitions <= 128
+
+    def test_doubles_until_increase(self):
+        f = eq1(0.1, 100.0, 1e-4)  # optimum at 1000
+        search = PartitionSearch(f, initial=4, max_partitions=4096)
+        result = search.run()
+        sampled_ps = [p for p, _ in result.samples]
+        assert max(sampled_ps) >= 1024
+
+    def test_halves_below_initial(self):
+        f = eq1(0.1, 0.5, 0.05)  # optimum near 3
+        search = PartitionSearch(f, initial=64, max_partitions=1024)
+        result = search.run()
+        assert min(p for p, _ in result.samples) <= 4
+        assert result.best_partitions <= 8
+
+    def test_no_extrapolation_beyond_samples(self):
+        f = eq1(0.5, 16.0, 0.01)
+        search = PartitionSearch(f, initial=8, max_partitions=1024)
+        result = search.run()
+        lo = min(p for p, _ in result.samples)
+        hi = max(p for p, _ in result.samples)
+        assert lo <= result.best_partitions <= hi
+
+    def test_respects_max_partitions(self):
+        f = eq1(0.1, 100.0, 0.0)  # always better to grow
+        search = PartitionSearch(f, initial=4, max_partitions=32)
+        result = search.run()
+        assert result.best_partitions <= 32
+
+    def test_measure_called_once_per_p(self):
+        calls = []
+
+        def measure(p):
+            calls.append(p)
+            return eq1(0.5, 16.0, 0.01)(p)
+
+        PartitionSearch(measure, initial=8, max_partitions=256).run()
+        assert len(calls) == len(set(calls))
+
+    def test_sample_count_small(self):
+        """Paper section 6.5: 'at most 5 runs' vs brute force's 50+."""
+        f = eq1(0.5, 16.0, 0.01)
+        result = PartitionSearch(f, initial=8, max_partitions=1024).run()
+        assert result.num_samples <= 8
+
+    def test_never_worse_than_best_sample(self):
+        rng = np.random.default_rng(3)
+
+        def noisy(p):
+            return eq1(0.5, 16.0, 0.01)(p) * (1 + rng.normal(0, 0.05))
+
+        search = PartitionSearch(noisy, initial=8, max_partitions=1024)
+        result = search.run()
+        best_sampled = min(t for _, t in result.samples)
+        assert search._time(result.best_partitions) <= best_sampled * 1.001
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionSearch(lambda p: p, initial=4, min_partitions=8,
+                            max_partitions=4)
+
+    def test_initial_clamped_into_bounds(self):
+        f = eq1(0.5, 4.0, 0.1)
+        search = PartitionSearch(f, initial=1000, max_partitions=16)
+        result = search.run()
+        assert all(p <= 16 for p, _ in result.samples)
+
+
+class TestBruteForce:
+    def test_scans_until_drop(self):
+        f = eq1(0.5, 16.0, 0.01)
+        result = brute_force_search(f, min_partitions=2, max_partitions=4096)
+        ps = [p for p, _ in result.samples]
+        # Stops soon after the curve turns up by >10%.
+        assert max(ps) >= 64
+        assert f(result.best_partitions) == min(f(p) for p in ps)
+
+    def test_more_samples_than_parallax(self):
+        f = eq1(0.5, 16.0, 0.01)
+        brute = brute_force_search(f, 2, 4096)
+        smart = PartitionSearch(f, initial=8, max_partitions=4096).run()
+        assert brute.num_samples >= smart.num_samples
+
+    def test_quality_close_to_brute_force(self):
+        """Table 5: Parallax within 5% of the brute-force optimum."""
+        f = eq1(0.5, 16.0, 0.01)
+        brute = brute_force_search(f, 2, 4096)
+        smart = PartitionSearch(f, initial=8, max_partitions=4096).run()
+        assert f(smart.best_partitions) <= 1.05 * f(brute.best_partitions)

@@ -1,0 +1,207 @@
+"""SyncPlan validation and strategy (baseline/hybrid) plan builders."""
+
+import pytest
+
+from repro.baselines import horovod_plan, opt_ps_plan, tf_ps_plan
+from repro.cluster.plan import SyncMethod, SyncPlan, VariableAssignment
+from repro.core.hybrid import hybrid_plan
+from repro.nn.profiles import (
+    PAPER_PROFILES,
+    VariableProfile,
+    lm_profile,
+    nmt_profile,
+    resnet50_profile,
+)
+
+
+def dense_var(name="w", elements=1000):
+    return VariableProfile(name, elements)
+
+
+def sparse_var(name="emb", elements=1000, alpha=0.1, rows=100):
+    return VariableProfile(name, elements, is_sparse=True, alpha=alpha,
+                           rows=rows)
+
+
+class TestVariableAssignment:
+    def test_partitioning_requires_ps(self):
+        with pytest.raises(ValueError, match="partitioning"):
+            VariableAssignment(sparse_var(), SyncMethod.ALLGATHERV,
+                               num_partitions=4)
+
+    def test_partitions_bounded_by_rows(self):
+        with pytest.raises(ValueError):
+            VariableAssignment(sparse_var(rows=4), SyncMethod.PS,
+                               num_partitions=8)
+
+    def test_shard_nbytes(self):
+        a = VariableAssignment(sparse_var(elements=1000, rows=100),
+                               SyncMethod.PS, num_partitions=4)
+        assert a.shard_nbytes == 1000 * 4 / 4
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            VariableAssignment(dense_var(), SyncMethod.PS, num_partitions=0)
+
+
+class TestSyncPlan:
+    def make_plan(self):
+        return SyncPlan(
+            "test",
+            [
+                VariableAssignment(dense_var("a"), SyncMethod.ALLREDUCE),
+                VariableAssignment(sparse_var("b"), SyncMethod.PS,
+                                   num_partitions=2),
+                VariableAssignment(sparse_var("c"), SyncMethod.ALLGATHERV),
+            ],
+        )
+
+    def test_by_method(self):
+        plan = self.make_plan()
+        assert len(plan.by_method(SyncMethod.PS)) == 1
+        assert len(plan.gatherv_assignments) == 1
+        assert plan.allreduce_bytes == 4000
+
+    def test_with_partitions_only_touches_sparse_ps(self):
+        plan = self.make_plan().with_partitions(8)
+        by_name = {a.variable.name: a for a in plan.assignments}
+        assert by_name["b"].num_partitions == 8
+        assert by_name["a"].num_partitions == 1
+        assert by_name["c"].num_partitions == 1
+
+    def test_with_partitions_clamps_to_rows(self):
+        plan = self.make_plan().with_partitions(1000)
+        by_name = {a.variable.name: a for a in plan.assignments}
+        assert by_name["b"].num_partitions == 100
+
+    def test_describe_mentions_every_variable(self):
+        text = self.make_plan().describe()
+        for name in ("a", "b", "c"):
+            assert name in text
+
+
+class TestVariableProfile:
+    def test_sparse_requires_rows(self):
+        with pytest.raises(ValueError):
+            VariableProfile("x", 10, is_sparse=True, alpha=0.5)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            VariableProfile("x", 10, alpha=0.0)
+        with pytest.raises(ValueError):
+            VariableProfile("x", 10, alpha=1.5)
+
+    def test_grad_bytes_sparse_scaled_by_alpha(self):
+        v = sparse_var(elements=1000, alpha=0.25, rows=100)
+        assert v.grad_nbytes == 1000 * 0.25 * 4
+
+    def test_grad_bytes_dense_full(self):
+        assert dense_var(elements=10).grad_nbytes == 40
+
+
+class TestBaselinePlans:
+    def test_tf_ps_everything_on_ps(self):
+        plan = tf_ps_plan(lm_profile(), num_partitions=16)
+        assert all(a.method is SyncMethod.PS for a in plan.assignments)
+        assert not plan.local_aggregation
+        assert not plan.smart_placement
+
+    def test_tf_ps_partitions_only_sparse(self):
+        plan = tf_ps_plan(lm_profile(), num_partitions=16)
+        for a in plan.assignments:
+            if a.variable.is_sparse:
+                assert a.num_partitions == 16
+            else:
+                assert a.num_partitions == 1
+
+    def test_horovod_split_by_sparsity(self):
+        plan = horovod_plan(lm_profile())
+        for a in plan.assignments:
+            expected = (SyncMethod.ALLGATHERV if a.variable.is_sparse
+                        else SyncMethod.ALLREDUCE)
+            assert a.method is expected
+
+    def test_opt_ps_enables_optimizations(self):
+        plan = opt_ps_plan(nmt_profile(), num_partitions=8)
+        assert plan.local_aggregation and plan.smart_placement
+        assert all(a.method is SyncMethod.PS for a in plan.assignments)
+
+
+class TestHybridPlan:
+    def test_dense_to_ar_sparse_to_ps(self):
+        plan = hybrid_plan(nmt_profile(), num_partitions=4)
+        for a in plan.assignments:
+            expected = (SyncMethod.PS if a.variable.is_sparse
+                        else SyncMethod.ALLREDUCE)
+            assert a.method is expected
+
+    def test_dense_model_is_pure_ar(self):
+        plan = hybrid_plan(resnet50_profile())
+        assert all(a.method is SyncMethod.ALLREDUCE
+                   for a in plan.assignments)
+        assert not plan.ps_assignments
+
+    def test_near_dense_sparse_variable_allreduced(self):
+        profile = nmt_profile()
+        high_alpha = VariableProfile("hot", 1000, is_sparse=True,
+                                     alpha=0.97, rows=100)
+        profile = type(profile)(
+            name="custom",
+            variables=list(profile.variables) + [high_alpha],
+            batch_per_gpu=8, units_per_sample=1, unit="words",
+            gpu_time_per_iter=0.1,
+        )
+        plan = hybrid_plan(profile, sparse_as_dense_threshold=0.95)
+        by_name = {a.variable.name: a for a in plan.assignments}
+        assert by_name["hot"].method is SyncMethod.ALLREDUCE
+        assert by_name["encoder/embedding"].method is SyncMethod.PS
+
+    def test_optimizations_default_on(self):
+        plan = hybrid_plan(lm_profile())
+        assert plan.local_aggregation and plan.smart_placement
+
+
+class TestPaperProfiles:
+    def test_table1_element_counts(self):
+        profiles = PAPER_PROFILES()
+        assert profiles["resnet50"].dense_elements == pytest.approx(
+            23.8e6, rel=0.001)
+        assert profiles["resnet50"].sparse_elements == 0
+        assert profiles["inception_v3"].dense_elements == pytest.approx(
+            25.6e6, rel=0.001)
+        assert profiles["lm"].dense_elements == pytest.approx(9.4e6, rel=0.01)
+        assert profiles["lm"].sparse_elements == pytest.approx(813.3e6,
+                                                               rel=0.001)
+        assert profiles["nmt"].dense_elements == pytest.approx(94.1e6,
+                                                               rel=0.001)
+        assert profiles["nmt"].sparse_elements == pytest.approx(74.9e6,
+                                                                rel=0.001)
+
+    def test_lm_alpha_model_matches_table1(self):
+        assert lm_profile().alpha_model == pytest.approx(0.02, abs=0.002)
+
+    def test_resnet_fc_is_largest_dense_variable(self):
+        """Paper: 'the largest variable in ... Inception-V3, weight of the
+        fully connected layer, has 2.05 million elements.'"""
+        profile = resnet50_profile()
+        fc = profile.get_variable("fc")
+        assert fc.num_elements == 2_049_000
+        biggest = max(profile.variables, key=lambda v: v.num_elements)
+        assert biggest.num_elements <= 4_456_448  # stage4 conv before scaling
+
+    def test_lm_largest_sparse_variable_406m(self):
+        """Paper: 'the embedding matrix has 406 million elements.'"""
+        profile = lm_profile()
+        emb = profile.get_variable("embedding")
+        assert emb.num_elements == pytest.approx(406e6, rel=0.01)
+
+    def test_dense_models_alpha_one(self):
+        assert resnet50_profile().alpha_model == 1.0
+
+    def test_units_per_iteration(self):
+        lm = lm_profile()
+        assert lm.units_per_iteration(48) == 48 * 128 * 20
+
+    def test_get_variable_unknown_raises(self):
+        with pytest.raises(KeyError):
+            lm_profile().get_variable("nope")

@@ -1,0 +1,126 @@
+"""PS accumulators and variable placement."""
+
+import numpy as np
+import pytest
+
+from repro.comm.ps import DenseAccumulator, SparseAccumulator, place_variables
+from repro.tensor.sparse import IndexedSlices
+
+
+class TestDenseAccumulator:
+    def test_sums_contributions(self):
+        acc = DenseAccumulator(num_required=3)
+        for i in range(3):
+            acc.apply_grad(np.full(4, float(i), dtype=np.float32))
+        np.testing.assert_array_equal(acc.take(), np.full(4, 3.0))
+
+    def test_average_mode(self):
+        acc = DenseAccumulator(num_required=2, average=True)
+        acc.apply_grad(np.zeros(3))
+        acc.apply_grad(np.full(3, 4.0))
+        np.testing.assert_array_equal(acc.take(), np.full(3, 2.0))
+
+    def test_take_before_ready_rejected(self):
+        acc = DenseAccumulator(num_required=2)
+        acc.apply_grad(np.zeros(2))
+        assert not acc.ready
+        with pytest.raises(RuntimeError, match="1/2"):
+            acc.take()
+
+    def test_take_resets(self):
+        acc = DenseAccumulator(num_required=1)
+        acc.apply_grad(np.ones(2))
+        acc.take()
+        assert acc.count == 0
+        acc.apply_grad(np.full(2, 7.0))
+        np.testing.assert_array_equal(acc.take(), np.full(2, 7.0))
+
+    def test_shape_mismatch_rejected(self):
+        acc = DenseAccumulator(num_required=2)
+        acc.apply_grad(np.zeros(3))
+        with pytest.raises(ValueError):
+            acc.apply_grad(np.zeros(4))
+
+    def test_num_required_validated(self):
+        with pytest.raises(ValueError):
+            DenseAccumulator(0)
+
+
+class TestSparseAccumulator:
+    def slices(self, indices, value=1.0, shape=(10, 2)):
+        vals = np.full((len(indices), shape[1]), value, dtype=np.float32)
+        return IndexedSlices(vals, indices, shape)
+
+    def test_combines_duplicate_indices_on_take(self):
+        acc = SparseAccumulator(num_required=2)
+        acc.apply_grad(self.slices([1, 3]))
+        acc.apply_grad(self.slices([3, 5]))
+        result = acc.take()
+        assert list(result.indices) == [1, 3, 5]
+        np.testing.assert_array_equal(result.to_dense()[3], [2.0, 2.0])
+
+    def test_average_divides_by_contributions(self):
+        acc = SparseAccumulator(num_required=2, average=True)
+        acc.apply_grad(self.slices([0], value=4.0))
+        acc.apply_grad(self.slices([0], value=0.0))
+        np.testing.assert_array_equal(acc.take().to_dense()[0], [2.0, 2.0])
+
+    def test_rejects_dense_input(self):
+        acc = SparseAccumulator(num_required=1)
+        with pytest.raises(TypeError):
+            acc.apply_grad(np.zeros((2, 2)))
+
+    def test_rejects_shape_mismatch(self):
+        acc = SparseAccumulator(num_required=2)
+        acc.apply_grad(self.slices([0]))
+        with pytest.raises(ValueError):
+            acc.apply_grad(self.slices([0], shape=(20, 2)))
+
+    def test_contributions_copied(self):
+        acc = SparseAccumulator(num_required=1)
+        grad = self.slices([0])
+        acc.apply_grad(grad)
+        grad.values[0, 0] = 99.0
+        np.testing.assert_array_equal(acc.take().values[0], [1.0, 1.0])
+
+    def test_take_before_ready_rejected(self):
+        acc = SparseAccumulator(num_required=3)
+        acc.apply_grad(self.slices([0]))
+        with pytest.raises(RuntimeError):
+            acc.take()
+
+
+class TestPlacement:
+    def test_every_variable_placed(self):
+        sizes = [(f"v{i}", 100) for i in range(10)]
+        placement = place_variables(sizes, 4)
+        assert set(placement) == {f"v{i}" for i in range(10)}
+        assert all(0 <= s < 4 for s in placement.values())
+
+    def test_balanced_for_equal_sizes(self):
+        sizes = [(f"v{i}", 100) for i in range(8)]
+        placement = place_variables(sizes, 4)
+        loads = np.bincount(list(placement.values()), minlength=4)
+        assert loads.tolist() == [2, 2, 2, 2]
+
+    def test_greedy_balances_skewed_sizes(self):
+        """One huge variable gets its own server; small ones fill others."""
+        sizes = [("big", 1000)] + [(f"s{i}", 100) for i in range(9)]
+        placement = place_variables(sizes, 3)
+        loads = [0, 0, 0]
+        for name, size in sizes:
+            loads[placement[name]] += size
+        # Greedy bound: max load <= ideal + largest small item.
+        assert max(loads) <= 1000
+
+    def test_deterministic(self):
+        sizes = [(f"v{i}", (i * 37) % 11 + 1) for i in range(20)]
+        assert place_variables(sizes, 5) == place_variables(sizes, 5)
+
+    def test_single_server(self):
+        placement = place_variables([("a", 1), ("b", 2)], 1)
+        assert placement == {"a": 0, "b": 0}
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            place_variables([("a", 1)], 0)

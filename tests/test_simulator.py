@@ -1,0 +1,295 @@
+"""Performance simulator: transfer-model consistency and paper orderings."""
+
+import pytest
+
+from repro.baselines import horovod_plan, opt_ps_plan, tf_ps_plan
+from repro.cluster.costmodel import CostModel, union_alpha
+from repro.cluster.plan import SyncMethod, SyncPlan, VariableAssignment
+from repro.cluster.simulator import (
+    shard_assignments,
+    simulate_iteration,
+    throughput,
+)
+from repro.cluster.spec import PAPER_CLUSTER, ClusterSpec
+from repro.core.hybrid import hybrid_plan
+from repro.nn.profiles import (
+    PAPER_PROFILES,
+    ModelProfile,
+    VariableProfile,
+    lm_profile,
+    resnet50_profile,
+)
+
+
+def single_var_profile(is_sparse: bool, elements=1_000_000, alpha=0.1):
+    var = VariableProfile("v", elements, is_sparse=is_sparse,
+                          alpha=alpha if is_sparse else 1.0,
+                          rows=elements if is_sparse else None)
+    return ModelProfile(name="single", variables=[var], batch_per_gpu=8,
+                        units_per_sample=1, unit="images",
+                        gpu_time_per_iter=0.05)
+
+
+class TestShardAssignments:
+    def test_partitions_expand_to_shards(self):
+        profile = lm_profile()
+        plan = tf_ps_plan(profile, num_partitions=8)
+        shards = shard_assignments(plan, PAPER_CLUSTER)
+        sparse_shards = [s for s in shards if s.is_sparse]
+        assert len(sparse_shards) == 3 * 8
+
+    def test_shards_spread_across_servers(self):
+        profile = lm_profile()
+        plan = tf_ps_plan(profile, num_partitions=16)
+        shards = shard_assignments(plan, PAPER_CLUSTER)
+        servers = {s.server for s in shards}
+        assert servers == set(range(8))
+
+    def test_shard_sizes_sum_to_variable(self):
+        profile = lm_profile()
+        plan = tf_ps_plan(profile, num_partitions=8)
+        shards = shard_assignments(plan, PAPER_CLUSTER)
+        emb_bytes = sum(s.nbytes for s in shards
+                        if s.name.startswith("embedding/"))
+        assert emb_bytes == pytest.approx(
+            profile.get_variable("embedding").nbytes)
+
+
+class TestArchitectureOrderings:
+    """The paper's Table 1 claim: AR wins on dense, PS wins on sparse."""
+
+    def test_ar_beats_ps_on_dense_models(self):
+        for name in ("resnet50", "inception_v3"):
+            profile = PAPER_PROFILES()[name]
+            ar = throughput(profile, horovod_plan(profile), PAPER_CLUSTER)
+            ps = throughput(profile, tf_ps_plan(profile), PAPER_CLUSTER)
+            assert ar > ps, name
+
+    def test_ps_beats_ar_on_sparse_models(self):
+        for name, partitions in (("lm", 128), ("nmt", 64)):
+            profile = PAPER_PROFILES()[name]
+            ar = throughput(profile, horovod_plan(profile), PAPER_CLUSTER)
+            ps = throughput(profile, tf_ps_plan(profile, partitions),
+                            PAPER_CLUSTER)
+            assert ps > ar, name
+
+    def test_hybrid_at_least_matches_best_pure(self):
+        """Table 4: HYB >= max(AR, OptPS) for the sparse models."""
+        for name, partitions in (("lm", 128), ("nmt", 64)):
+            profile = PAPER_PROFILES()[name]
+            hyb = throughput(profile, hybrid_plan(profile, partitions),
+                             PAPER_CLUSTER)
+            ar = throughput(profile, horovod_plan(profile), PAPER_CLUSTER)
+            opt = throughput(profile, opt_ps_plan(profile, partitions),
+                             PAPER_CLUSTER)
+            assert hyb >= 0.99 * max(ar, opt), name
+
+    def test_opt_ps_beats_naive_ps_on_sparse(self):
+        for name, partitions in (("lm", 128), ("nmt", 64)):
+            profile = PAPER_PROFILES()[name]
+            naive = throughput(profile, tf_ps_plan(profile, partitions),
+                               PAPER_CLUSTER)
+            opt = throughput(profile, opt_ps_plan(profile, partitions),
+                             PAPER_CLUSTER)
+            assert opt > naive, name
+
+    def test_hybrid_equals_horovod_on_dense(self):
+        """Parallax uses pure AR for dense models (paper section 6.2)."""
+        profile = resnet50_profile()
+        hyb = throughput(profile, hybrid_plan(profile), PAPER_CLUSTER)
+        ar = throughput(profile, horovod_plan(profile), PAPER_CLUSTER)
+        assert hyb == pytest.approx(ar, rel=1e-6)
+
+
+class TestScalingShapes:
+    def test_parallax_scales_with_machines(self):
+        """Fig 8: Parallax throughput grows with machine count."""
+        for name, partitions in (("resnet50", 1), ("lm", 128), ("nmt", 64)):
+            profile = PAPER_PROFILES()[name]
+            values = [
+                throughput(profile, hybrid_plan(profile, partitions),
+                           ClusterSpec(n, 6))
+                for n in (1, 2, 4, 8)
+            ]
+            assert values == sorted(values), name
+
+    def test_horovod_lm_flat(self):
+        """Fig 8(c): Horovod LM barely scales (gatherv volume grows with
+        worker count as fast as compute capacity does)."""
+        profile = lm_profile()
+        t1 = throughput(profile, horovod_plan(profile), ClusterSpec(1, 6))
+        t8 = throughput(profile, horovod_plan(profile), ClusterSpec(8, 6))
+        assert t8 < 1.5 * t1
+
+    def test_parallax_speedup_over_tfps_grows_with_scale(self):
+        """Fig 8(c)/(d): the Parallax advantage widens with machines."""
+        profile = lm_profile()
+        ratios = []
+        for n in (2, 8):
+            cluster = ClusterSpec(n, 6)
+            hyb = throughput(profile, hybrid_plan(profile, 128), cluster)
+            ps = throughput(profile, tf_ps_plan(profile, 128), cluster)
+            ratios.append(hyb / ps)
+        assert ratios[1] > ratios[0]
+
+    def test_single_gpu_no_comm(self):
+        profile = resnet50_profile()
+        b = simulate_iteration(profile, hybrid_plan(profile),
+                               ClusterSpec(1, 1))
+        assert b.iteration_time == pytest.approx(profile.gpu_time_per_iter)
+
+
+class TestPartitionBehaviour:
+    def test_partition_curve_convex_for_lm(self):
+        """Table 2: throughput rises then falls as P grows."""
+        profile = lm_profile()
+        values = {
+            p: throughput(profile, tf_ps_plan(profile, p), PAPER_CLUSTER)
+            for p in (1, 8, 64, 128, 1024)
+        }
+        assert values[8] > values[1]
+        assert values[64] > values[8]
+        assert values[1024] < values[128]
+
+    def test_iteration_time_has_equation1_shape(self):
+        """iter(P) ~ theta0 + theta1/P + theta2*P: the marginal gain of
+        doubling P shrinks, and large P adds linear cost."""
+        profile = lm_profile()
+        times = {
+            p: simulate_iteration(profile, tf_ps_plan(profile, p),
+                                  PAPER_CLUSTER).iteration_time
+            for p in (4, 8, 16, 512, 1024)
+        }
+        gain_small = times[4] - times[8]
+        gain_next = times[8] - times[16]
+        assert gain_small > gain_next > 0
+        assert times[1024] > times[512]
+
+
+class TestTransferModel:
+    """Per-machine PS flow bytes vs the closed forms of paper Table 3."""
+
+    def test_dense_ps_pull_push_bytes(self):
+        cluster = ClusterSpec(4, 1)  # one worker per machine, as in Table 3
+        profile = single_var_profile(is_sparse=False)
+        plan = tf_ps_plan(profile)
+        b = simulate_iteration(profile, plan, cluster)
+        w = profile.variables[0].nbytes
+        n = cluster.num_machines
+        server = shard_assignments(plan, cluster)[0].server
+        out_bytes = sum(v for (src, dst), v in b.ps_flow_bytes.items()
+                        if src == server)
+        in_bytes = sum(v for (src, dst), v in b.ps_flow_bytes.items()
+                       if dst == server)
+        # Table 3, PS dense, one variable: 2w(N-1) total for the server.
+        assert out_bytes == pytest.approx(w * (n - 1))
+        assert in_bytes == pytest.approx(w * (n - 1))
+
+    def test_sparse_ps_bytes_scaled_by_alpha(self):
+        cluster = ClusterSpec(4, 1)
+        alpha = 0.2
+        profile = single_var_profile(is_sparse=True, alpha=alpha)
+        plan = tf_ps_plan(profile)
+        b = simulate_iteration(profile, plan, cluster)
+        w = profile.variables[0].nbytes
+        n = cluster.num_machines
+        total = sum(b.ps_flow_bytes.values())
+        # Table 3, PS sparse: 2*alpha*w*(N-1).
+        assert total == pytest.approx(2 * alpha * w * (n - 1))
+
+    def test_local_aggregation_reduces_push_bytes(self):
+        cluster = ClusterSpec(4, 6)
+        profile = single_var_profile(is_sparse=True, alpha=0.05)
+        naive = simulate_iteration(profile, tf_ps_plan(profile), cluster)
+        opt = simulate_iteration(profile, opt_ps_plan(profile), cluster)
+        assert sum(opt.ps_flow_bytes.values()) < \
+            sum(naive.ps_flow_bytes.values())
+
+    def test_smart_placement_removes_extra_hop(self):
+        """Without smart placement, aggregated gradients of variables not
+        hosted on the chief machine make an extra chief->server hop."""
+        cluster = ClusterSpec(4, 2)
+        variables = [
+            VariableProfile(f"emb{i}", 100_000, is_sparse=True, alpha=0.1,
+                            rows=1000)
+            for i in range(4)  # spread over all 4 servers
+        ]
+        profile = ModelProfile(name="multi", variables=variables,
+                               batch_per_gpu=8, units_per_sample=1,
+                               unit="words", gpu_time_per_iter=0.05)
+        naive = tf_ps_plan(profile)
+        smart = SyncPlan(
+            "smart", naive.assignments,
+            local_aggregation=False, smart_placement=True,
+        )
+        b_naive = simulate_iteration(profile, naive, cluster)
+        b_smart = simulate_iteration(profile, smart, cluster)
+        assert sum(b_smart.ps_flow_bytes.values()) < \
+            sum(b_naive.ps_flow_bytes.values())
+
+
+class TestUnionAlpha:
+    def test_identity_for_one_worker(self):
+        assert union_alpha(0.3, 1, 0.5) == pytest.approx(0.3)
+
+    def test_bounded_by_independent_union(self):
+        independent = 1 - (1 - 0.1) ** 6
+        assert 0.1 <= union_alpha(0.1, 6, 0.5) <= independent
+
+    def test_full_overlap_stays_alpha(self):
+        assert union_alpha(0.1, 6, 1.0) == pytest.approx(0.1)
+
+    def test_zero_overlap_is_independent(self):
+        assert union_alpha(0.1, 6, 0.0) == pytest.approx(1 - 0.9 ** 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            union_alpha(0.0, 3, 0.5)
+        with pytest.raises(ValueError):
+            union_alpha(0.5, 0, 0.5)
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        CostModel()
+
+    def test_overrides(self):
+        cm = CostModel().with_overrides(nccl_bw=1e9)
+        assert cm.nccl_bw == 1e9
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(nccl_bw=0)
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(dense_ps_overlap=-0.1)
+        with pytest.raises(ValueError):
+            CostModel(zipf_overlap=1.5)
+
+
+class TestCalibration:
+    """Simulated 48-GPU throughput within 2x of every paper number
+    (absolute match is not required; the shape tests above are)."""
+
+    TARGETS = [
+        ("resnet50", "horovod", 1, 7600), ("resnet50", "tf_ps", 1, 5800),
+        ("inception_v3", "horovod", 1, 5900),
+        ("inception_v3", "tf_ps", 1, 3800),
+        ("lm", "horovod", 128, 45500), ("lm", "tf_ps", 128, 98900),
+        ("lm", "opt_ps", 128, 250000), ("lm", "parallax", 128, 274000),
+        ("nmt", "horovod", 64, 68300), ("nmt", "tf_ps", 64, 102000),
+        ("nmt", "opt_ps", 64, 116000), ("nmt", "parallax", 64, 204000),
+    ]
+
+    @pytest.mark.parametrize("model,arch,partitions,paper", TARGETS)
+    def test_within_factor_two(self, model, arch, partitions, paper):
+        profile = PAPER_PROFILES()[model]
+        builders = {
+            "horovod": lambda: horovod_plan(profile),
+            "tf_ps": lambda: tf_ps_plan(profile, partitions),
+            "opt_ps": lambda: opt_ps_plan(profile, partitions),
+            "parallax": lambda: hybrid_plan(profile, partitions),
+        }
+        simulated = throughput(profile, builders[arch](), PAPER_CLUSTER)
+        assert 0.5 < simulated / paper < 2.0

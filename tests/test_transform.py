@@ -1,0 +1,218 @@
+"""Graph transformation: structure, placement, and rule application."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.plan import SyncMethod
+from repro.cluster.spec import ClusterSpec
+from repro.core.transform import classify_variables, transform_graph
+from repro.core.transform.plan import (
+    ar_graph_plan,
+    hybrid_graph_plan,
+    ps_graph_plan,
+)
+from repro.graph import Graph, gradients, ops
+from repro.graph.device import DeviceSpec
+from repro.nn import layers
+from repro.nn.models import build_lm, build_resnet
+from repro.nn.optimizers import GradientDescentOptimizer
+
+CLUSTER = ClusterSpec(num_machines=2, gpus_per_machine=2)
+
+
+def lm_model(num_partitions=2):
+    model = build_lm(batch_size=4, vocab_size=30, seq_len=2, emb_dim=6,
+                     hidden=8, num_partitions=num_partitions, seed=0)
+    with model.graph.as_default():
+        gvs = gradients(model.loss)
+        GradientDescentOptimizer(0.1).update(gvs)
+    return model
+
+
+def resnet_model():
+    model = build_resnet(batch_size=4, num_features=8, num_classes=3,
+                         width=8, num_blocks=1, seed=0)
+    with model.graph.as_default():
+        gvs = gradients(model.loss)
+        GradientDescentOptimizer(0.1).update(gvs)
+    return model
+
+
+class TestClassification:
+    def test_lm_classification(self):
+        model = lm_model()
+        classes = classify_variables(model.graph)
+        assert classes["embedding/part_0"] is True
+        assert classes["lstm/kernel"] is False
+        assert classes["softmax/kernel"] is False
+
+    def test_dense_model_all_dense(self):
+        model = resnet_model()
+        assert not any(classify_variables(model.graph).values())
+
+
+class TestHybridStructure:
+    @pytest.fixture()
+    def transformed(self):
+        model = lm_model()
+        plan = hybrid_graph_plan(model.graph)
+        return transform_graph(model.graph, model.loss, CLUSTER, plan)
+
+    def test_one_loss_per_replica(self, transformed):
+        assert len(transformed.replica_losses) == 4
+
+    def test_placeholders_replicated(self, transformed):
+        assert set(transformed.placeholder_names) == {"tokens", "targets"}
+        assert len(transformed.placeholder_names["tokens"]) == 4
+
+    def test_sparse_variables_on_servers(self, transformed):
+        g = transformed.graph
+        for shard in ("embedding/part_0", "embedding/part_1"):
+            read = g.variables[shard].read_op
+            assert read.device is not None
+            assert not read.device.is_gpu
+            assert transformed.ps_placement[shard] == read.device.machine
+
+    def test_dense_variables_replicated_per_gpu(self, transformed):
+        names = transformed.replica_variables["lstm/kernel"]
+        assert names == [f"rep{r}/lstm/kernel" for r in range(4)]
+        g = transformed.graph
+        devices = [g.variables[n].read_op.device for n in names]
+        assert devices == [
+            DeviceSpec.gpu(0, 0), DeviceSpec.gpu(0, 1),
+            DeviceSpec.gpu(1, 0), DeviceSpec.gpu(1, 1),
+        ]
+
+    def test_shard_lookups_on_owning_server(self, transformed):
+        g = transformed.graph
+        lookups = [op for op in g.operations if op.op_type == "shard_lookup"]
+        assert lookups, "partitioned lookup was not rewritten"
+        for op in lookups:
+            shard_var = op.inputs[0].op.attrs["variable"]
+            assert op.device == DeviceSpec.cpu(
+                transformed.ps_placement[shard_var])
+
+    def test_stitch_on_worker(self, transformed):
+        stitches = [op for op in transformed.graph.operations
+                    if op.op_type == "stitch"]
+        assert len(stitches) == 4  # one per replica
+        assert all(op.device.is_gpu for op in stitches)
+
+    def test_allreduce_per_dense_var_per_replica(self, transformed):
+        ar_ops = [op for op in transformed.graph.operations
+                  if op.op_type == "allreduce"]
+        dense_vars = len(transformed.replica_variables)
+        assert len(ar_ops) == dense_vars * 4
+        for op in ar_ops:
+            assert len(op.inputs) == 4  # every replica's gradient
+            assert op.device.is_gpu
+
+    def test_global_agg_on_variable_server(self, transformed):
+        g = transformed.graph
+        for op in g.operations:
+            if op.op_type != "global_agg":
+                continue
+            var = op.name.split("global_agg/")[1]
+            assert op.device == DeviceSpec.cpu(transformed.ps_placement[var])
+
+    def test_local_agg_groups_machine_gpus(self, transformed):
+        local = [op for op in transformed.graph.operations
+                 if op.op_type == "local_agg"]
+        assert local
+        for op in local:
+            assert not op.device.is_gpu
+            assert len(op.inputs) == CLUSTER.gpus_per_machine
+
+    def test_ps_update_on_server(self, transformed):
+        g = transformed.graph
+        for op in g.operations:
+            if not op.attrs.get("is_update"):
+                continue
+            var = op.attrs["variable"]
+            if var in transformed.ps_placement:
+                assert op.device == DeviceSpec.cpu(
+                    transformed.ps_placement[var])
+
+    def test_train_op_groups_all_updates(self, transformed):
+        update_count = sum(1 for op in transformed.graph.operations
+                           if op.attrs.get("is_update"))
+        assert len(transformed.train_op.op.inputs) == update_count
+        # PS vars: one update each; AR vars: one per replica.
+        expected = len(transformed.ps_placement) + \
+            4 * len(transformed.replica_variables)
+        assert update_count == expected
+
+
+class TestRuleVariants:
+    def test_ps_plan_has_no_collectives(self):
+        model = lm_model()
+        plan = ps_graph_plan(model.graph)
+        tg = transform_graph(model.graph, model.loss, CLUSTER, plan)
+        kinds = {op.op_type for op in tg.graph.operations}
+        assert "allreduce" not in kinds and "allgatherv" not in kinds
+        assert not tg.replica_variables
+
+    def test_naive_ps_has_no_local_agg_and_chief_agg(self):
+        model = lm_model()
+        plan = ps_graph_plan(model.graph, local_aggregation=False,
+                             smart_placement=False)
+        tg = transform_graph(model.graph, model.loss, CLUSTER, plan)
+        kinds = [op.op_type for op in tg.graph.operations]
+        assert "local_agg" not in kinds
+        for op in tg.graph.operations:
+            if op.op_type == "global_agg":
+                assert op.device == DeviceSpec.cpu(0)  # chief machine
+
+    def test_ar_plan_uses_allgatherv_for_sparse(self):
+        model = lm_model()
+        plan = ar_graph_plan(model.graph)
+        tg = transform_graph(model.graph, model.loss, CLUSTER, plan)
+        kinds = {op.op_type for op in tg.graph.operations}
+        assert "allgatherv" in kinds and "allreduce" in kinds
+        assert "shard_lookup" not in kinds  # embeddings stay replicated
+        assert not tg.ps_placement
+
+    def test_dense_model_hybrid_is_pure_ar(self):
+        model = resnet_model()
+        plan = hybrid_graph_plan(model.graph)
+        tg = transform_graph(model.graph, model.loss, CLUSTER, plan)
+        assert not tg.ps_placement
+        kinds = {op.op_type for op in tg.graph.operations}
+        assert "allreduce" in kinds
+        assert "global_agg" not in kinds
+
+    def test_sparse_as_dense_override_densifies(self):
+        model = lm_model(num_partitions=1)
+        overrides = {"embedding": True}
+        plan = hybrid_graph_plan(model.graph, sparse_as_dense=overrides)
+        tg = transform_graph(model.graph, model.loss, CLUSTER, plan)
+        kinds = {op.op_type for op in tg.graph.operations}
+        assert "densify" in kinds
+        assert "embedding" in tg.replica_variables
+        assert not tg.ps_placement
+
+
+class TestValidation:
+    def test_missing_optimizer_rejected(self):
+        g = Graph()
+        with g.as_default():
+            v = layers.get_variable("v", (3,))
+            loss = ops.mean(v.tensor)
+            gradients(loss)
+        plan = hybrid_graph_plan(g)
+        with pytest.raises(ValueError, match="optimizer"):
+            transform_graph(g, loss, CLUSTER, plan)
+
+    def test_missing_gradient_rejected(self):
+        model = lm_model()
+        plan = hybrid_graph_plan(model.graph)
+        plan.methods["ghost_var"] = SyncMethod.PS
+        with pytest.raises(ValueError, match="ghost_var"):
+            transform_graph(model.graph, model.loss, CLUSTER, plan)
+
+    def test_loss_graph_mismatch_rejected(self):
+        model = lm_model()
+        other = lm_model()
+        plan = hybrid_graph_plan(model.graph)
+        with pytest.raises(ValueError):
+            transform_graph(model.graph, other.loss, CLUSTER, plan)

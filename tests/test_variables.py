@@ -1,0 +1,224 @@
+"""Variables, partitioned variables, and the variable store."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, Session, ops
+from repro.graph.session import VariableStore, variable_rng
+from repro.graph.variables import (
+    PartitionedVariable,
+    Variable,
+    get_variable,
+    glorot_initializer,
+    normal_initializer,
+    partition_offsets,
+    zeros_initializer,
+)
+
+
+class TestVariable:
+    def test_read_through_session(self):
+        g = Graph()
+        with g.as_default():
+            v = Variable("v", (2, 2), initializer=np.eye(2, dtype=np.float32))
+        np.testing.assert_array_equal(Session(g).run(v.tensor), np.eye(2))
+
+    def test_array_initializer_shape_checked(self):
+        g = Graph()
+        with g.as_default():
+            with pytest.raises(ValueError):
+                Variable("v", (2, 2), initializer=np.zeros(3, np.float32))
+
+    def test_registered_in_graph(self):
+        g = Graph()
+        with g.as_default():
+            v = get_variable("v", (3,))
+        assert g.variables["v"] is v
+
+    def test_nbytes(self):
+        g = Graph()
+        with g.as_default():
+            v = Variable("v", (10, 10))
+        assert v.nbytes == 400
+        assert v.num_elements == 100
+
+    def test_name_uniquified(self):
+        g = Graph()
+        with g.as_default():
+            a = Variable("v", (1,))
+            b = Variable("v", (1,))
+        assert a.name == "v" and b.name == "v_1"
+        assert set(g.variables) == {"v", "v_1"}
+
+
+class TestInitializers:
+    def test_zeros(self):
+        assert not zeros_initializer((3, 3), np.random.default_rng(0)).any()
+
+    def test_normal_stddev(self):
+        vals = normal_initializer(0.5)((10000,), np.random.default_rng(0))
+        assert abs(vals.std() - 0.5) < 0.02
+
+    def test_glorot_bounds(self):
+        vals = glorot_initializer()((100, 100), np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 200)
+        assert vals.min() >= -limit and vals.max() <= limit
+
+
+class TestVariableRng:
+    def test_deterministic(self):
+        a = variable_rng("w", 7).standard_normal(4)
+        b = variable_rng("w", 7).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_replica_prefix_invariant(self):
+        a = variable_rng("rep0/w", 7).standard_normal(4)
+        b = variable_rng("rep13/w", 7).standard_normal(4)
+        c = variable_rng("w", 7).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(a, c)
+
+    def test_different_names_differ(self):
+        a = variable_rng("w1", 7).standard_normal(4)
+        b = variable_rng("w2", 7).standard_normal(4)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = variable_rng("w", 7).standard_normal(4)
+        b = variable_rng("w", 8).standard_normal(4)
+        assert not np.array_equal(a, b)
+
+
+class TestVariableStore:
+    def make_graph(self):
+        g = Graph()
+        with g.as_default():
+            Variable("a", (2,))
+            Variable("b", (3,))
+        return g
+
+    def test_snapshot_and_load(self):
+        g = self.make_graph()
+        store = VariableStore(g, seed=0)
+        snap = store.snapshot()
+        store.write("a", np.zeros(2, dtype=np.float32))
+        store.load(snap)
+        np.testing.assert_array_equal(store.read("a"), snap["a"])
+
+    def test_write_shape_checked(self):
+        store = VariableStore(self.make_graph())
+        with pytest.raises(ValueError):
+            store.write("a", np.zeros(5))
+
+    def test_unknown_name_rejected(self):
+        store = VariableStore(self.make_graph())
+        with pytest.raises(KeyError):
+            store.read("nope")
+        with pytest.raises(KeyError):
+            store.write("nope", np.zeros(1))
+
+    def test_names_filter(self):
+        g = self.make_graph()
+        store = VariableStore(g, names=["a"])
+        assert store.names() == ["a"]
+        with pytest.raises(KeyError):
+            store.read("b")
+
+    def test_same_seed_same_values_across_stores(self):
+        g = self.make_graph()
+        s1, s2 = VariableStore(g, seed=3), VariableStore(g, seed=3)
+        np.testing.assert_array_equal(s1.read("a"), s2.read("a"))
+
+
+class TestPartitionOffsets:
+    def test_even_split(self):
+        assert partition_offsets(10, 2) == [0, 5, 10]
+
+    def test_remainder_goes_to_first(self):
+        assert partition_offsets(10, 3) == [0, 4, 7, 10]
+
+    def test_one_partition(self):
+        assert partition_offsets(7, 1) == [0, 7]
+
+    def test_partitions_equal_rows(self):
+        assert partition_offsets(3, 3) == [0, 1, 2, 3]
+
+
+class TestPartitionedVariable:
+    def test_shards_created(self):
+        g = Graph()
+        with g.as_default():
+            pv = PartitionedVariable("emb", (10, 4), 3)
+        assert len(pv.partitions) == 3
+        assert [p.shape for p in pv.partitions] == [(4, 4), (3, 4), (3, 4)]
+        assert pv.num_elements == 40
+
+    def test_shard_partition_info(self):
+        g = Graph()
+        with g.as_default():
+            pv = PartitionedVariable("emb", (10, 4), 2)
+        info = pv.partitions[1].partition_info
+        assert info["parent"] == "emb"
+        assert info["index"] == 1
+        assert info["row_offset"] == 5
+
+    def test_too_many_partitions_rejected(self):
+        g = Graph()
+        with g.as_default():
+            with pytest.raises(ValueError):
+                PartitionedVariable("emb", (3, 4), 5)
+
+    def test_scalar_rejected(self):
+        g = Graph()
+        with g.as_default():
+            with pytest.raises(ValueError):
+                PartitionedVariable("emb", (), 1)
+
+    def test_registered_in_collection(self):
+        g = Graph()
+        with g.as_default():
+            pv = PartitionedVariable("emb", (10, 4), 2)
+        assert g.get_collection("partitioned_variables") == [pv]
+
+    def test_array_initializer_split_across_shards(self):
+        g = Graph()
+        full = np.arange(40, dtype=np.float32).reshape(10, 4)
+        with g.as_default():
+            pv = PartitionedVariable("emb", (10, 4), 2, initializer=full)
+        sess = Session(g)
+        np.testing.assert_array_equal(sess.read_variable("emb/part_0"),
+                                      full[:5])
+        np.testing.assert_array_equal(sess.read_variable("emb/part_1"),
+                                      full[5:])
+
+    def test_lookup_equals_unpartitioned_gather(self):
+        full = np.arange(48, dtype=np.float32).reshape(12, 4)
+        ids_value = np.array([0, 11, 5, 5, 3], dtype=np.int64)
+
+        g1 = Graph()
+        with g1.as_default():
+            v = Variable("emb", (12, 4), initializer=full)
+            ids = ops.constant(ids_value)
+            out1 = ops.gather(v.tensor, ids)
+        ref = Session(g1).run(out1)
+
+        for partitions in (1, 2, 3, 5, 12):
+            g2 = Graph()
+            with g2.as_default():
+                pv = PartitionedVariable("emb", (12, 4), partitions,
+                                         initializer=full)
+                ids2 = ops.constant(ids_value)
+                out2 = pv.lookup(ids2)
+            got = Session(g2).run(out2)
+            np.testing.assert_array_equal(got, ref)
+
+    def test_lookup_multidim_ids(self):
+        full = np.arange(24, dtype=np.float32).reshape(6, 4)
+        g = Graph()
+        with g.as_default():
+            pv = PartitionedVariable("emb", (6, 4), 2, initializer=full)
+            ids = ops.constant(np.array([[0, 5], [2, 2]], dtype=np.int64))
+            out = pv.lookup(ids)
+        value = Session(g).run(out)
+        assert value.shape == (2, 2, 4)
+        np.testing.assert_array_equal(value[0, 1], full[5])
