@@ -10,11 +10,15 @@ Usage::
     python -m repro.cli fig9              # normalized throughput
     python -m repro.cli all               # everything
     python -m repro.cli table2 --machines 4 --gpus 4   # custom cluster
+    python -m repro.cli bench             # engine steps/sec benchmark
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import statistics
+import time
 from typing import Callable, Dict
 
 from repro.baselines import horovod_plan, opt_ps_plan, tf_ps_plan
@@ -128,6 +132,106 @@ def fig9(cluster: ClusterSpec) -> None:
         print(f"{row[0]:<6}" + "".join(f"{v:<14}" for v in row[1:]))
 
 
+def bench(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
+          seed: int = 0, output: str = "BENCH_engine.json") -> int:
+    """Compiled engine vs the seed interpreter on the quickstart workload.
+
+    Trains the quickstart hybrid LM (partitioned sparse embedding on PS,
+    dense LSTM/softmax on AllReduce) with both executors, checks the
+    per-iteration losses are bit-identical, and reports steps/sec.  The
+    JSON written to *output* records the repo's perf trajectory.
+    """
+    from repro.core.runner import DistributedRunner
+    from repro.core.transform.plan import hybrid_graph_plan
+    from repro.graph.gradients import gradients
+    from repro.nn.models import build_lm
+    from repro.nn.optimizers import GradientDescentOptimizer
+
+    if iters < 1:
+        raise SystemExit("bench: --iters must be >= 1")
+    if warmup < 0:
+        raise SystemExit("bench: --warmup must be >= 0")
+
+    def make_runner(engine: str) -> DistributedRunner:
+        model = build_lm(batch_size=8, vocab_size=200, seq_len=4,
+                         emb_dim=16, hidden=24, num_partitions=4, seed=0)
+        with model.graph.as_default():
+            gvs = gradients(model.loss)
+            GradientDescentOptimizer(0.5).update(gvs)
+        return DistributedRunner(model, cluster, hybrid_graph_plan(model.graph),
+                                 seed=seed, engine=engine)
+
+    engines = ("interpreted", "compiled")
+    runners = {engine: make_runner(engine) for engine in engines}
+    losses: Dict[str, list] = {engine: [] for engine in engines}
+    done: Dict[str, int] = {engine: 0 for engine in engines}
+
+    def run_block(engine: str, count: int) -> float:
+        """Step *count* iterations; returns seconds per step."""
+        runner = runners[engine]
+        start = time.perf_counter()
+        for _ in range(count):
+            result = runner.step(done[engine])
+            losses[engine].append(result.replica_losses)
+            done[engine] += 1
+        return (time.perf_counter() - start) / count
+
+    for engine in engines:
+        if warmup:
+            run_block(engine, warmup)
+    # Measure in small interleaved blocks (alternating which engine
+    # leads): each round times both engines back to back, so host noise
+    # hits both alike.  The reported "speedup" is the best-block ratio
+    # (noise only ever adds time, so each engine's minimum is its closest
+    # approach to true cost); the median per-round ratio is reported
+    # alongside as "median_block_speedup".
+    block = max(1, min(5, iters // 8))
+    times: Dict[str, list] = {engine: [] for engine in engines}
+    round_no = 0
+    while done["compiled"] < warmup + iters:
+        count = min(block, warmup + iters - done["compiled"])
+        order = engines if round_no % 2 == 0 else engines[::-1]
+        for engine in order:
+            times[engine].append(run_block(engine, count))
+        round_no += 1
+    # Best block per engine: external noise only ever adds time, so the
+    # minimum is each engine's closest approach to its true cost.
+    steps_per_sec = {engine: 1.0 / min(times[engine]) for engine in engines}
+    speedup = min(times["interpreted"]) / min(times["compiled"])
+    median_ratio = statistics.median(
+        t_i / t_c for t_i, t_c
+        in zip(times["interpreted"], times["compiled"])
+    )
+
+    identical = losses["interpreted"] == losses["compiled"]
+    report = {
+        "workload": "quickstart_hybrid_lm",
+        "cluster": {"machines": cluster.num_machines,
+                    "gpus_per_machine": cluster.gpus_per_machine},
+        "iterations": iters,
+        "warmup": warmup,
+        "interpreted_steps_per_sec": steps_per_sec["interpreted"],
+        "compiled_steps_per_sec": steps_per_sec["compiled"],
+        "speedup": speedup,
+        "median_block_speedup": median_ratio,
+        "losses_bit_identical": identical,
+    }
+    with open(output, "w") as f:
+        json.dump(report, f, indent=2)
+
+    print(f"\nEngine bench — quickstart hybrid LM "
+          f"({cluster.total_gpus} simulated GPUs, {iters} iterations)")
+    print(f"{'engine':<14}{'steps/sec':>12}")
+    for engine in ("interpreted", "compiled"):
+        print(f"{engine:<14}{steps_per_sec[engine]:>12.1f}")
+    print(f"speedup: {speedup:.2f}x   losses bit-identical: {identical}")
+    print(f"wrote {output}")
+    if not identical:
+        print("ERROR: compiled and interpreted losses diverged")
+        return 1
+    return 0
+
+
 COMMANDS: Dict[str, Callable[[ClusterSpec], None]] = {
     "table1": table1, "table2": table2, "table4": table4, "table6": table6,
     "fig8": fig8, "fig9": fig9,
@@ -140,12 +244,29 @@ def main(argv=None) -> int:
         description="Regenerate Parallax (EuroSys '19) experiments.",
     )
     parser.add_argument("experiment",
-                        choices=sorted(COMMANDS) + ["all"],
-                        help="which table/figure to regenerate")
-    parser.add_argument("--machines", type=int, default=8)
-    parser.add_argument("--gpus", type=int, default=6)
+                        choices=sorted(COMMANDS) + ["all", "bench"],
+                        help="which table/figure to regenerate, or 'bench' "
+                             "for the execution-engine benchmark")
+    # Analytic tables default to the paper's cluster; the functional bench
+    # defaults to a small one (it really executes every replica).
+    parser.add_argument("--machines", type=int, default=None)
+    parser.add_argument("--gpus", type=int, default=None)
+    parser.add_argument("--iters", type=int, default=60,
+                        help="bench: measured iterations per engine")
+    parser.add_argument("--warmup", type=int, default=5,
+                        help="bench: discarded warmup iterations")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bench-output", default="BENCH_engine.json")
     args = parser.parse_args(argv)
-    cluster = ClusterSpec(args.machines, args.gpus)
+    default_machines, default_gpus = ((2, 2) if args.experiment == "bench"
+                                      else (8, 6))
+    cluster = ClusterSpec(
+        default_machines if args.machines is None else args.machines,
+        default_gpus if args.gpus is None else args.gpus,
+    )
+    if args.experiment == "bench":
+        return bench(cluster, iters=args.iters, warmup=args.warmup,
+                     seed=args.seed, output=args.bench_output)
     if args.experiment == "all":
         for fn in COMMANDS.values():
             fn(cluster)

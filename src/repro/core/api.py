@@ -278,6 +278,10 @@ def get_runner(
         def measure(num_partitions: int) -> float:
             model = build(num_partitions)
             plan = _make_plan(model.graph, cfg, sparse_as_dense)
+            # The runner compiles its step fetches once (in __init__), so
+            # every sampled iteration -- warmup included -- replays the
+            # same CompiledPlan; the measurement sees steady-state
+            # execution, not per-iteration graph interpretation.
             runner = DistributedRunner(model, cluster, plan, seed=cfg.seed)
             total = cfg.sample_warmup + cfg.sample_iterations
             times = [runner.step(i).wall_time for i in range(total)]

@@ -25,9 +25,11 @@ from repro.cluster.spec import ClusterSpec
 from repro.comm.transcript import Transcript
 from repro.core.transform.plan import GraphSyncPlan
 from repro.core.transform.transform import TransformedGraph, transform_graph
+from repro.graph.executor import EdgeSpec
 from repro.graph.graph import Operation
-from repro.graph.session import Session, VariableStore
+from repro.graph.session import Session, VariableStore, split_replica_prefix
 from repro.nn.models.common import BuiltModel
+from repro.nn.optimizers import specialize_update
 from repro.tensor.dense import nbytes_of
 
 # Collectives record their own ring transfers; the generic edge recorder
@@ -74,14 +76,58 @@ class DistributedSession(Session):
         return self.ps_store.read(name)
 
     # -- execution ----------------------------------------------------------
-    def run(self, fetches, feed_dict=None):
+    def _begin_run(self) -> None:
         self._seen_edges = set()
-        return super().run(fetches, feed_dict)
+
+    def _specialize_kernel(self, op: Operation):
+        """Variable access routes by the op's device placement -- static
+        graph structure, so compiled plans bind the store (and variable
+        name, and update hyperparameters) at compile time instead of
+        re-routing per call."""
+        if op.op_type == "read_var":
+            read = self._store_for(op).read
+            name = op.attrs["variable"]
+
+            def read_var_kernel(op, inputs, runtime):
+                return read(name)
+
+            return read_var_kernel
+        if op.op_type in ("sgd_update", "sgd_update_sparse"):
+            store = self._store_for(op)
+            kernel = specialize_update(op, store.read, store.write)
+            if kernel is not None:
+                return kernel
+        return super()._specialize_kernel(op)
+
+    def _compile_edge_fn(self):
+        """The cross-machine edge set is static graph structure, so
+        compiled plans carry it per schedule entry; only byte counts (and
+        the per-run dedup against fed producers) stay dynamic."""
+
+        def static_edges(op: Operation) -> Optional[List[EdgeSpec]]:
+            if op.op_type in _SELF_ACCOUNTING or op.device is None:
+                return None
+            edges: List[EdgeSpec] = []
+            for pos, tensor in enumerate(op.inputs):
+                producer = tensor.op
+                if (producer.device is None
+                        or producer.op_type in _SELF_ACCOUNTING):
+                    continue
+                if producer.device.machine == op.device.machine:
+                    continue
+                key = (producer.name, op.device.machine,
+                       op.device.device_type, op.device.index)
+                edges.append((pos, key, f"edge/{producer.op_type}",
+                              producer.device.machine, op.device.machine))
+            return edges or None
+
+        return static_edges
 
     def _before_kernel(self, op: Operation, inputs) -> None:
-        """Record cross-machine edges: each (producer, consumer device)
-        pair is one transfer per iteration (a worker process pulls a value
-        once and reuses it)."""
+        """Interpreted-path twin of the compiled edge table: record
+        cross-machine edges, one transfer per (producer, consumer device)
+        pair per iteration (a worker process pulls a value once and reuses
+        it)."""
         if op.op_type in _SELF_ACCOUNTING or op.device is None:
             return
         for tensor, value in zip(op.inputs, inputs):
@@ -128,16 +174,55 @@ class DistributedRunner:
         plan: GraphSyncPlan,
         seed: int = 0,
         transcript: Optional[Transcript] = None,
+        engine: str = "compiled",
     ):
+        if engine not in ("compiled", "interpreted"):
+            raise ValueError(
+                f"unknown engine {engine!r}; expected 'compiled' or "
+                "'interpreted'"
+            )
         self.model = model
         self.cluster = cluster
         self.plan = plan
+        self.engine = engine
         self.transformed = transform_graph(model.graph, model.loss, cluster,
                                            plan)
         self.session = DistributedSession(self.transformed, seed=seed,
                                           transcript=transcript)
         n = self.transformed.num_replicas
         self.shards = [model.dataset.shard(n, r) for r in range(n)]
+        # Placeholder routing is static: replica r's k-th dataset array
+        # always feeds the same transformed placeholder.  Resolve the name
+        # indirection once instead of per iteration.
+        self._feed_names = [
+            [self.transformed.placeholder_names[tensor.name][r]
+             for tensor in model.placeholders.values()]
+            for r in range(n)
+        ]
+        # Compile-once/execute-many: the step fetches never change, so
+        # synchronous plans compile one plan (all losses + the global train
+        # op) and asynchronous plans one per replica -- here, not in the
+        # iteration loop.  Every step() afterwards is pure plan replay.
+        if self.transformed.replica_train_ops is None:
+            self._step_fetches = [
+                list(self.transformed.replica_losses)
+                + [self.transformed.train_op]
+            ]
+        else:
+            self._step_fetches = [
+                [self.transformed.replica_losses[r],
+                 self.transformed.replica_train_ops[r]]
+                for r in range(n)
+            ]
+        self.step_plans = []
+        if engine == "compiled":
+            self.step_plans = [self.session.compile(fetches)
+                               for fetches in self._step_fetches]
+            fed_names = {name
+                         for names in self.transformed.placeholder_names.values()
+                         for name in names}
+            for step_plan in self.step_plans:
+                step_plan.validate_placeholders(fed_names)
 
     @property
     def num_replicas(self) -> int:
@@ -150,16 +235,15 @@ class DistributedRunner:
     def feeds_for(self, iteration: int) -> Dict[str, np.ndarray]:
         """Per-replica placeholder feeds for one iteration."""
         feeds: Dict[str, np.ndarray] = {}
-        keys = list(self.model.placeholders.items())
-        for r in range(self.num_replicas):
-            batch = self.shards[r].batch(self.model.batch_size, iteration)
-            if len(batch) != len(keys):
+        batch_size = self.model.batch_size
+        for r, names in enumerate(self._feed_names):
+            batch = self.shards[r].batch(batch_size, iteration)
+            if len(batch) != len(names):
                 raise ValueError(
                     f"dataset yields {len(batch)} arrays but the model has "
-                    f"{len(keys)} placeholders"
+                    f"{len(names)} placeholders"
                 )
-            for (_, tensor), array in zip(keys, batch):
-                name = self.transformed.placeholder_names[tensor.name][r]
+            for name, array in zip(names, batch):
                 feeds[name] = array
         return feeds
 
@@ -174,20 +258,28 @@ class DistributedRunner:
         staler) state -- the staleness the paper's section 2.1 discusses.
         """
         start = time.perf_counter()
-        if self.transformed.replica_train_ops is None:
-            fetches = list(self.transformed.replica_losses)
-            fetches.append(self.transformed.train_op)
-            results = self.session.run(fetches, self.feeds_for(iteration))
+        if self.engine == "compiled":
+            if self.transformed.replica_train_ops is None:
+                results = self.session.run_plan(self.step_plans[0],
+                                                self.feeds_for(iteration))
+                losses = [float(v) for v in results[:-1]]
+            else:
+                feeds = self.feeds_for(iteration)
+                losses = []
+                for r in range(self.num_replicas):
+                    loss_r, _ = self.session.run_plan(self.step_plans[r],
+                                                      feeds)
+                    losses.append(float(loss_r))
+        elif self.transformed.replica_train_ops is None:
+            results = self.session.run_interpreted(self._step_fetches[0],
+                                                   self.feeds_for(iteration))
             losses = [float(v) for v in results[:-1]]
         else:
             feeds = self.feeds_for(iteration)
             losses = []
             for r in range(self.num_replicas):
-                loss_r, _ = self.session.run(
-                    [self.transformed.replica_losses[r],
-                     self.transformed.replica_train_ops[r]],
-                    feeds,
-                )
+                loss_r, _ = self.session.run_interpreted(
+                    self._step_fetches[r], feeds)
                 losses.append(float(loss_r))
         return IterationResult(
             iteration=iteration,
@@ -217,9 +309,9 @@ class DistributedRunner:
         """
         state: Dict[str, np.ndarray] = {}
         for name in self.transformed.graph.variables:
-            if name.startswith("rep"):
-                prefix, _, base = name.partition("/")
-                if prefix == "rep0":
+            replica, base = split_replica_prefix(name)
+            if replica is not None:
+                if replica == 0:
                     state[base] = self.session.replica_stores[0].read(name)
                 continue
             state[name] = self.session.ps_store.read(name)
@@ -238,10 +330,12 @@ class DistributedRunner:
         with np.load(path) as data:
             values = {name: data[name] for name in data.files}
         for name in self.transformed.graph.variables:
-            if name.startswith("rep"):
-                prefix, _, base = name.partition("/")
-                if base in values and prefix.startswith("rep"):
-                    replica = int(prefix[3:])
+            # Match the true rep<k>/ replica prefix, not any name that
+            # merely starts with "rep" (a user variable named "report/w"
+            # is a plain PS variable).
+            replica, base = split_replica_prefix(name)
+            if replica is not None:
+                if base in values:
                     self.session.replica_stores[replica].write(
                         name, values[base].copy()
                     )

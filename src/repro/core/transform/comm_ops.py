@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.comm.allgatherv import ring_allgatherv
 from repro.comm.allreduce import ring_allreduce
+from repro.graph.executor import register_direct
 from repro.graph.gradients import register_custom_grad
 from repro.graph.ops import register_forward
 from repro.tensor.dense import TensorSpec
@@ -140,6 +141,112 @@ def _stitch_fwd(op, inputs, runtime):
 
 
 # ----------------------------------------------------------------------
+# Direct kernels for generated plans: same computations as the generic
+# kernels above with the static attrs (bounds, offsets, row shapes)
+# converted once at compile time.  Collectives stay generic -- they share
+# state through the run cache.
+# ----------------------------------------------------------------------
+@register_direct("densify")
+def _densify_direct(op):
+    return to_dense
+
+
+@register_direct("local_agg")
+def _local_agg_direct(op):
+    def local_agg_direct(*values):
+        if isinstance(values[0], IndexedSlices):
+            return concat_slices(list(values)).combine()
+        total = np.array(values[0], copy=True)
+        for value in values[1:]:
+            total = total + value
+        return total
+
+    return local_agg_direct
+
+
+@register_direct("global_agg")
+def _global_agg_direct(op):
+    average = bool(op.attrs.get("average", False))
+    num_workers = op.attrs.get("num_workers")
+
+    def global_agg_direct(*values):
+        if isinstance(values[0], IndexedSlices):
+            combined = concat_slices(list(values)).combine()
+            if average:
+                combined = combined.scale(1.0 / num_workers)
+            return combined
+        total = np.array(values[0], copy=True)
+        for value in values[1:]:
+            total = total + value
+        if average:
+            total = total / np.float32(num_workers)
+        return total
+
+    return global_agg_direct
+
+
+@register_direct("shard_lookup")
+def _shard_lookup_direct(op):
+    lo, hi = op.attrs["lo"], op.attrs["hi"]
+
+    def shard_lookup_direct(shard, ids):
+        flat = np.asarray(ids, dtype=np.int64).reshape(-1)
+        mask = (flat >= lo) & (flat < hi)
+        return np.asarray(shard)[flat[mask] - lo]
+
+    return shard_lookup_direct
+
+
+@register_direct("stitch")
+def _stitch_direct(op):
+    offsets = np.asarray(op.attrs["offsets"])
+    row_shape = tuple(op.attrs["row_shape"])
+
+    def stitch_direct(ids, *rows_per_shard):
+        ids = np.asarray(ids, dtype=np.int64)
+        flat = ids.reshape(-1)
+        owner = np.searchsorted(offsets, flat, side="right") - 1
+        out = np.empty((flat.size,) + row_shape, dtype=np.float32)
+        for p, rows in enumerate(rows_per_shard):
+            positions = np.nonzero(owner == p)[0]
+            if positions.size:
+                out[positions] = rows
+        return out.reshape(tuple(ids.shape) + row_shape)
+
+    return stitch_direct
+
+
+@register_direct("shard_lookup_grad")
+def _shard_lookup_grad_direct(op):
+    lo, hi = op.attrs["lo"], op.attrs["hi"]
+    shape = (hi - lo,) + tuple(op.attrs["row_shape"])
+
+    def shard_lookup_grad_direct(ids, upstream):
+        flat = np.asarray(ids, dtype=np.int64).reshape(-1)
+        mask = (flat >= lo) & (flat < hi)
+        return IndexedSlices._wrap(np.asarray(upstream), flat[mask] - lo,
+                                   shape)
+
+    return shard_lookup_grad_direct
+
+
+@register_direct("stitch_grad")
+def _stitch_grad_direct(op):
+    offsets = np.asarray(op.attrs["offsets"])
+    shard = op.attrs["shard"]
+    row_shape = tuple(op.attrs["row_shape"])
+
+    def stitch_grad_direct(ids, upstream):
+        flat = np.asarray(ids, dtype=np.int64).reshape(-1)
+        owner = np.searchsorted(offsets, flat, side="right") - 1
+        positions = np.nonzero(owner == shard)[0]
+        grad = np.asarray(upstream).reshape((flat.size,) + row_shape)
+        return grad[positions]
+
+    return stitch_grad_direct
+
+
+# ----------------------------------------------------------------------
 # Custom symbolic gradients.  The generic vjp node would take the full
 # shard tensor as an input, creating a bogus server->worker transfer of
 # the entire variable; these builders produce gradient ops that only read
@@ -153,8 +260,9 @@ def _shard_lookup_grad_fwd(op, inputs, runtime):
     flat = np.asarray(ids, dtype=np.int64).reshape(-1)
     mask = (flat >= lo) & (flat < hi)
     vals = np.asarray(upstream)
-    return IndexedSlices(vals, flat[mask] - lo,
-                         (hi - lo,) + tuple(op.attrs["row_shape"]))
+    # Indices are in [0, hi-lo) by construction of the mask.
+    return IndexedSlices._wrap(vals, flat[mask] - lo,
+                               (hi - lo,) + tuple(op.attrs["row_shape"]))
 
 
 @register_forward("stitch_grad")

@@ -76,8 +76,9 @@ def _find_optimizer(graph: Graph) -> Optimizer:
 
 def _loss_subgraph(loss: Tensor) -> List[Operation]:
     """Main-computation ops in dependency order (paper: the ancestors of
-    the gradients, i.e. everything the loss depends on)."""
-    return loss.graph.topo_sort([loss.op])
+    the gradients, i.e. everything the loss depends on).  Uses the graph's
+    memoized order, shared with autodiff and compiled execution plans."""
+    return loss.graph.cached_topo_sort([loss.op])
 
 
 class _ReplicaBuilder:

@@ -21,6 +21,7 @@ from repro.graph.graph import Graph, Operation, Tensor, get_default_graph
 from repro.graph.device import DeviceSpec
 from repro.graph.variables import Variable
 from repro.graph.gradients import gradients
+from repro.graph.executor import CompiledPlan
 from repro.graph.session import Session
 from repro.graph import ops
 
@@ -32,6 +33,7 @@ __all__ = [
     "DeviceSpec",
     "Variable",
     "gradients",
+    "CompiledPlan",
     "Session",
     "ops",
 ]

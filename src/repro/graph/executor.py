@@ -1,0 +1,375 @@
+"""Compile-once / execute-many engine for the graph layer.
+
+The interpreter in :meth:`Session.run_interpreted` re-resolves fetches,
+re-sorts the graph, and re-dispatches every kernel through a string-keyed
+registry on every call.  That overhead is multiplied by replicas ×
+iterations × sampled partition counts in the Equation-1 search, so the hot
+path instead compiles a :class:`CompiledPlan` once per (fetch set, graph
+version) and replays it:
+
+* the topological schedule is frozen at compile time;
+* each kernel is bound directly into its schedule entry (no ``FORWARD``
+  dict lookup per op per run);
+* operand routing uses precomputed integer indices into a flat value
+  buffer instead of per-op name-dict lookups;
+* placeholder slots are declared up front so a runner can validate its
+  feeds once instead of discovering a missing feed mid-iteration;
+* cross-machine transfer edges (static graph structure) are precomputed
+  by the distributed session, leaving only byte counts dynamic.
+
+Sessions own a plan cache keyed by the fetch-name signature; plans
+self-invalidate when :attr:`Graph.version` moves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph, Operation, Tensor
+from repro.tensor.dense import as_array, nbytes_of
+
+# A static transfer edge attached to one schedule entry:
+# (input position, dedup key, transcript tag, src machine, dst machine).
+EdgeSpec = Tuple[int, tuple, str, int, int]
+EdgeFn = Callable[[Operation], Optional[List[EdgeSpec]]]
+
+# Compile-time kernel specializers: op_type -> builder(op) returning a
+# kernel with the op's static state (attrs, dispatch lookups) prebound.
+# Registered next to the generic kernels they specialize (ops.py,
+# gradients.py); sessions can additionally specialize per instance via
+# ``Session._specialize_kernel``.
+SPECIALIZE: Dict[str, Callable[[Operation], Callable]] = {}
+
+
+def register_specialization(op_type: str):
+    def deco(fn):
+        if op_type in SPECIALIZE:
+            raise ValueError(
+                f"kernel specialization for {op_type!r} already registered"
+            )
+        SPECIALIZE[op_type] = fn
+        return fn
+
+    return deco
+
+
+# Direct-call builders for generated code: op_type -> builder(op) returning
+# a positional function over the op's input *values* that computes exactly
+# what the generic kernel computes.  Only thin, pure kernels qualify (no
+# runtime access, no _current_op); generated plans call these without the
+# (op, inputs-list, session) calling convention.
+DIRECT: Dict[str, Callable[[Operation], Optional[Callable]]] = {}
+
+
+def register_direct(op_type: str):
+    def deco(fn):
+        if op_type in DIRECT:
+            raise ValueError(
+                f"direct kernel for {op_type!r} already registered"
+            )
+        DIRECT[op_type] = fn
+        return fn
+
+    return deco
+
+
+def _forward_registry():
+    # Imported lazily (compile time only) so kernel modules may import
+    # this one to register specializations without a cycle.
+    from repro.graph import ops as ops_mod
+
+    return ops_mod.FORWARD
+
+
+def _missing_kernel(op_type: str):
+    """Deferred dispatch for op types with no kernel at compile time: the
+    registry is re-consulted at execute time (matching the interpreter, so
+    a kernel registered after compilation is still found), and only a
+    still-missing kernel raises."""
+
+    def raise_missing(op, inputs, runtime):
+        kernel = _forward_registry().get(op_type)
+        if kernel is None:
+            raise NotImplementedError(
+                f"no kernel registered for op type {op.op_type!r} "
+                f"(op {op.name!r})"
+            )
+        return kernel(op, inputs, runtime)
+
+    return raise_missing
+
+
+class CompiledPlan:
+    """Frozen execution schedule for one fetch set of one graph.
+
+    Replaying a plan is semantically identical to interpreting the graph:
+    fetches evaluate in the same dependency order, ``feed_dict`` may still
+    override any op's output (the op's kernel is skipped), and unfed
+    placeholders raise the same error.  Only the per-run bookkeeping is
+    gone.
+    """
+
+    __slots__ = ("graph", "version", "fetch_names", "num_slots", "schedule",
+                 "target_slots", "slot_of_name", "placeholder_names",
+                 "placeholder_slots", "has_edges", "call_hook",
+                 "_specialized", "_codegen", "_exec_count")
+
+    def __init__(self, graph: Graph, targets: Sequence[Operation],
+                 edge_fn: Optional[EdgeFn] = None, call_hook: bool = False,
+                 specialize_fn: Optional[Callable] = None):
+        self.graph = graph
+        self.version = graph.version
+        self.fetch_names: Tuple[str, ...] = tuple(op.name for op in targets)
+
+        forward = _forward_registry()
+        order = graph.cached_topo_sort(targets)
+        slot_of: Dict[str, int] = {}
+        schedule = []
+        placeholders: List[str] = []
+        specialized = set()
+        has_edges = False
+        for slot, op in enumerate(order):
+            slot_of[op.name] = slot
+            kernel = specialize_fn(op) if specialize_fn is not None else None
+            if kernel is None:
+                builder = SPECIALIZE.get(op.op_type)
+                if builder is not None:
+                    kernel = builder(op)
+            if kernel is not None:
+                specialized.add(slot)
+            if kernel is None:
+                kernel = forward.get(op.op_type)
+            if kernel is None:
+                kernel = _missing_kernel(op.op_type)
+            input_slots = tuple(slot_of[t.op.name] for t in op.inputs)
+            edges = edge_fn(op) if edge_fn is not None else None
+            if edges:
+                has_edges = True
+            if op.op_type == "placeholder":
+                placeholders.append(op.name)
+            schedule.append((op, kernel, input_slots, slot, edges or None))
+
+        self.num_slots = len(order)
+        self.schedule: tuple = tuple(schedule)
+        self.slot_of_name = slot_of
+        self.target_slots = tuple(slot_of[name] for name in self.fetch_names)
+        self.placeholder_names = tuple(placeholders)
+        self.placeholder_slots = frozenset(slot_of[n] for n in placeholders)
+        self.has_edges = has_edges
+        self.call_hook = call_hook
+        self._specialized = specialized
+        self._codegen = None
+        self._exec_count = 0
+
+    def validate_placeholders(self, available: Sequence[str]) -> None:
+        """One-time feed validation: every placeholder slot the schedule
+        executes must be coverable by *available* feed names."""
+        known = set(available)
+        missing = [name for name in self.placeholder_names
+                   if name not in known]
+        if missing:
+            raise ValueError(
+                f"compiled plan for {self.fetch_names} needs placeholders "
+                f"that the runner never feeds: {missing}"
+            )
+
+    def execute(self, session, feed_dict: Optional[dict] = None) -> list:
+        """Replay the schedule against *session*; returns fetch values."""
+        buf: List[object] = [None] * self.num_slots
+        fed = bytearray(self.num_slots)
+        fed_slots = set()
+        if feed_dict:
+            slot_of = self.slot_of_name
+            for key, value in feed_dict.items():
+                name = key.name if isinstance(key, Tensor) else str(key)
+                slot = slot_of.get(name)
+                if slot is None:
+                    continue  # feeds outside the schedule are ignored
+                buf[slot] = (value if isinstance(value, np.ndarray)
+                             else as_array(value))
+                fed[slot] = 1
+                fed_slots.add(slot)
+
+        pair = self._codegen
+        if pair is None:
+            # Straight-line code is only worth generating for plans that
+            # are actually replayed; a one-shot fetch uses the loop.
+            self._exec_count += 1
+            if self._exec_count >= 2:
+                pair = self._codegen = self._generate()
+        if pair is not None:
+            checked, fast = pair
+            if fast is not None and fed_slots == self.placeholder_slots:
+                # The steady-state iteration pattern: exactly the
+                # placeholders fed, so per-entry fed checks vanish.
+                fast(session, buf)
+            else:
+                checked(session, buf, fed)
+        else:
+            self._execute_loop(session, buf, fed)
+        return [buf[s] for s in self.target_slots]
+
+    def _execute_loop(self, session, buf: list, fed: bytearray) -> None:
+        session.run_cache = {}
+        seen = session._seen_edges if self.has_edges else None
+        record = session.transcript.record if self.has_edges else None
+        hook = session._before_kernel if self.call_hook else None
+        for op, kernel, input_slots, slot, edges in self.schedule:
+            if fed[slot]:
+                continue
+            inputs = [buf[j] for j in input_slots]
+            session._current_op = op
+            if edges is not None:
+                for pos, key, tag, src, dst in edges:
+                    value = inputs[pos]
+                    if value is None or key in seen:
+                        continue
+                    seen.add(key)
+                    record(tag=tag, src_machine=src, dst_machine=dst,
+                           nbytes=nbytes_of(value))
+            elif hook is not None:
+                hook(op, inputs)
+            buf[slot] = kernel(op, inputs, session)
+        session._current_op = None
+
+    # -- straight-line code generation ----------------------------------
+    def _generate(self):
+        """Compile the schedule to straight-line Python.
+
+        Returns ``(checked, fast)``: *checked* is semantically the loop
+        above with every per-op decision already taken -- no iteration
+        machinery, no tuple unpacking, no kernel indirection for inlined
+        op types.  *fast* additionally assumes the steady-state feed
+        pattern (exactly the placeholders fed), dropping the per-entry fed
+        checks and resolving the shared-vjp cache to generated locals;
+        it is ``None`` when a ``_before_kernel`` hook must run.
+
+        ``vjp`` nodes inline the shared-gradient cache protocol (same
+        ``run_cache['vjp']`` structure and keys as the generic kernel),
+        constants become literals, DIRECT kernels are called positionally,
+        and specialized kernels skip the ``_current_op`` bookkeeping they
+        contractually ignore.
+        """
+        checked = self._emit(checked=True)
+        fast = None if self.call_hook else self._emit(checked=False)
+        return checked, fast
+
+    def _emit(self, checked: bool):
+        from repro.graph import ops as ops_mod
+
+        ns: Dict[str, object] = {"NB": nbytes_of}
+        signature = "(session, buf, fed)" if checked else "(session, buf)"
+        lines: List[str] = [f"def _run{signature}:",
+                            "    rc = {}",
+                            "    session.run_cache = rc"]
+        inline_vjp = not self.call_hook and any(
+            op.op_type == "vjp" for op, *_ in self.schedule
+        )
+        if inline_vjp:
+            lines.append("    vjp = {}")
+            lines.append("    rc['vjp'] = vjp")
+        if self.has_edges:
+            lines.append("    seen = session._seen_edges")
+            lines.append("    record = session.transcript.record")
+        if self.call_hook:
+            lines.append("    hook = session._before_kernel")
+
+        vjp_ids: Dict[tuple, int] = {}
+        edge_id = 0
+        emit = lines.append
+        for op, kernel, input_slots, slot, edges in self.schedule:
+            i = slot
+            if checked:
+                emit(f"    if not fed[{i}]:")
+                ind = "        "
+            else:
+                if op.op_type == "placeholder":
+                    continue  # fast path: every placeholder is fed
+                ind = "    "
+
+            def emit_edges():
+                nonlocal edge_id
+                for pos, key, tag, src, dst in edges or ():
+                    e = edge_id
+                    edge_id += 1
+                    ns[f"EK{e}"] = key
+                    emit(f"{ind}v = buf[{input_slots[pos]}]")
+                    emit(f"{ind}if v is not None and EK{e} not in seen:")
+                    emit(f"{ind}    seen.add(EK{e})")
+                    emit(f"{ind}    record(tag={tag!r}, src_machine={src},"
+                         f" dst_machine={dst}, nbytes=NB(v))")
+
+            args = "[" + ", ".join(f"buf[{j}]" for j in input_slots) + "]"
+            if self.call_hook:
+                ns[f"O{i}"] = op
+                ns[f"K{i}"] = kernel
+                emit(f"{ind}_in = {args}")
+                emit(f"{ind}session._current_op = O{i}")
+                emit(f"{ind}hook(O{i}, _in)")
+                emit(f"{ind}buf[{i}] = K{i}(O{i}, _in, session)")
+                continue
+            if op.op_type == "vjp" and inline_vjp:
+                fwd_op = self.graph.get_op(op.attrs["forward_op"])
+                rule = ops_mod.VJP.get(fwd_op.op_type)
+                if rule is not None:
+                    emit_edges()
+                    key = (op.attrs["forward_op"], op.attrs["grad_source"])
+                    index = op.attrs["input_index"]
+                    j = vjp_ids.get(key)
+                    first = j is None
+                    if first:
+                        j = vjp_ids[key] = len(vjp_ids)
+                        ns[f"VK{j}"] = key
+                        ns[f"VR{j}"] = rule
+                        ns[f"VF{j}"] = fwd_op
+                    n = len(fwd_op.inputs)
+                    fwd_args = ("[" + ", ".join(f"buf[{s}]"
+                                                for s in input_slots[:n]) + "]")
+                    rule_call = (f"VR{j}(VF{j}, {fwd_args}, "
+                                 f"buf[{input_slots[n]}], "
+                                 f"buf[{input_slots[n + 1]}])")
+                    if not checked:
+                        # Feed-free: the first node of each key computes,
+                        # later nodes read the generated local directly.
+                        if first:
+                            emit(f"{ind}g{j} = vjp[VK{j}] = {rule_call}")
+                        emit(f"{ind}buf[{i}] = g{j}[{index}]")
+                    else:
+                        emit(f"{ind}g = vjp.get(VK{j})")
+                        emit(f"{ind}if g is None:")
+                        emit(f"{ind}    g = vjp[VK{j}] = {rule_call}")
+                        emit(f"{ind}buf[{i}] = g[{index}]")
+                    continue
+            if op.op_type == "constant" and i in self._specialized:
+                ns[f"C{i}"] = op.attrs["value"]
+                emit(f"{ind}buf[{i}] = C{i}")
+                continue
+            if i not in self._specialized:
+                direct_builder = DIRECT.get(op.op_type)
+                direct = (direct_builder(op) if direct_builder is not None
+                          else None)
+                if direct is not None:
+                    emit_edges()
+                    ns[f"D{i}"] = direct
+                    call_args = ", ".join(f"buf[{j}]" for j in input_slots)
+                    emit(f"{ind}buf[{i}] = D{i}({call_args})")
+                    continue
+            emit_edges()
+            ns[f"O{i}"] = op
+            ns[f"K{i}"] = kernel
+            if i in self._specialized:
+                # Contract: specialized kernels never read _current_op --
+                # their op context is prebound -- so skip the bookkeeping.
+                emit(f"{ind}buf[{i}] = K{i}(O{i}, {args}, session)")
+            else:
+                emit(f"{ind}session._current_op = O{i}")
+                emit(f"{ind}buf[{i}] = K{i}(O{i}, {args}, session)")
+        lines.append("    session._current_op = None")
+
+        variant = "checked" if checked else "fast"
+        code = compile("\n".join(lines),
+                       f"<plan/{variant} {self.fetch_names[:2]}...>", "exec")
+        exec(code, ns)
+        return ns["_run"]

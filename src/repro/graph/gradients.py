@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.graph.executor import register_direct, register_specialization
 from repro.graph.graph import Graph, Operation, Tensor
 from repro.graph import ops as ops_mod
 from repro.graph.ops import register_forward
@@ -103,6 +104,37 @@ def _vjp_fwd(op, inputs, runtime):
     return cache[key][op.attrs["input_index"]]
 
 
+_VJP_PENDING = object()
+
+
+@register_specialization("vjp")
+def _vjp_specialize(op):
+    """Compiled twin of :func:`_vjp_fwd`: the forward-op resolution, attr
+    reads, and VJP-rule dispatch are all static per node, so prebind them
+    and keep only the per-run shared-gradient cache dynamic."""
+    fwd_op = op.graph.get_op(op.attrs["forward_op"])
+    n = len(fwd_op.inputs)
+    key = (op.attrs["forward_op"], op.attrs["grad_source"])
+    index = op.attrs["input_index"]
+    rule = ops_mod.VJP.get(fwd_op.op_type)
+
+    def vjp_kernel(op, inputs, runtime):
+        cache = runtime.run_cache.setdefault("vjp", {})
+        grads = cache.get(key, _VJP_PENDING)
+        if grads is _VJP_PENDING:
+            # Late re-dispatch covers rules registered after compilation.
+            r = rule if rule is not None else ops_mod.VJP.get(fwd_op.op_type)
+            if r is None:
+                raise NotImplementedError(
+                    f"no VJP registered for op type {fwd_op.op_type!r}"
+                )
+            grads = cache[key] = r(fwd_op, inputs[:n], inputs[n],
+                                   inputs[n + 1])
+        return grads[index]
+
+    return vjp_kernel
+
+
 @register_forward("grad_add")
 def _grad_add_fwd(op, inputs, runtime):
     if any(isinstance(v, IndexedSlices) for v in inputs):
@@ -117,9 +149,39 @@ def _grad_add_fwd(op, inputs, runtime):
     return total
 
 
+@register_direct("grad_add")
+def _grad_add_direct(op):
+    """Positional twin of :func:`_grad_add_fwd` for generated plans."""
+    name = op.name
+
+    def grad_add_direct(*values):
+        if any(isinstance(v, IndexedSlices) for v in values):
+            if not all(isinstance(v, IndexedSlices) for v in values):
+                raise TypeError(
+                    f"grad_add {name!r} mixes dense and sparse gradients"
+                )
+            return concat_slices(list(values))
+        total = np.array(values[0])
+        for value in values[1:]:
+            total = total + value
+        return total
+
+    return grad_add_direct
+
+
 @register_forward("ones_like_scalar")
 def _ones_fwd(op, inputs, runtime):
     return np.float32(1.0)
+
+
+@register_direct("ones_like_scalar")
+def _ones_direct(op):
+    one = np.float32(1.0)
+
+    def ones_direct():
+        return one
+
+    return ones_direct
 
 
 def _accumulate(graph: Graph, grads: List[Tensor], spec: TensorSpec,
@@ -152,7 +214,9 @@ def gradients(
     if variables is None:
         variables = [v for v in graph.variables.values() if v.trainable]
 
-    forward_order = graph.topo_sort([loss.op])
+    # The forward order is shared with the transform and any compiled
+    # plan over the same fetch (cache invalidates once we add grad ops).
+    forward_order = graph.cached_topo_sort([loss.op])
     reachable = set(forward_order)
 
     seed = graph.add_op(

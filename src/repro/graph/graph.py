@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.device import DeviceSpec, canonicalize
 from repro.tensor.dense import TensorSpec
@@ -109,6 +109,7 @@ class Operation:
             raise ValueError("control input must belong to the same graph")
         if op is not self and op not in self.control_inputs:
             self.control_inputs.append(op)
+            self.graph._version += 1
 
     def __repr__(self) -> str:
         dev = f" on {self.device}" if self.device else ""
@@ -130,6 +131,13 @@ class Graph:
         self.gradient_info: Dict[str, str] = {}
         # arbitrary metadata used by transforms (e.g. partitioner groups)
         self.collections: Dict[str, list] = {}
+        # Structural version: bumped on every op / control-edge addition.
+        # Compiled execution plans and the topo-order cache are validated
+        # against it, so a mutated graph is never executed from stale state.
+        self._version = 0
+        # (target names) -> (version, dependency-ordered op list)
+        self._topo_cache: Dict[Tuple[str, ...],
+                               Tuple[int, List["Operation"]]] = {}
 
     # ------------------------------------------------------------------
     # Default-graph / device scoping
@@ -182,7 +190,13 @@ class Graph:
         placement = canonicalize(device) if device is not None else self.current_device()
         op = Operation(self, name, op_type, inputs, spec, attrs, placement)
         self._ops[name] = op
+        self._version += 1
         return op
+
+    @property
+    def version(self) -> int:
+        """Structural version; changes whenever ops or edges are added."""
+        return self._version
 
     def get_op(self, name: str) -> Operation:
         try:
@@ -250,6 +264,22 @@ class Graph:
 
         for target in targets:
             visit(target)
+        return order
+
+    def cached_topo_sort(self, targets: Sequence[Operation]) -> List[Operation]:
+        """Memoized :meth:`topo_sort`, keyed by target names + version.
+
+        Autodiff, the distributed transform, and compiled execution plans
+        all need the dependency order of the same fetch sets; sorting once
+        per (fetch set, graph version) keeps that off the hot path.  The
+        returned list is shared -- callers must not mutate it.
+        """
+        key = tuple(op.name for op in targets)
+        hit = self._topo_cache.get(key)
+        if hit is not None and hit[0] == self._version:
+            return hit[1]
+        order = self.topo_sort(targets)
+        self._topo_cache[key] = (self._version, order)
         return order
 
     def consumers(self, op: Operation) -> List[Operation]:

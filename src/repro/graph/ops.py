@@ -20,6 +20,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+import operator
+
+from repro.graph.executor import register_direct, register_specialization
 from repro.graph.graph import Graph, Operation, Tensor, get_default_graph
 from repro.tensor import math as k
 from repro.tensor.dense import TensorSpec, as_array
@@ -81,6 +84,16 @@ def constant(value, name="constant", graph=None) -> Tensor:
 @register_forward("constant")
 def _constant_fwd(op, inputs, runtime):
     return op.attrs["value"]
+
+
+@register_specialization("constant")
+def _constant_specialize(op):
+    value = op.attrs["value"]
+
+    def constant_kernel(op, inputs, runtime):
+        return value
+
+    return constant_kernel
 
 
 @register_forward("read_var")
@@ -479,3 +492,114 @@ def _scatter_sub_fwd(op, inputs, runtime):
     k.scatter_sub(current, delta)
     runtime.write_variable(name, current)
     return None
+
+
+# ======================================================================
+# Direct kernels for generated plans
+# ======================================================================
+# Each builder returns a positional function computing exactly what the
+# generic kernel above computes; generated execution plans call these
+# without the (op, inputs, runtime) convention.  Only thin pure kernels
+# belong here -- anything touching the runtime stays generic.
+
+@register_direct("matmul")
+def _matmul_direct(op):
+    return k.matmul
+
+
+@register_direct("add")
+def _add_direct(op):
+    return operator.add
+
+
+@register_direct("mul")
+def _mul_direct(op):
+    return operator.mul
+
+
+@register_direct("add_bias")
+def _add_bias_direct(op):
+    return k.add_bias
+
+
+@register_direct("tanh")
+def _tanh_direct(op):
+    return k.tanh
+
+
+@register_direct("sigmoid")
+def _sigmoid_direct(op):
+    return k.sigmoid
+
+
+@register_direct("gather")
+def _gather_direct(op):
+    return k.gather
+
+
+@register_direct("identity")
+def _identity_direct(op):
+    def identity_direct(x):
+        return x
+
+    return identity_direct
+
+
+@register_direct("reshape")
+def _reshape_direct(op):
+    shape = op.attrs["shape"]
+
+    def reshape_direct(x):
+        return np.reshape(x, shape)
+
+    return reshape_direct
+
+
+@register_direct("concat")
+def _concat_direct(op):
+    axis = op.attrs["axis"]
+
+    def concat_direct(*values):
+        return np.concatenate(values, axis=axis)
+
+    return concat_direct
+
+
+@register_direct("slice")
+def _slice_direct(op):
+    axis, lo, hi = op.attrs["axis"], op.attrs["lo"], op.attrs["hi"]
+
+    def slice_direct(x):
+        sl = [slice(None)] * np.asarray(x).ndim
+        sl[axis] = slice(lo, hi)
+        return np.asarray(x)[tuple(sl)]
+
+    return slice_direct
+
+
+@register_direct("scale")
+def _scale_direct(op):
+    factor = op.attrs["factor"]
+
+    def scale_direct(value):
+        if isinstance(value, IndexedSlices):
+            return value.scale(factor)
+        return value * factor
+
+    return scale_direct
+
+
+@register_direct("mean")
+def _mean_direct(op):
+    def mean_direct(x):
+        return np.float32(k.mean_all(x))
+
+    return mean_direct
+
+
+@register_direct("softmax_xent")
+def _softmax_xent_direct(op):
+    def softmax_xent_direct(logits, labels):
+        return np.float32(k.softmax_xent(logits, labels))
+
+    return softmax_xent_direct

@@ -2,24 +2,37 @@
 
 The Session owns variable state, not the graph: the distributed layers
 create one logical store per worker replica (AR) or per server (PS), all
-executing the *same* transformed graph.  Execution is a memoized
-topological walk, so forward activations computed for the loss are reused
-by the ``vjp`` gradient ops within a run.
+executing the *same* transformed graph.  Execution is compile-once /
+execute-many: ``run`` builds a :class:`~repro.graph.executor.CompiledPlan`
+per fetch set and replays it on subsequent calls.  Within a run, forward
+activations computed for the loss are reused by the ``vjp`` gradient ops
+(the value buffer plays the role the memo dict played in the seed
+interpreter, which survives as :meth:`Session.run_interpreted`).
 """
 
 from __future__ import annotations
 
 import re
 import zlib
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.graph.executor import CompiledPlan, EdgeFn
 from repro.graph.graph import Graph, Operation, Tensor
 from repro.graph import ops as ops_mod
 from repro.tensor.dense import as_array
 
-_REPLICA_PREFIX = re.compile(r"^rep\d+/")
+_REPLICA_PREFIX = re.compile(r"^rep(\d+)/")
+
+
+def split_replica_prefix(name: str) -> Tuple[Optional[int], str]:
+    """``"rep3/w" -> (3, "w")``; names without a true ``rep<k>/`` replica
+    prefix (including e.g. ``"report/w"``) return ``(None, name)``."""
+    match = _REPLICA_PREFIX.match(name)
+    if match is None:
+        return None, name
+    return int(match.group(1)), name[match.end():]
 
 
 def variable_rng(name: str, seed: int) -> np.random.Generator:
@@ -96,6 +109,9 @@ class Session:
         # Scratch space cleared at the start of each run; kernels (e.g. the
         # shared-VJP cache) may stash per-run data here.
         self.run_cache: Dict[str, dict] = {}
+        # Compile-once/execute-many: plans keyed by the fetch-name
+        # signature, each validated against the graph version on reuse.
+        self._plans: Dict[Tuple[str, ...], CompiledPlan] = {}
 
     # -- variable access used by kernels --------------------------------
     def read_variable(self, name: str) -> np.ndarray:
@@ -114,13 +130,70 @@ class Session:
             return self.graph.get_op(fetch)
         raise TypeError(f"cannot fetch {fetch!r}")
 
+    def compile(self, fetches: Union[Fetch, Sequence[Fetch]]) -> CompiledPlan:
+        """Compile (or return the cached plan for) a fetch set.
+
+        ``run`` does this lazily; runners that know their step fetches up
+        front call it once so every iteration is pure replay.
+        """
+        fetch_list = (list(fetches) if isinstance(fetches, (list, tuple))
+                      else [fetches])
+        return self._plan_for([self._resolve(f) for f in fetch_list])
+
+    def _plan_for(self, targets: List[Operation]) -> CompiledPlan:
+        key = tuple(op.name for op in targets)
+        plan = self._plans.get(key)
+        if plan is not None and plan.version == self.graph.version:
+            return plan
+        edge_fn = self._compile_edge_fn()
+        # A subclass with a _before_kernel override but no static edge
+        # table still gets its hook called on the compiled path.
+        call_hook = (edge_fn is None and
+                     type(self)._before_kernel is not Session._before_kernel)
+        plan = CompiledPlan(self.graph, targets, edge_fn=edge_fn,
+                            call_hook=call_hook,
+                            specialize_fn=self._specialize_kernel)
+        self._plans[key] = plan
+        return plan
+
+    def run_plan(self, plan: CompiledPlan, feed_dict: Optional[dict] = None):
+        """Replay a compiled plan; returns one value per fetch.
+
+        Transparently recompiles (through the plan cache) if the graph
+        changed since *plan* was built.
+        """
+        if plan.version != self.graph.version:
+            plan = self._plan_for(
+                [self.graph.get_op(name) for name in plan.fetch_names]
+            )
+        self._begin_run()
+        return plan.execute(self, feed_dict)
+
     def run(self, fetches: Union[Fetch, Sequence[Fetch]],
             feed_dict: Optional[dict] = None):
         """Evaluate *fetches*; returns one value or a list matching input.
 
+        Compiles a :class:`CompiledPlan` for the fetch set on first use and
+        replays it thereafter (recompiling if the graph changed).
         ``feed_dict`` maps placeholder tensors (or names) to values; any op
         output may be overridden the same way, which the tests use to probe
         intermediate behaviour.
+        """
+        single = not isinstance(fetches, (list, tuple))
+        fetch_list = [fetches] if single else list(fetches)
+        targets = [self._resolve(f) for f in fetch_list]
+        self._begin_run()
+        results = self._plan_for(targets).execute(self, feed_dict)
+        return results[0] if single else results
+
+    def run_interpreted(self, fetches: Union[Fetch, Sequence[Fetch]],
+                        feed_dict: Optional[dict] = None):
+        """The seed executor: a memoized topological walk with per-run
+        fetch resolution and kernel dispatch.
+
+        Kept as the reference semantics for ``run``: the engine
+        bit-equivalence tests and ``repro.cli bench`` compare the compiled
+        path against this one.
         """
         single = not isinstance(fetches, (list, tuple))
         fetch_list = [fetches] if single else list(fetches)
@@ -131,6 +204,7 @@ class Session:
             name = key.name if isinstance(key, Tensor) else str(key)
             feeds[name] = value if isinstance(value, np.ndarray) else as_array(value)
 
+        self._begin_run()
         self.run_cache = {}
         memo: Dict[str, object] = {}
         for op in self.graph.topo_sort(targets):
@@ -155,6 +229,29 @@ class Session:
     # Subclass hooks -----------------------------------------------------
     _current_op: Optional[Operation] = None
 
+    def _begin_run(self) -> None:
+        """Called at the start of every run (compiled or interpreted)."""
+
+    def _compile_edge_fn(self) -> Optional[EdgeFn]:
+        """Static per-op transfer edges for compiled plans; distributed
+        sessions override this so edge discovery happens at compile time
+        and ``_before_kernel`` stays off the hot path."""
+        return None
+
+    def _specialize_kernel(self, op: Operation):
+        """Session-specific compile-time kernel binding (or None for the
+        registry default).  Variable reads bind the attr lookup here; the
+        distributed session additionally prebinds store routing."""
+        if op.op_type == "read_var":
+            read_variable = self.read_variable
+            name = op.attrs["variable"]
+
+            def read_var_kernel(op, inputs, runtime):
+                return read_variable(name)
+
+            return read_var_kernel
+        return None
+
     def _before_kernel(self, op: Operation, inputs) -> None:
-        """Called before each kernel; distributed sessions record
-        cross-machine data movement here."""
+        """Called before each kernel on the interpreted path; distributed
+        sessions record cross-machine data movement here."""

@@ -33,16 +33,19 @@ class Dataset:
             raise ValueError(f"shard index {index} out of range [0,{num_shards})")
         return ShardedDataset(self, num_shards, index)
 
+    def take(self, ids: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """Rows *ids* as stacked columns.  Subclasses backed by arrays
+        override this with a vectorized gather; values are identical."""
+        columns = list(zip(*(self.example(int(i)) for i in ids)))
+        return tuple(np.stack(col) for col in columns)
+
     def batch(self, batch_size: int, batch_index: int) -> Tuple[np.ndarray, ...]:
         """Batch *batch_index*, cycling through the dataset as needed."""
         if len(self) == 0:
             raise ValueError("cannot batch an empty dataset")
-        ids = [
-            (batch_index * batch_size + i) % len(self)
-            for i in range(batch_size)
-        ]
-        columns = list(zip(*(self.example(i) for i in ids)))
-        return tuple(np.stack(col) for col in columns)
+        ids = (batch_index * batch_size
+               + np.arange(batch_size, dtype=np.int64)) % len(self)
+        return self.take(ids)
 
     def batches(self, batch_size: int,
                 num_batches: Optional[int] = None) -> Iterator[Tuple[np.ndarray, ...]]:
@@ -69,6 +72,11 @@ class ShardedDataset(Dataset):
         if index >= len(self):
             raise IndexError(index)
         return self.parent.example(index * self.num_shards + self.index)
+
+    def take(self, ids: np.ndarray) -> Tuple[np.ndarray, ...]:
+        if ids.size and int(ids.max()) >= len(self):
+            raise IndexError(int(ids.max()))
+        return self.parent.take(ids * self.num_shards + self.index)
 
 
 class SyntheticImageDataset(Dataset):
@@ -142,6 +150,10 @@ class SyntheticTextDataset(Dataset):
     def example(self, index: int):
         row = self._tokens[index]
         return row[:-1].copy(), row[1:].copy()
+
+    def take(self, ids: np.ndarray):
+        rows = self._tokens[np.asarray(ids, dtype=np.int64)]
+        return rows[:, :-1].copy(), rows[:, 1:].copy()
 
     def measured_alpha(self, batch_size: int, num_batches: int = 8) -> float:
         """Empirical fraction of vocab rows a batch touches (the paper's α).

@@ -176,6 +176,41 @@ def _as_combined_slices(op, value) -> IndexedSlices:
     return value.combine()
 
 
+def specialize_update(op, read, write):
+    """Compile-time form of the SGD update kernels for executor plans.
+
+    ``read``/``write`` are the routed store accessors for *op*'s device,
+    so the per-call runtime routing and attr lookups disappear.  Returns
+    None for op types or configurations (e.g. clipping) that have no
+    specialized form; those stay on the generic kernels.
+    """
+    if op.attrs.get("clip_norm") is not None:
+        return None
+    name = op.attrs.get("variable")
+    lr = op.attrs.get("lr")
+    if op.op_type == "sgd_update":
+
+        def sgd_update_kernel(op, inputs, runtime):
+            write(name, read(name) - lr * inputs[0])
+
+        return sgd_update_kernel
+    if op.op_type == "sgd_update_sparse":
+
+        def sgd_update_sparse_kernel(op, inputs, runtime):
+            value = inputs[0]
+            if not isinstance(value, IndexedSlices):
+                raise TypeError(
+                    f"sparse update expects IndexedSlices, got {type(value)}"
+                )
+            delta = value.combine()
+            current = read(name)
+            np.subtract.at(current, delta.indices, lr * delta.values)
+            write(name, current)
+
+        return sgd_update_sparse_kernel
+    return None
+
+
 @register_forward("sgd_update")
 def _sgd_update(op, inputs, runtime):
     name = op.attrs["variable"]

@@ -48,20 +48,41 @@ def tanh(x: np.ndarray) -> np.ndarray:
 
 
 def tanh_grad(y: np.ndarray, g: np.ndarray) -> np.ndarray:
-    return g * (1.0 - y * y)
+    # In-place chain of g * (1.0 - y * y); float multiplication commutes
+    # exactly, so results are bitwise identical to the naive expression.
+    t = y * y
+    np.subtract(1.0, t, out=t)
+    t *= g
+    return t
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
+    # Numerically-stable two-branch sigmoid.  The ufunc chains reuse one
+    # scratch array per branch; each branch performs exactly the ops of
+    # 1/(1+exp(-x)) resp. exp(x)/(1+exp(x)), so values are bit-identical
+    # to the textbook form while allocating far fewer temporaries (this
+    # runs once per LSTM gate per replica per iteration).
     out = np.empty_like(x)
     pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
+    neg = ~pos
+    xp = x[pos]
+    np.negative(xp, out=xp)
+    np.exp(xp, out=xp)
+    xp += 1.0
+    np.divide(1.0, xp, out=xp)
+    out[pos] = xp
+    ex = np.exp(x[neg])
+    denom = ex + 1.0
+    np.divide(ex, denom, out=denom)
+    out[neg] = denom
     return out
 
 
 def sigmoid_grad(y: np.ndarray, g: np.ndarray) -> np.ndarray:
-    return g * y * (1.0 - y)
+    # (g * y) * (1.0 - y), left-to-right like the naive expression.
+    t = g * y
+    t *= 1.0 - y
+    return t
 
 
 # ----------------------------------------------------------------------
@@ -81,6 +102,8 @@ def gather_grad(params_shape: Tuple[int, ...], indices: np.ndarray,
     """
     idx = np.asarray(indices, dtype=np.int64).reshape(-1)
     vals = np.asarray(g).reshape((idx.size,) + tuple(params_shape[1:]))
+    # Full constructor on purpose: the forward gather accepts negative ids
+    # via numpy wraparound, so this is where a bad id must fail loudly.
     return IndexedSlices(vals, idx, tuple(params_shape))
 
 
@@ -100,8 +123,8 @@ def scatter_sub(target: np.ndarray, slices: IndexedSlices) -> np.ndarray:
 # ----------------------------------------------------------------------
 def softmax(logits: np.ndarray) -> np.ndarray:
     shifted = logits - logits.max(axis=-1, keepdims=True)
-    ex = np.exp(shifted)
-    return ex / ex.sum(axis=-1, keepdims=True)
+    np.exp(shifted, out=shifted)
+    return shifted / shifted.sum(axis=-1, keepdims=True)
 
 
 def softmax_xent(logits: np.ndarray, labels: np.ndarray) -> float:

@@ -58,6 +58,23 @@ class IndexedSlices:
         ):
             raise ValueError("indices out of range for dense_shape")
 
+    @classmethod
+    def _wrap(cls, values: np.ndarray, indices: np.ndarray,
+              dense_shape: Tuple[int, ...]) -> "IndexedSlices":
+        """Internal fast constructor for invariant-preserving call sites.
+
+        The algebra below (combine/concat/scale/slice_rows) and the kernel
+        gradients construct slices whose arrays are already converted and
+        whose indices are in range by construction; re-validating them
+        costs two reductions per instantiation on the training hot path.
+        External callers must use the normal constructor.
+        """
+        out = object.__new__(cls)
+        out.values = values
+        out.indices = indices
+        out.dense_shape = dense_shape
+        return out
+
     # ------------------------------------------------------------------
     # Size accounting (drives the transfer model)
     # ------------------------------------------------------------------
@@ -95,14 +112,16 @@ class IndexedSlices:
         one by one to accumulate values with the same index", section 3.2).
         """
         if self.indices.size == 0:
-            return IndexedSlices(self.values, self.indices, self.dense_shape)
+            return IndexedSlices._wrap(self.values, self.indices,
+                                       self.dense_shape)
         uniq, inverse = np.unique(self.indices, return_inverse=True)
         summed = np.zeros((uniq.size,) + self.values.shape[1:], dtype=self.values.dtype)
         np.add.at(summed, inverse, self.values)
-        return IndexedSlices(summed, uniq, self.dense_shape)
+        return IndexedSlices._wrap(summed, uniq, self.dense_shape)
 
     def scale(self, factor: float) -> "IndexedSlices":
-        return IndexedSlices(self.values * factor, self.indices.copy(), self.dense_shape)
+        return IndexedSlices._wrap(self.values * factor, self.indices.copy(),
+                                   self.dense_shape)
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.dense_shape, dtype=self.values.dtype)
@@ -116,7 +135,7 @@ class IndexedSlices:
         server holding each partition.
         """
         mask = (self.indices >= lo) & (self.indices < hi)
-        return IndexedSlices(
+        return IndexedSlices._wrap(
             self.values[mask],
             self.indices[mask] - lo,
             (hi - lo,) + self.dense_shape[1:],
@@ -145,7 +164,7 @@ def concat_slices(slices: Sequence[IndexedSlices]) -> IndexedSlices:
             raise ValueError("all slices must share dense_shape")
     values = np.concatenate([s.values for s in slices], axis=0)
     indices = np.concatenate([s.indices for s in slices], axis=0)
-    return IndexedSlices(values, indices, shape)
+    return IndexedSlices._wrap(values, indices, shape)
 
 
 def add_slices(a: IndexedSlices, b: IndexedSlices) -> IndexedSlices:

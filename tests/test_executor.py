@@ -1,0 +1,204 @@
+"""The compile-once/execute-many engine.
+
+Two guarantees are load-bearing: compiled execution is *bit-identical*
+to the seed interpreter (losses, variable state, and the byte-accounting
+transcript), and the per-session plan cache invalidates whenever the
+fetch set or the graph changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.runner import DistributedRunner
+from repro.core.transform.plan import (
+    ar_graph_plan,
+    hybrid_graph_plan,
+    ps_graph_plan,
+)
+from repro.graph import gradients, ops
+from repro.graph.executor import CompiledPlan
+from repro.graph.graph import Graph
+from repro.graph.session import Session, split_replica_prefix
+from repro.nn.models import build_lm
+from repro.nn.optimizers import GradientDescentOptimizer
+
+CLUSTER = ClusterSpec(num_machines=2, gpus_per_machine=2)
+
+PLAN_BUILDERS = {
+    "hybrid": lambda g: hybrid_graph_plan(g),
+    "ps": lambda g: ps_graph_plan(g),
+    "opt_ps": lambda g: ps_graph_plan(g, local_aggregation=True,
+                                      smart_placement=True, name="opt_ps"),
+    "ar": lambda g: ar_graph_plan(g),
+    "async_ps": lambda g: ps_graph_plan(g, asynchronous=True),
+}
+
+
+def make_model():
+    model = build_lm(batch_size=4, vocab_size=30, seq_len=2, emb_dim=6,
+                     hidden=8, num_partitions=2, seed=0)
+    with model.graph.as_default():
+        gvs = gradients(model.loss)
+        GradientDescentOptimizer(0.2).update(gvs)
+    return model
+
+
+def make_runner(arch, engine):
+    model = make_model()
+    return DistributedRunner(model, CLUSTER, PLAN_BUILDERS[arch](model.graph),
+                             seed=1, engine=engine)
+
+
+class TestBitEquivalence:
+    """Compiled == interpreted, for every architecture, async included.
+
+    Three steps per runner so the generated fast path (activated on plan
+    replay) is exercised, not just the first-run loop."""
+
+    @pytest.mark.parametrize("arch", sorted(PLAN_BUILDERS))
+    def test_losses_state_and_transcript_match(self, arch):
+        compiled = make_runner(arch, "compiled")
+        interpreted = make_runner(arch, "interpreted")
+        for i in range(3):
+            a = compiled.step(i)
+            b = interpreted.step(i)
+            assert a.replica_losses == b.replica_losses
+        state_a = compiled.logical_state()
+        state_b = interpreted.logical_state()
+        assert set(state_a) == set(state_b)
+        for name in state_a:
+            np.testing.assert_array_equal(state_a[name], state_b[name])
+        assert (compiled.transcript.total_network_bytes()
+                == interpreted.transcript.total_network_bytes())
+
+    def test_async_plans_compile_one_plan_per_replica(self):
+        runner = make_runner("async_ps", "compiled")
+        assert len(runner.step_plans) == runner.num_replicas
+        assert len({p.fetch_names for p in runner.step_plans}) \
+            == runner.num_replicas
+
+    def test_sync_plans_compile_single_plan(self):
+        runner = make_runner("hybrid", "compiled")
+        assert len(runner.step_plans) == 1
+        fetches = runner.step_plans[0].fetch_names
+        assert fetches[-1] == "train_op"
+        assert len(fetches) == runner.num_replicas + 1
+
+    def test_runner_rejects_unknown_engine(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="engine"):
+            DistributedRunner(model, CLUSTER, hybrid_graph_plan(model.graph),
+                              engine="turbo")
+
+
+def small_session():
+    g = Graph()
+    with g.as_default():
+        x = ops.placeholder((2,), name="x")
+        c = ops.constant(np.ones(2, dtype=np.float32), name="c")
+        y = ops.add(x, c, name="y")
+        z = ops.mul(y, c, name="z")
+    return g, Session(g), x, y, z
+
+
+class TestPlanCache:
+    def test_same_fetches_reuse_plan(self):
+        _, sess, x, _, z = small_session()
+        feed = {x: np.zeros(2, dtype=np.float32)}
+        sess.run(z, feed)
+        plan_a = sess.compile(z)
+        sess.run(z, feed)
+        assert sess.compile(z) is plan_a
+
+    def test_different_fetches_compile_different_plans(self):
+        _, sess, _, y, z = small_session()
+        assert sess.compile(y) is not sess.compile(z)
+        assert sess.compile([y, z]) is not sess.compile(z)
+
+    def test_adding_an_op_invalidates(self):
+        g, sess, x, _, z = small_session()
+        before = sess.compile(z)
+        with g.as_default():
+            ops.add(z, z, name="later")
+        after = sess.compile(z)
+        assert after is not before
+        assert after.version == g.version
+
+    def test_adding_a_control_edge_invalidates(self):
+        g, sess, x, y, z = small_session()
+        before = sess.compile(z)
+        z.op.add_control_input(y.op)
+        assert sess.compile(z) is not before
+
+    def test_stale_plan_replays_through_run_plan(self):
+        g, sess, x, _, z = small_session()
+        stale = sess.compile(z)
+        with g.as_default():
+            ops.add(z, z, name="later")
+        value = sess.run_plan(stale, {x: np.zeros(2, dtype=np.float32)})
+        np.testing.assert_array_equal(value[0],
+                                      np.ones(2, dtype=np.float32))
+
+
+class TestFeedSemantics:
+    """The compiled engine must honour the interpreter's feed contract,
+    on the first (loop) execution and on generated replays alike."""
+
+    def test_intermediate_override_all_paths(self):
+        _, sess, x, y, z = small_session()
+        feed = {x: np.zeros(2, dtype=np.float32)}
+        override = dict(feed)
+        override["y"] = np.full(2, 5.0, dtype=np.float32)
+        for _ in range(3):  # loop, then generated code
+            np.testing.assert_array_equal(sess.run(z, feed),
+                                          np.ones(2, dtype=np.float32))
+            np.testing.assert_array_equal(sess.run(z, override),
+                                          np.full(2, 5.0, dtype=np.float32))
+
+    def test_unfed_placeholder_raises_like_interpreter(self):
+        _, sess, x, _, z = small_session()
+        for _ in range(3):
+            with pytest.raises(RuntimeError, match="was not fed"):
+                sess.run(z, {})
+
+    def test_unknown_feeds_are_ignored(self):
+        _, sess, x, _, z = small_session()
+        feed = {x: np.zeros(2, dtype=np.float32), "nonexistent": np.ones(3)}
+        for _ in range(3):
+            np.testing.assert_array_equal(sess.run(z, feed),
+                                          np.ones(2, dtype=np.float32))
+
+    def test_run_matches_run_interpreted(self):
+        _, sess_a, x, _, z = small_session()
+        _, sess_b, x2, _, z2 = small_session()
+        feed = {"x": np.asarray([0.5, -1.5], dtype=np.float32)}
+        for _ in range(3):
+            np.testing.assert_array_equal(sess_a.run(z, feed),
+                                          sess_b.run_interpreted(z2, feed))
+
+
+class TestPlanIntrospection:
+    def test_placeholder_slots_declared(self):
+        _, sess, x, _, z = small_session()
+        plan = sess.compile(z)
+        assert plan.placeholder_names == ("x",)
+        plan.validate_placeholders(["x", "other"])
+        with pytest.raises(ValueError, match="never feeds"):
+            plan.validate_placeholders(["other"])
+
+    def test_plan_records_fetch_signature_and_version(self):
+        g, sess, _, y, z = small_session()
+        plan = sess.compile([y, z])
+        assert plan.fetch_names == ("y", "z")
+        assert plan.version == g.version
+        assert isinstance(plan, CompiledPlan)
+
+
+class TestReplicaPrefixParsing:
+    def test_split_replica_prefix(self):
+        assert split_replica_prefix("rep3/w") == (3, "w")
+        assert split_replica_prefix("rep12/a/b") == (12, "a/b")
+        assert split_replica_prefix("report/w") == (None, "report/w")
+        assert split_replica_prefix("w") == (None, "w")
+        assert split_replica_prefix("rep/w") == (None, "rep/w")

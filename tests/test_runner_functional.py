@@ -278,3 +278,63 @@ class TestCheckpointing:
                                    hybrid_graph_plan(model.graph))
         with pytest.raises(ValueError):
             runner.save()
+
+    def test_variable_named_like_replica_prefix_roundtrips(self, tmp_path):
+        """Regression: a user variable named e.g. ``report/w`` must not be
+        mistaken for a ``rep<k>/`` replica copy.  It used to be dropped
+        from checkpoints, and restoring alongside a variable named ``w``
+        crashed on ``int("ort")``."""
+        from repro.graph.graph import Graph
+        from repro.graph.ops import matmul, mse_loss, placeholder
+        from repro.graph.variables import get_variable
+        from repro.nn.datasets import Dataset
+
+        class _RegressionData(Dataset):
+            def __init__(self):
+                rng = np.random.default_rng(3)
+                self.x = rng.normal(size=(32, 3)).astype(np.float32)
+                self.y = rng.normal(size=(32, 1)).astype(np.float32)
+
+            def __len__(self):
+                return 32
+
+            def example(self, index):
+                return self.x[index], self.y[index]
+
+        def build():
+            from repro.nn.models.common import BuiltModel
+
+            graph = Graph()
+            with graph.as_default():
+                x = placeholder((4, 3), name="x")
+                target = placeholder((4, 1), name="target")
+                w = get_variable("w", (3, 1))
+                report_w = get_variable("report/w", (1, 1))
+                pred = matmul(matmul(x, w.tensor, name="pred"),
+                              report_w.tensor, name="pred/scaled")
+                loss = mse_loss(pred, target)
+                gvs = gradients(loss)
+                GradientDescentOptimizer(0.1).update(gvs)
+            return BuiltModel(graph=graph, loss=loss,
+                              placeholders={"x": x, "target": target},
+                              dataset=_RegressionData(), batch_size=4,
+                              name="report_regression")
+
+        model = build()
+        runner = DistributedRunner(model, CLUSTER,
+                                   ps_graph_plan(model.graph), seed=SEED)
+        for i in range(2):
+            runner.step(i)
+        state = runner.logical_state()
+        assert "report/w" in state and "w" in state
+        path = str(tmp_path / "report.npz")
+        runner.save(path)
+
+        model2 = build()
+        restored = DistributedRunner(model2, CLUSTER,
+                                     ps_graph_plan(model2.graph),
+                                     seed=SEED + 7)
+        restored.restore(path)
+        for name in ("w", "report/w"):
+            np.testing.assert_array_equal(runner.variable_value(name),
+                                          restored.variable_value(name))
