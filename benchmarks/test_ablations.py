@@ -151,3 +151,38 @@ def test_bench_ablation_grid(benchmark, profiles, paper_cluster):
 
     values = benchmark(grid)
     assert len(values) == 2
+
+
+class TestFusionBufferAblation:
+    """Tensor-fusion buffer cap vs iteration time (the tentpole's
+    performance plane): per-collective launch latency makes many small
+    buckets slow, while one giant bucket forfeits nothing at this scale
+    -- the sweep the paper-era Horovod fusion knob trades over."""
+
+    def test_iteration_time_tracks_bucket_count(self, benchmark,
+                                                profiles, paper_cluster):
+        _mark_benchmark(benchmark)
+        from repro.baselines import horovod_plan
+        from repro.cluster.costmodel import CostModel
+
+        profile = profiles["resnet50"]
+        cost = CostModel(ar_overlap=0.0)  # expose the launch term
+        rows = []
+        results = []
+        for cap_mb in (0.0, 1.0, 4.0, 16.0, 64.0):
+            plan = horovod_plan(profile).with_fusion(cap_mb)
+            b = simulate_iteration(profile, plan, paper_cluster, cost)
+            results.append((b.num_ar_buckets, b.iteration_time))
+            rows.append([cap_mb, b.num_ar_buckets,
+                         fmt(b.allreduce_time * 1e3),
+                         fmt(b.iteration_time * 1e3)])
+        print_table("ResNet-50 AllReduce fusion-buffer sweep",
+                    ["buffer MB", "buckets", "AR ms", "iter ms"], rows)
+        buckets = [r[0] for r in results]
+        times = [r[1] for r in results]
+        assert buckets == sorted(buckets, reverse=True)
+        assert times == sorted(times, reverse=True)
+        # The gap between unfused and fully fused is at least the launch
+        # latency the extra collectives pay.
+        assert times[0] - times[-1] >= (
+            cost.c_collective_launch * (buckets[0] - buckets[-1]))

@@ -132,70 +132,85 @@ def fig9(cluster: ClusterSpec) -> None:
         print(f"{row[0]:<6}" + "".join(f"{v:<14}" for v in row[1:]))
 
 
-def bench(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
-          seed: int = 0, output: str = "BENCH_engine.json") -> int:
-    """Compiled engine vs the seed interpreter on the quickstart workload.
-
-    Trains the quickstart hybrid LM (partitioned sparse embedding on PS,
-    dense LSTM/softmax on AllReduce) with both executors, checks the
-    per-iteration losses are bit-identical, and reports steps/sec.  The
-    JSON written to *output* records the repo's perf trajectory.
-    """
+def _quickstart_runner(cluster: ClusterSpec, seed: int,
+                       engine: str = "compiled", fusion: bool = False,
+                       fusion_buffer_mb: float = 4.0):
+    """The quickstart hybrid LM workload (partitioned sparse embedding on
+    PS, dense LSTM/softmax on AllReduce) as a ready DistributedRunner."""
     from repro.core.runner import DistributedRunner
     from repro.core.transform.plan import hybrid_graph_plan
     from repro.graph.gradients import gradients
     from repro.nn.models import build_lm
     from repro.nn.optimizers import GradientDescentOptimizer
 
+    model = build_lm(batch_size=8, vocab_size=200, seq_len=4,
+                     emb_dim=16, hidden=24, num_partitions=4, seed=0)
+    with model.graph.as_default():
+        gvs = gradients(model.loss)
+        GradientDescentOptimizer(0.5).update(gvs)
+    plan = hybrid_graph_plan(model.graph, fusion=fusion,
+                             fusion_buffer_mb=fusion_buffer_mb)
+    return DistributedRunner(model, cluster, plan, seed=seed, engine=engine)
+
+
+def _validate_bench_args(iters: int, warmup: int) -> None:
+    """Fail fast, before any runner (graph transform) is built."""
     if iters < 1:
         raise SystemExit("bench: --iters must be >= 1")
     if warmup < 0:
         raise SystemExit("bench: --warmup must be >= 0")
 
-    def make_runner(engine: str) -> DistributedRunner:
-        model = build_lm(batch_size=8, vocab_size=200, seq_len=4,
-                         emb_dim=16, hidden=24, num_partitions=4, seed=0)
-        with model.graph.as_default():
-            gvs = gradients(model.loss)
-            GradientDescentOptimizer(0.5).update(gvs)
-        return DistributedRunner(model, cluster, hybrid_graph_plan(model.graph),
-                                 seed=seed, engine=engine)
 
-    engines = ("interpreted", "compiled")
-    runners = {engine: make_runner(engine) for engine in engines}
-    losses: Dict[str, list] = {engine: [] for engine in engines}
-    done: Dict[str, int] = {engine: 0 for engine in engines}
+def _interleaved_measure(runners: Dict[str, object], iters: int,
+                         warmup: int):
+    """Time every runner in alternating blocks; returns (times, losses).
 
-    def run_block(engine: str, count: int) -> float:
-        """Step *count* iterations; returns seconds per step."""
-        runner = runners[engine]
+    Measures in small interleaved blocks (rotating which runner leads):
+    each round times all runners back to back, so host noise hits them
+    alike.  Callers take each runner's best (minimum) block -- noise only
+    ever adds time, so the minimum is its closest approach to true cost.
+    """
+    names = list(runners)
+    losses: Dict[str, list] = {name: [] for name in names}
+    done: Dict[str, int] = {name: 0 for name in names}
+
+    def run_block(name: str, count: int) -> float:
+        runner = runners[name]
         start = time.perf_counter()
         for _ in range(count):
-            result = runner.step(done[engine])
-            losses[engine].append(result.replica_losses)
-            done[engine] += 1
+            result = runner.step(done[name])
+            losses[name].append(result.replica_losses)
+            done[name] += 1
         return (time.perf_counter() - start) / count
 
-    for engine in engines:
+    for name in names:
         if warmup:
-            run_block(engine, warmup)
-    # Measure in small interleaved blocks (alternating which engine
-    # leads): each round times both engines back to back, so host noise
-    # hits both alike.  The reported "speedup" is the best-block ratio
-    # (noise only ever adds time, so each engine's minimum is its closest
-    # approach to true cost); the median per-round ratio is reported
-    # alongside as "median_block_speedup".
+            run_block(name, warmup)
     block = max(1, min(5, iters // 8))
-    times: Dict[str, list] = {engine: [] for engine in engines}
+    times: Dict[str, list] = {name: [] for name in names}
     round_no = 0
-    while done["compiled"] < warmup + iters:
-        count = min(block, warmup + iters - done["compiled"])
-        order = engines if round_no % 2 == 0 else engines[::-1]
-        for engine in order:
-            times[engine].append(run_block(engine, count))
+    while done[names[0]] < warmup + iters:
+        count = min(block, warmup + iters - done[names[0]])
+        order = names[round_no % len(names):] + names[:round_no % len(names)]
+        for name in order:
+            times[name].append(run_block(name, count))
         round_no += 1
-    # Best block per engine: external noise only ever adds time, so the
-    # minimum is each engine's closest approach to its true cost.
+    return times, losses
+
+
+def bench(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
+          seed: int = 0, output: str = "BENCH_engine.json") -> int:
+    """Compiled engine vs the seed interpreter on the quickstart workload.
+
+    Trains the quickstart hybrid LM with both executors, checks the
+    per-iteration losses are bit-identical, and reports steps/sec.  The
+    JSON written to *output* records the repo's perf trajectory.
+    """
+    _validate_bench_args(iters, warmup)
+    engines = ("interpreted", "compiled")
+    runners = {engine: _quickstart_runner(cluster, seed, engine=engine)
+               for engine in engines}
+    times, losses = _interleaved_measure(runners, iters, warmup)
     steps_per_sec = {engine: 1.0 / min(times[engine]) for engine in engines}
     speedup = min(times["interpreted"]) / min(times["compiled"])
     median_ratio = statistics.median(
@@ -232,6 +247,111 @@ def bench(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
     return 0
 
 
+def bench_fusion(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
+                 seed: int = 0, output: str = "BENCH_fusion.json") -> int:
+    """Fused (bucketed) vs unfused dense AllReduce on the quickstart
+    workload, plus the simulator's fusion-buffer ablation.
+
+    The functional comparison checks losses stay bit-identical while the
+    Transcript carries fewer, larger AllReduce records; the ablation
+    prices ResNet-50 (pure-dense AllReduce) under a sweep of fusion
+    buffer caps, exposing the per-collective launch-latency term.
+    """
+    _validate_bench_args(iters, warmup)
+    runners = {
+        "unfused": _quickstart_runner(cluster, seed, fusion=False),
+        "fused": _quickstart_runner(cluster, seed, fusion=True),
+    }
+    times, losses = _interleaved_measure(runners, iters, warmup)
+    steps_per_sec = {name: 1.0 / min(times[name]) for name in runners}
+    speedup = min(times["unfused"]) / min(times["fused"])
+    identical = losses["unfused"] == losses["fused"]
+
+    # One extra iteration per runner with a clean transcript: the fused
+    # engine must move the same bytes in fewer, larger messages.
+    records = {}
+    for name, runner in runners.items():
+        runner.transcript.clear()
+        runner.step(warmup + iters)
+        # Count every collective message, intra-machine included, so the
+        # fused-vs-unfused comparison stays meaningful on one machine.
+        transfers = runner.transcript.filter("allreduce",
+                                             network_only=False)
+        records[name] = {
+            "messages": len(transfers),
+            "bytes": int(sum(t.nbytes for t in transfers)),
+        }
+
+    # Performance-plane ablation: iteration time vs fusion buffer cap.
+    # Overlap is disabled for the sweep so the per-collective launch term
+    # is visible in iteration_time (with the default ar_overlap, ResNet's
+    # compute hides the whole collective phase at this scale).
+    from repro.baselines import horovod_plan
+    from repro.cluster.costmodel import DEFAULT_COST_MODEL
+    from repro.cluster.simulator import simulate_iteration
+
+    from repro.nn.profiles import resnet50_profile
+
+    profile = resnet50_profile()
+    base_plan = horovod_plan(profile)
+    sweep_cost = DEFAULT_COST_MODEL.with_overrides(ar_overlap=0.0)
+    ablation = []
+    for buffer_mb in (0.0, 1.0, 4.0, 16.0, 64.0):
+        breakdown = simulate_iteration(
+            profile, base_plan.with_fusion(buffer_mb), cluster, sweep_cost)
+        ablation.append({
+            "fusion_buffer_mb": buffer_mb,
+            "num_buckets": breakdown.num_ar_buckets,
+            "allreduce_raw_time": breakdown.allreduce_raw_time,
+            "allreduce_time": breakdown.allreduce_time,
+            "iteration_time": breakdown.iteration_time,
+        })
+
+    report = {
+        "workload": "quickstart_hybrid_lm",
+        "cluster": {"machines": cluster.num_machines,
+                    "gpus_per_machine": cluster.gpus_per_machine},
+        "iterations": iters,
+        "warmup": warmup,
+        "unfused_steps_per_sec": steps_per_sec["unfused"],
+        "fused_steps_per_sec": steps_per_sec["fused"],
+        "speedup": speedup,
+        "losses_bit_identical": identical,
+        "allreduce_records": records,
+        "simulated_ablation": {
+            "model": profile.name,
+            "plan": base_plan.name,
+            "cost_overrides": {"ar_overlap": 0.0},
+            "sweep": ablation,
+        },
+    }
+    with open(output, "w") as f:
+        json.dump(report, f, indent=2)
+
+    print(f"\nFusion bench — quickstart hybrid LM "
+          f"({cluster.total_gpus} simulated GPUs, {iters} iterations)")
+    print(f"{'engine':<14}{'steps/sec':>12}{'AR msgs/iter':>14}")
+    for name in ("unfused", "fused"):
+        print(f"{name:<14}{steps_per_sec[name]:>12.1f}"
+              f"{records[name]['messages']:>14}")
+    print(f"speedup: {speedup:.2f}x   losses bit-identical: {identical}")
+    print(f"\nSimulated {profile.name} AllReduce vs fusion buffer "
+          f"({cluster.num_machines}x{cluster.gpus_per_machine}):")
+    print(f"{'buffer MB':>10}{'buckets':>9}{'AR time':>10}{'iter time':>11}")
+    for row in ablation:
+        print(f"{row['fusion_buffer_mb']:>10}{row['num_buckets']:>9}"
+              f"{row['allreduce_time'] * 1e3:>9.2f}m"
+              f"{row['iteration_time'] * 1e3:>10.2f}m")
+    print(f"wrote {output}")
+    if not identical:
+        print("ERROR: fused and unfused losses diverged")
+        return 1
+    if records["fused"]["bytes"] != records["unfused"]["bytes"]:
+        print("ERROR: fused and unfused AllReduce byte totals diverged")
+        return 1
+    return 0
+
+
 COMMANDS: Dict[str, Callable[[ClusterSpec], None]] = {
     "table1": table1, "table2": table2, "table4": table4, "table6": table6,
     "fig8": fig8, "fig9": fig9,
@@ -256,7 +376,12 @@ def main(argv=None) -> int:
     parser.add_argument("--warmup", type=int, default=5,
                         help="bench: discarded warmup iterations")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--bench-output", default="BENCH_engine.json")
+    parser.add_argument("--fusion", action="store_true",
+                        help="bench: compare fused (bucketed) vs unfused "
+                             "dense AllReduce instead of the engines")
+    parser.add_argument("--bench-output", default=None,
+                        help="bench report path (default BENCH_engine.json, "
+                             "or BENCH_fusion.json with --fusion)")
     args = parser.parse_args(argv)
     default_machines, default_gpus = ((2, 2) if args.experiment == "bench"
                                       else (8, 6))
@@ -265,8 +390,14 @@ def main(argv=None) -> int:
         default_gpus if args.gpus is None else args.gpus,
     )
     if args.experiment == "bench":
+        if args.fusion:
+            return bench_fusion(
+                cluster, iters=args.iters, warmup=args.warmup,
+                seed=args.seed,
+                output=args.bench_output or "BENCH_fusion.json")
         return bench(cluster, iters=args.iters, warmup=args.warmup,
-                     seed=args.seed, output=args.bench_output)
+                     seed=args.seed,
+                     output=args.bench_output or "BENCH_engine.json")
     if args.experiment == "all":
         for fn in COMMANDS.values():
             fn(cluster)

@@ -79,6 +79,19 @@ class CostModel:
 
     # Latencies
     step_latency: float = 2.5e-5
+    # Fixed cost of launching one collective (kernel launch + NCCL group
+    # setup + scheduler wakeup).  Only priced under bucketed (fusion-aware)
+    # AllReduce accounting -- the per-collective term tensor fusion
+    # amortizes; see SyncPlan.fusion_buffer_mb.
+    c_collective_launch: float = 5e-5
+
+    # Fraction of the iteration's GPU compute (profiles report fwd+bwd
+    # together as gpu_time_per_iter) under which dense AllReduce can hide
+    # when collectives are scheduled per fusion bucket as each bucket's
+    # last gradient becomes ready (Horovod-style overlap).  The default
+    # approximates the backward share of an iteration.  Like
+    # c_collective_launch, only used by bucketed AR accounting.
+    ar_overlap: float = 0.5
 
     # Sparsity overlap across workers (0 = disjoint rows, 1 = identical)
     zipf_overlap: float = 0.9
@@ -90,6 +103,10 @@ class CostModel:
                 raise ValueError(f"{name} must be positive")
         if not 0.0 <= self.dense_ps_overlap <= 1.0:
             raise ValueError("dense_ps_overlap must be in [0, 1]")
+        if not 0.0 <= self.ar_overlap <= 1.0:
+            raise ValueError("ar_overlap must be in [0, 1]")
+        if self.c_collective_launch < 0.0:
+            raise ValueError("c_collective_launch must be >= 0")
         if not 0.0 <= self.zipf_overlap <= 1.0:
             raise ValueError("zipf_overlap must be in [0, 1]")
         if self.agg_threads_per_machine < 1:

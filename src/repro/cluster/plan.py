@@ -28,6 +28,30 @@ class SyncMethod(enum.Enum):
     PS = "ps"                  # parameter server push/pull
 
 
+def fusion_buckets(sizes_bytes: List[float],
+                   cap_bytes: float) -> List[List[int]]:
+    """Greedy size-capped grouping, preserving order.
+
+    Consecutive entries share a bucket until adding the next one would
+    exceed *cap_bytes*; an entry larger than the cap gets its own bucket.
+    Returns index lists into the input order.  Both planes bucket through
+    this one function so the simulator's bucket counts match the graph
+    transform's by construction.
+    """
+    buckets: List[List[int]] = []
+    current: List[int] = []
+    current_bytes = 0.0
+    for i, nbytes in enumerate(sizes_bytes):
+        if current and current_bytes + nbytes > cap_bytes:
+            buckets.append(current)
+            current, current_bytes = [], 0.0
+        current.append(i)
+        current_bytes += nbytes
+    if current:
+        buckets.append(current)
+    return buckets
+
+
 @dataclass(frozen=True)
 class VariableAssignment:
     """One variable's synchronization decision."""
@@ -65,6 +89,16 @@ class SyncPlan:
     local_aggregation: bool = False
     smart_placement: bool = False
     average_gradients: bool = True
+    # Dense AllReduce fusion-bucket cap for the performance plane:
+    #   None -> legacy aggregate pricing (one ring over all dense bytes,
+    #           no per-collective launch cost, no AR/compute overlap);
+    #   0.0  -> unfused: one bucket (one collective) per variable;
+    #   >0   -> greedy size-capped buckets in assignment order.
+    fusion_buffer_mb: Optional[float] = None
+
+    def __post_init__(self):
+        if self.fusion_buffer_mb is not None and self.fusion_buffer_mb < 0:
+            raise ValueError("fusion_buffer_mb must be >= 0 (or None)")
 
     def by_method(self, method: SyncMethod) -> List[VariableAssignment]:
         return [a for a in self.assignments if a.method is method]
@@ -81,6 +115,26 @@ class SyncPlan:
     @property
     def gatherv_assignments(self) -> List[VariableAssignment]:
         return self.by_method(SyncMethod.ALLGATHERV)
+
+    def with_fusion(self, fusion_buffer_mb: Optional[float]) -> "SyncPlan":
+        """Same plan under a different fusion-bucket cap (ablations)."""
+        return replace(self, fusion_buffer_mb=fusion_buffer_mb)
+
+    def allreduce_buckets(self) -> List[float]:
+        """Per-bucket payload bytes for bucketed AllReduce pricing.
+
+        ``fusion_buffer_mb`` of 0 (or None) yields one bucket per
+        AllReduce variable; a positive cap groups consecutive variables
+        greedily, in assignment order, exactly as the functional plane's
+        graph transform buckets gradients.
+        """
+        sizes = [float(a.variable.nbytes)
+                 for a in self.by_method(SyncMethod.ALLREDUCE)]
+        cap = self.fusion_buffer_mb
+        if not cap:
+            return sizes
+        return [sum(sizes[i] for i in bucket)
+                for bucket in fusion_buckets(sizes, cap * 1024 * 1024)]
 
     def with_partitions(self, num_partitions: int) -> "SyncPlan":
         """Same plan with every PS *sparse* variable re-partitioned.

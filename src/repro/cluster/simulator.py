@@ -61,6 +61,12 @@ class IterationBreakdown:
     stitch_time: float
     sync_overhead_time: float
     ps_flow_bytes: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    # Bucketed (fusion-aware) AllReduce accounting: the raw collective
+    # time before overlap with backward compute, and how many fusion
+    # buckets (= collectives) it was priced over.  Zero under legacy
+    # aggregate pricing (SyncPlan.fusion_buffer_mb is None).
+    allreduce_raw_time: float = 0.0
+    num_ar_buckets: int = 0
 
     @property
     def collective_time(self) -> float:
@@ -112,23 +118,48 @@ def shard_assignments(plan: SyncPlan, cluster: ClusterSpec) -> List[Shard]:
 
 
 def _collective_times(plan: SyncPlan, cluster: ClusterSpec,
-                      cost: CostModel) -> Tuple[float, float, float]:
-    """(allreduce, gatherv, gatherv-apply) times."""
+                      cost: CostModel, compute_time: float = 0.0,
+                      ) -> Tuple[float, float, float, float, int]:
+    """(allreduce, gatherv, gatherv-apply, allreduce-raw, buckets) times.
+
+    AllReduce pricing has two modes.  Legacy aggregate (the plan's
+    ``fusion_buffer_mb`` is None): one ring over all dense bytes, as if
+    collectives were free to launch and never overlapped compute.
+    Bucketed: each fusion bucket pays its own ring (latency x buckets +
+    bandwidth terms) plus a per-collective launch cost, and up to
+    ``ar_overlap`` of *compute_time* (the profile's whole-iteration GPU
+    time; the default overlap fraction approximates the backward share of
+    it) hides the total -- collectives launch as each bucket's last
+    gradient becomes ready, so fewer, larger buckets amortize launches
+    while small ones expose them.
+    """
     n, g = cluster.num_machines, cluster.gpus_per_machine
     w = cluster.total_gpus
 
-    ar_time = 0.0
-    dense_bytes = plan.allreduce_bytes
-    if dense_bytes and w > 1:
+    def ring_time(nbytes: float) -> float:
+        t = 0.0
         if n > 1:
             # Machine-level hierarchical ring: 2(N-1) steps of D/N each.
-            ar_time += 2 * (n - 1) * (
-                dense_bytes / n / cost.nccl_bw + cost.step_latency
-            )
+            t += 2 * (n - 1) * (nbytes / n / cost.nccl_bw
+                                + cost.step_latency)
         if g > 1:
-            ar_time += 2 * (g - 1) * (
-                dense_bytes / g / cost.intra_bw + cost.step_latency
-            )
+            t += 2 * (g - 1) * (nbytes / g / cost.intra_bw
+                                + cost.step_latency)
+        return t
+
+    ar_time = 0.0
+    ar_raw = 0.0
+    num_buckets = 0
+    dense_bytes = plan.allreduce_bytes
+    if dense_bytes and w > 1:
+        if plan.fusion_buffer_mb is None:
+            ar_time = ring_time(dense_bytes)
+        else:
+            buckets = plan.allreduce_buckets()
+            num_buckets = len(buckets)
+            ar_raw = (sum(ring_time(b) for b in buckets)
+                      + cost.c_collective_launch * num_buckets)
+            ar_time = max(0.0, ar_raw - cost.ar_overlap * compute_time)
 
     gatherv_time = 0.0
     apply_time = 0.0
@@ -149,7 +180,7 @@ def _collective_times(plan: SyncPlan, cluster: ClusterSpec,
         )
         # Every replica applies the full gathered update locally.
         apply_time = gathered_elements * cost.c_apply_gathered
-    return ar_time, gatherv_time, apply_time
+    return ar_time, gatherv_time, apply_time, ar_raw, num_buckets
 
 
 def _ps_times(plan: SyncPlan, cluster: ClusterSpec, cost: CostModel,
@@ -331,7 +362,8 @@ def simulate_iteration(
             ps_network_time=0.0, ps_rpc_time=0.0, server_cpu_time=0.0,
             local_agg_time=0.0, stitch_time=0.0, sync_overhead_time=0.0,
         )
-    ar_time, gatherv_time, apply_time = _collective_times(plan, cluster, cost)
+    ar_time, gatherv_time, apply_time, ar_raw, num_buckets = \
+        _collective_times(plan, cluster, cost, profile.gpu_time_per_iter)
     shards = shard_assignments(plan, cluster)
     (ps_network, rpc_time, server_cpu, local_agg, stitch, sync,
      matrix) = _ps_times(plan, cluster, cost, shards,
@@ -348,6 +380,8 @@ def simulate_iteration(
         stitch_time=stitch,
         sync_overhead_time=sync,
         ps_flow_bytes=matrix,
+        allreduce_raw_time=ar_raw,
+        num_ar_buckets=num_buckets,
     )
 
 

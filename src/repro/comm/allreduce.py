@@ -36,6 +36,7 @@ def ring_allreduce(
     transcript: Optional[Transcript] = None,
     tag: str = "allreduce",
     stage_offset: int = 0,
+    bounds: Optional[Sequence[int]] = None,
 ) -> List[np.ndarray]:
     """Sum *arrays* across workers via the ring algorithm.
 
@@ -47,6 +48,9 @@ def ring_allreduce(
         tag: transcript tag.
         stage_offset: starting stage number (lets several collectives in
             one iteration keep distinct orderings).
+        bounds: custom chunk boundaries (one chunk per worker over the
+            flattened array).  Fused buckets pass the boundaries of their
+            packed layout; the default splits evenly.
 
     Returns:
         A list with each worker's copy of the reduced array.
@@ -67,7 +71,17 @@ def ring_allreduce(
 
     flats = [np.asarray(a).reshape(-1).astype(np.float32, copy=True)
              for a in arrays]
-    bounds = chunk_bounds(flats[0].size, n)
+    if bounds is None:
+        bounds = chunk_bounds(flats[0].size, n)
+    else:
+        bounds = [int(b) for b in bounds]
+        if (len(bounds) != n + 1 or bounds[0] != 0
+                or bounds[-1] != flats[0].size
+                or any(lo > hi for lo, hi in zip(bounds, bounds[1:]))):
+            raise ValueError(
+                "bounds must be monotone, cover the flattened array, and "
+                "define one chunk per worker"
+            )
 
     def record(src: int, dst: int, lo: int, hi: int, stage: int) -> None:
         if transcript is not None:
@@ -100,6 +114,51 @@ def ring_allreduce(
             record(src, dst, lo, hi, (n - 1) + step)
 
     return [f.reshape(shape) for f in flats]
+
+
+def fused_segment_layout(sizes: Sequence[int], num_workers: int):
+    """Packed layout for a fusion bucket of several gradient segments.
+
+    Tensor fusion must not change training arithmetic: the sum order of
+    every element in a ring AllReduce is fixed by the chunk it falls in
+    (the chunk index picks the worker the accumulation starts from), so
+    naively chunking a concatenated buffer would move chunk boundaries
+    and produce results that differ bitwise from unfused collectives.
+
+    This layout instead permutes the concatenated buffer so that chunk
+    ``c`` of *every* segment (under that segment's own ``chunk_bounds``)
+    lands contiguously inside fused chunk ``c``.  One ring pass over the
+    permuted buffer then sends one fused message per step while
+    performing, element for element, exactly the additions the
+    per-segment rings would -- fused results are bit-identical to
+    unfused ones by construction.
+
+    Returns ``(perm, inv_perm, bounds)``: the packing permutation, its
+    inverse, and the fused chunk boundaries to pass to
+    :func:`ring_allreduce`.
+    """
+    n = num_workers
+    if n < 1:
+        raise ValueError("num_workers must be >= 1")
+    sizes = [int(s) for s in sizes]
+    if any(s < 0 for s in sizes):
+        raise ValueError("segment sizes must be >= 0")
+    seg_bounds = [chunk_bounds(s, n) for s in sizes]
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    pieces = []
+    bounds = [0]
+    for c in range(n):
+        for off, sb in zip(offsets[:-1], seg_bounds):
+            pieces.append(np.arange(off + sb[c], off + sb[c + 1],
+                                    dtype=np.int64))
+        bounds.append(bounds[-1]
+                      + sum(sb[c + 1] - sb[c] for sb in seg_bounds))
+    perm = (np.concatenate(pieces) if pieces
+            else np.zeros(0, dtype=np.int64))
+    inv_perm = np.empty_like(perm)
+    inv_perm[perm] = np.arange(perm.size, dtype=np.int64)
+    return perm, inv_perm, bounds
 
 
 def ring_allreduce_mean(

@@ -69,6 +69,11 @@ class ParallaxConfig:
             (section 3.1's near-1 refinement).  Set > 1 to disable.
         alpha_measure_batches: batches used to measure per-variable alpha
             (0 disables measurement and the threshold rule).
+        fusion: pack dense AllReduce gradients into size-capped buckets
+            (Horovod-style tensor fusion); bit-identical to unfused
+            training, but each bucket rides one overlap-scheduled
+            collective instead of one collective per variable.
+        fusion_buffer_mb: fusion bucket size cap in megabytes.
         save_path: if set, ``runner.save()`` writes variables here by
             default (the config's "file path to save trained variables").
         seed: variable-initialization seed.
@@ -85,6 +90,8 @@ class ParallaxConfig:
     max_partitions: int = 512
     sparse_as_dense_threshold: float = 0.95
     alpha_measure_batches: int = 2
+    fusion: bool = True
+    fusion_buffer_mb: float = 4.0
     save_path: Optional[str] = None
     seed: int = 0
 
@@ -96,6 +103,14 @@ class ParallaxConfig:
             )
         if self.sample_iterations < 1:
             raise ValueError("sample_iterations must be >= 1")
+        if self.sample_warmup < 0:
+            raise ValueError("sample_warmup must be >= 0")
+        if self.max_partitions < 1:
+            raise ValueError("max_partitions must be >= 1")
+        if self.alpha_measure_batches < 0:
+            raise ValueError("alpha_measure_batches must be >= 0")
+        if self.fusion_buffer_mb <= 0:
+            raise ValueError("fusion_buffer_mb must be > 0")
 
 
 def resolve_cluster(resource_info: Union[ClusterSpec, dict, str],
@@ -118,6 +133,24 @@ def resolve_cluster(resource_info: Union[ClusterSpec, dict, str],
     if "machines" in resource_info and isinstance(resource_info["machines"],
                                                   list):
         machines = resource_info["machines"]
+        if not machines:
+            raise ValueError(
+                "resource description lists no machines; at least one "
+                "machine with at least one GPU is required"
+            )
+        for i, machine in enumerate(machines):
+            if (not isinstance(machine, dict)
+                    or not isinstance(machine.get("gpus"), (list, tuple))):
+                raise ValueError(
+                    f"machine entry {i} must be a dict with a 'gpus' "
+                    f"list; got {machine!r}"
+                )
+            if not machine["gpus"]:
+                label = machine.get("hostname", f"machine {i}")
+                raise ValueError(
+                    f"{label!r} declares no GPUs; every machine must "
+                    "list at least one"
+                )
         gpu_counts = {len(m["gpus"]) for m in machines}
         if len(gpu_counts) != 1:
             raise ValueError(
@@ -160,11 +193,14 @@ def measure_alpha(model: BuiltModel, num_batches: int,
         feed = model.feed(model.dataset.batch(model.batch_size, b))
         values = session.run([grad_tensors[n] for n in sparse_vars], feed)
         for name, value in zip(sparse_vars, values):
-            if not isinstance(value, IndexedSlices):
-                raise TypeError(
-                    f"gradient of {name!r} is not IndexedSlices at runtime"
-                )
-            fractions[name].append(value.alpha())
+            if isinstance(value, IndexedSlices):
+                fractions[name].append(value.alpha())
+            else:
+                # Statically sparse-classified, but the gradient
+                # materialized dense at runtime: every row may be touched,
+                # so alpha is 1 -- the strongest sparse-as-dense signal
+                # (section 3.1's near-1 refinement), not an error.
+                fractions[name].append(1.0)
     per_var = {name: float(np.mean(f)) for name, f in fractions.items()}
 
     # Merge partition shards into their parent (weighted by rows).
@@ -195,6 +231,8 @@ def _make_plan(graph, config: ParallaxConfig,
             average_dense=config.average_dense,
             average_sparse=config.average_sparse,
             sparse_as_dense=sparse_as_dense,
+            fusion=config.fusion,
+            fusion_buffer_mb=config.fusion_buffer_mb,
         )
     if config.architecture == "ps":
         return ps_graph_plan(graph, local_aggregation=False,
@@ -208,7 +246,9 @@ def _make_plan(graph, config: ParallaxConfig,
                              average_sparse=config.average_sparse,
                              name="opt_ps")
     return ar_graph_plan(graph, average_dense=config.average_dense,
-                         average_sparse=config.average_sparse)
+                         average_sparse=config.average_sparse,
+                         fusion=config.fusion,
+                         fusion_buffer_mb=config.fusion_buffer_mb)
 
 
 def _partition_bounds(model: BuiltModel, config: ParallaxConfig) -> int:

@@ -34,7 +34,7 @@ from repro.tensor.dense import nbytes_of
 
 # Collectives record their own ring transfers; the generic edge recorder
 # must not double-count their input edges.
-_SELF_ACCOUNTING = {"allreduce", "allgatherv"}
+_SELF_ACCOUNTING = {"allreduce", "fused_allreduce", "allgatherv"}
 
 
 class DistributedSession(Session):
@@ -325,10 +325,32 @@ class DistributedRunner:
         np.savez(target, **self.logical_state())
         return target if target.endswith(".npz") else target + ".npz"
 
-    def restore(self, path: str) -> None:
-        """Load a checkpoint into every store (servers and all replicas)."""
+    def restore(self, path: str, strict: bool = True) -> None:
+        """Load a checkpoint into every store (servers and all replicas).
+
+        By default the checkpoint must cover exactly the graph's logical
+        variable set (the names :meth:`logical_state` writes); name
+        mismatches raise ``ValueError`` listing both directions instead of
+        silently restoring a partial state.  ``strict=False`` keeps the
+        old best-effort behaviour: matching names load, the rest keep
+        their current values.
+        """
         with np.load(path) as data:
             values = {name: data[name] for name in data.files}
+        if strict:
+            logical = set()
+            for name in self.transformed.graph.variables:
+                replica, base = split_replica_prefix(name)
+                logical.add(base if replica is not None else name)
+            missing = sorted(logical - set(values))
+            unexpected = sorted(set(values) - logical)
+            if missing or unexpected:
+                raise ValueError(
+                    f"checkpoint {path!r} does not match the graph's "
+                    f"variables: missing {missing}, unexpected "
+                    f"{unexpected} (pass strict=False to load the "
+                    "intersection)"
+                )
         for name in self.transformed.graph.variables:
             # Match the true rep<k>/ replica prefix, not any name that
             # merely starts with "rep" (a user variable named "report/w"

@@ -70,6 +70,45 @@ def _allgatherv_fwd(op, inputs, runtime):
     return cache[key][op.attrs["replica"]]
 
 
+@register_forward("fused_allreduce")
+def _fused_allreduce_fwd(op, inputs, runtime):
+    """One ring pass over a packed (fused) dense-gradient bucket.
+
+    Inputs are each replica's concatenated bucket gradients.  The op's
+    compile-time permutation (``fused_segment_layout``) groups every
+    segment's ring chunk ``c`` contiguously, so a single ring pass sends
+    one fused message per step -- the Transcript records one transfer per
+    (step, worker) for the whole bucket -- while performing exactly the
+    per-segment additions of unfused AllReduce.  Results are therefore
+    bit-identical to per-variable collectives.
+    """
+    cache = runtime.run_cache.setdefault("collectives", {})
+    key = ("fused_allreduce", op.attrs["group"])
+    if key not in cache:
+        transcript = getattr(runtime, "transcript", None)
+        perm, inv_perm = op.attrs["perm"], op.attrs["inv_perm"]
+        packed = [np.asarray(v).reshape(-1)[perm] for v in inputs]
+        reduced = ring_allreduce(
+            packed,
+            machines=_replica_machines(op, runtime),
+            transcript=transcript,
+            tag=f"allreduce/{op.attrs['group']}",
+            bounds=op.attrs["bounds"],
+        )
+        results = [r[inv_perm] for r in reduced]
+        if op.attrs.get("average", False):
+            results = [r / np.float32(len(inputs)) for r in results]
+        cache[key] = results
+    return cache[key][op.attrs["replica"]]
+
+
+@register_forward("bucket_slice")
+def _bucket_slice_fwd(op, inputs, runtime):
+    """Unpack one variable's reduced gradient from a fused bucket."""
+    lo, hi = op.attrs["lo"], op.attrs["hi"]
+    return np.asarray(inputs[0])[lo:hi].reshape(op.attrs["shape"])
+
+
 @register_forward("densify")
 def _densify_fwd(op, inputs, runtime):
     """IndexedSlices -> dense array (the sparse-as-dense AR path)."""
@@ -146,6 +185,17 @@ def _stitch_fwd(op, inputs, runtime):
 # converted once at compile time.  Collectives stay generic -- they share
 # state through the run cache.
 # ----------------------------------------------------------------------
+@register_direct("bucket_slice")
+def _bucket_slice_direct(op):
+    lo, hi = op.attrs["lo"], op.attrs["hi"]
+    shape = tuple(op.attrs["shape"])
+
+    def bucket_slice_direct(buf):
+        return buf[lo:hi].reshape(shape)
+
+    return bucket_slice_direct
+
+
 @register_direct("densify")
 def _densify_direct(op):
     return to_dense

@@ -53,8 +53,16 @@ class GraphSyncPlan:
     # when every variable uses the PS method (collectives are inherently
     # synchronous).
     asynchronous: bool = False
+    # Tensor fusion (Horovod-style): pack dense AllReduce gradients into
+    # size-capped buckets so each bucket rides one collective.  Fused
+    # buckets are bit-identical to per-variable collectives (the packed
+    # ring layout preserves every element's summation order).
+    fusion: bool = False
+    fusion_buffer_mb: float = 4.0
 
     def __post_init__(self):
+        if self.fusion_buffer_mb <= 0:
+            raise ValueError("fusion_buffer_mb must be > 0")
         if self.asynchronous:
             offenders = [
                 name for name, m in self.methods.items()
@@ -95,12 +103,15 @@ def hybrid_graph_plan(graph: Graph, local_aggregation: bool = True,
                       smart_placement: bool = True,
                       average_dense: bool = True,
                       average_sparse: bool = True,
-                      sparse_as_dense: Dict[str, bool] = None) -> GraphSyncPlan:
+                      sparse_as_dense: Dict[str, bool] = None,
+                      fusion: bool = False,
+                      fusion_buffer_mb: float = 4.0) -> GraphSyncPlan:
     """Parallax's rule: sparse -> PS, dense -> AllReduce (section 3.1).
 
     ``sparse_as_dense`` optionally names sparse variables whose measured
     alpha is near 1 and which should be AllReduced despite their sparse
-    gradient type (the section 3.1 refinement).
+    gradient type (the section 3.1 refinement).  ``fusion`` packs the
+    AllReduce variables into ``fusion_buffer_mb``-capped buckets.
     """
     overrides = sparse_as_dense or {}
     methods = {}
@@ -110,7 +121,8 @@ def hybrid_graph_plan(graph: Graph, local_aggregation: bool = True,
         else:
             methods[name] = SyncMethod.ALLREDUCE
     return GraphSyncPlan("parallax", methods, local_aggregation,
-                         smart_placement, average_dense, average_sparse)
+                         smart_placement, average_dense, average_sparse,
+                         fusion=fusion, fusion_buffer_mb=fusion_buffer_mb)
 
 
 def ps_graph_plan(graph: Graph, local_aggregation: bool = False,
@@ -127,7 +139,9 @@ def ps_graph_plan(graph: Graph, local_aggregation: bool = False,
 
 
 def ar_graph_plan(graph: Graph, average_dense: bool = True,
-                  average_sparse: bool = True) -> GraphSyncPlan:
+                  average_sparse: bool = True,
+                  fusion: bool = False,
+                  fusion_buffer_mb: float = 4.0) -> GraphSyncPlan:
     """Pure collective plan (Horovod): AllReduce dense, AllGatherv sparse."""
     methods = {
         name: SyncMethod.ALLGATHERV if sparse else SyncMethod.ALLREDUCE
@@ -135,4 +149,5 @@ def ar_graph_plan(graph: Graph, average_dense: bool = True,
     }
     return GraphSyncPlan("horovod", methods, local_aggregation=False,
                          smart_placement=False, average_dense=average_dense,
-                         average_sparse=average_sparse)
+                         average_sparse=average_sparse, fusion=fusion,
+                         fusion_buffer_mb=fusion_buffer_mb)

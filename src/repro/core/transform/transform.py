@@ -28,7 +28,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.cluster.plan import SyncMethod
+import numpy as np
+
+from repro.cluster.plan import SyncMethod, fusion_buckets
 from repro.cluster.spec import ClusterSpec
 from repro.comm.ps import place_variables
 from repro.core.transform import comm_ops  # noqa: F401  (registers kernels)
@@ -307,9 +309,15 @@ def transform_graph(
     per_replica_updates: Dict[int, List[Operation]] = {
         r: [] for r in range(num_replicas)
     }
+    fused_ar_vars: List[str] = []
     with new_graph.as_default():
         for var_name, method in plan.methods.items():
             grads = [replica_grads[r][var_name] for r in range(num_replicas)]
+            if method is SyncMethod.ALLREDUCE and plan.fusion:
+                # Collected into size-capped buckets below; order is the
+                # deterministic plan order, so bucketing is reproducible.
+                fused_ar_vars.append(var_name)
+                continue
             if method is SyncMethod.PS and plan.asynchronous:
                 for r in range(num_replicas):
                     update = opt.build_update(
@@ -331,6 +339,12 @@ def transform_graph(
                                               var_name, method, grads,
                                               machines, builders)
                 )
+        if fused_ar_vars:
+            update_ops.extend(
+                _build_fused_collective_updates(new_graph, plan, opt,
+                                                fused_ar_vars, replica_grads,
+                                                machines, builders)
+            )
         train_op = _group(new_graph, update_ops, "train_op")
         replica_train_ops = None
         if plan.asynchronous:
@@ -416,6 +430,117 @@ def _build_ps_update(
                             device=DeviceSpec.cpu(server))
 
 
+def _densified_grad(new_graph: Graph, var_name: str, grad: Tensor,
+                    replica: int, device: DeviceSpec) -> Tensor:
+    """Sparse-as-dense path: densify an IndexedSlices gradient in place."""
+    if not _grad_is_sparse(grad):
+        return grad
+    dense = new_graph.add_op(
+        "densify", [grad], grad.spec,
+        name=f"densify/{var_name}/rep{replica}",
+        device=device,
+    )
+    return dense.output
+
+
+def _build_fused_collective_updates(
+    new_graph: Graph,
+    plan: GraphSyncPlan,
+    opt: Optimizer,
+    var_names: List[str],
+    replica_grads: List[Dict[str, Tensor]],
+    machines: List[int],
+    builders: List["_ReplicaBuilder"],
+) -> List[Operation]:
+    """Bucketed (fused) dense AllReduce: concat -> collective -> split.
+
+    The Horovod tensor-fusion idea on the functional plane: AllReduce
+    variables are packed, in deterministic plan order, into
+    ``fusion_buffer_mb``-capped buckets.  Each replica flattens and
+    concatenates its bucket's gradients, one ``fused_allreduce`` per
+    replica reduces the packed buffer in a single ring pass (one fused
+    message per ring step), and ``bucket_slice`` ops unpack each
+    variable's reduced gradient for its per-replica update.  The packed
+    ring layout (:func:`~repro.comm.allreduce.fused_segment_layout`)
+    keeps results bit-identical to unfused per-variable collectives.
+    """
+    from repro.comm.allreduce import fused_segment_layout
+
+    num_replicas = len(builders)
+    average = plan.average_for(False)
+    sizes = [
+        int(np.prod(builders[0].replica_vars[name].shape))
+        for name in var_names
+    ]
+    cap_bytes = plan.fusion_buffer_mb * 1024 * 1024
+    updates: List[Operation] = []
+    for b, bucket in enumerate(fusion_buckets([s * 4 for s in sizes],
+                                              cap_bytes)):
+        names = [var_names[i] for i in bucket]
+        seg_sizes = [sizes[i] for i in bucket]
+        total = sum(seg_sizes)
+        group = f"fused/bucket{b}"
+        perm, inv_perm, bounds = fused_segment_layout(seg_sizes,
+                                                      num_replicas)
+        buffers: List[Tensor] = []
+        for r in range(num_replicas):
+            device = builders[r].device
+            flats = []
+            for name, size in zip(names, seg_sizes):
+                grad = _densified_grad(new_graph, name,
+                                       replica_grads[r][name], r, device)
+                flat = new_graph.add_op(
+                    "reshape", [grad], TensorSpec((size,)),
+                    name=f"fusion/{group}/flat/{name}/rep{r}",
+                    attrs={"shape": (size,)},
+                    device=device,
+                )
+                flats.append(flat.output)
+            pack = new_graph.add_op(
+                "concat", flats, TensorSpec((total,)),
+                name=f"fusion/{group}/pack/rep{r}",
+                attrs={"axis": 0},
+                device=device,
+            )
+            buffers.append(pack.output)
+        for r in range(num_replicas):
+            device = builders[r].device
+            collective = new_graph.add_op(
+                "fused_allreduce", buffers, buffers[r].spec,
+                name=f"fused_allreduce/{group}/rep{r}",
+                attrs={
+                    "group": group,
+                    "replica": r,
+                    "machines": machines,
+                    "average": average,
+                    "is_sparse": False,
+                    "segments": list(zip(names, seg_sizes)),
+                    # Shared read-only layout arrays (one copy per bucket).
+                    "perm": perm,
+                    "inv_perm": inv_perm,
+                    "bounds": bounds,
+                },
+                device=device,
+            )
+            offset = 0
+            for name, size in zip(names, seg_sizes):
+                replica_var = builders[r].replica_vars[name]
+                piece = new_graph.add_op(
+                    "bucket_slice", [collective.output],
+                    TensorSpec(replica_var.shape),
+                    name=f"fusion/{group}/unpack/{name}/rep{r}",
+                    attrs={"lo": offset, "hi": offset + size,
+                           "shape": tuple(replica_var.shape)},
+                    device=device,
+                )
+                updates.append(
+                    opt.build_update(replica_var, piece.output,
+                                     device=device)
+                )
+                offset += size
+    return updates
+
+
 def _build_collective_updates(
     new_graph: Graph,
     cluster: ClusterSpec,
@@ -434,14 +559,9 @@ def _build_collective_updates(
     if method is SyncMethod.ALLREDUCE and sparse:
         # Sparse-as-dense: densify each replica's IndexedSlices first
         # (the near-alpha-1 path of paper section 3.1).
-        inputs = []
-        for r, g in enumerate(grads):
-            dense = new_graph.add_op(
-                "densify", [g], g.spec,
-                name=f"densify/{var_name}/rep{r}",
-                device=builders[r].device,
-            )
-            inputs.append(dense.output)
+        inputs = [_densified_grad(new_graph, var_name, g, r,
+                                  builders[r].device)
+                  for r, g in enumerate(grads)]
         sparse = False
 
     op_type = ("allreduce" if method is SyncMethod.ALLREDUCE

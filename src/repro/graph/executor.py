@@ -35,6 +35,55 @@ from repro.tensor.dense import as_array, nbytes_of
 EdgeSpec = Tuple[int, tuple, str, int, int]
 EdgeFn = Callable[[Operation], Optional[List[EdgeSpec]]]
 
+# Op types the scheduler hoists to run the moment their last dependency
+# completes (comm/compute overlap: a fused bucket's collective launches as
+# soon as its last contributing gradient is ready, instead of wherever the
+# depth-first topological order happens to leave it).
+COLLECTIVE_OPS = frozenset({"fused_allreduce"})
+
+
+def overlap_schedule(order: Sequence[Operation]) -> List[Operation]:
+    """Reorder a topological order for comm/compute overlap.
+
+    List scheduling over the dependency DAG: non-collective ops keep
+    their relative (FIFO) order, but whenever a :data:`COLLECTIVE_OPS` op
+    becomes ready -- its last contributing input has been scheduled -- it
+    preempts the queue and is emitted immediately.  Any valid topological
+    order executes to identical values (kernels are pure between variable
+    reads and the updates that transitively depend on every read), so
+    only the collective launch points move.
+    """
+    from collections import deque
+
+    in_schedule = {op.name for op in order}
+    indegree: Dict[str, int] = {}
+    consumers: Dict[str, List[Operation]] = {}
+    for op in order:
+        deps = {t.op.name for t in op.inputs if t.op.name in in_schedule}
+        deps.update(c.name for c in op.control_inputs
+                    if c.name in in_schedule)
+        indegree[op.name] = len(deps)
+        for dep in deps:
+            consumers.setdefault(dep, []).append(op)
+
+    ready: deque = deque()
+    ready_collective: deque = deque()
+    for op in order:
+        if indegree[op.name] == 0:
+            (ready_collective if op.op_type in COLLECTIVE_OPS
+             else ready).append(op)
+    scheduled: List[Operation] = []
+    while ready_collective or ready:
+        op = (ready_collective.popleft() if ready_collective
+              else ready.popleft())
+        scheduled.append(op)
+        for consumer in consumers.get(op.name, ()):
+            indegree[consumer.name] -= 1
+            if indegree[consumer.name] == 0:
+                (ready_collective if consumer.op_type in COLLECTIVE_OPS
+                 else ready).append(consumer)
+    return scheduled
+
 # Compile-time kernel specializers: op_type -> builder(op) returning a
 # kernel with the op's static state (attrs, dispatch lookups) prebound.
 # Registered next to the generic kernels they specialize (ops.py,
@@ -125,6 +174,8 @@ class CompiledPlan:
 
         forward = _forward_registry()
         order = graph.cached_topo_sort(targets)
+        if any(op.op_type in COLLECTIVE_OPS for op in order):
+            order = overlap_schedule(order)
         slot_of: Dict[str, int] = {}
         schedule = []
         placeholders: List[str] = []

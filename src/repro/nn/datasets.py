@@ -102,6 +102,11 @@ class SyntheticImageDataset(Dataset):
     def example(self, index: int):
         return self._images[index], np.int64(self._labels[index])
 
+    def take(self, ids: np.ndarray):
+        ids = np.asarray(ids, dtype=np.int64)
+        return (self._images[ids].copy(),
+                self._labels[ids].astype(np.int64, copy=True))
+
 
 def zipf_token_sampler(vocab_size: int, s: float,
                        rng: np.random.Generator):
@@ -194,3 +199,7 @@ class TranslationDataset(Dataset):
 
     def example(self, index: int):
         return self._src[index].copy(), self._tgt[index].copy()
+
+    def take(self, ids: np.ndarray):
+        ids = np.asarray(ids, dtype=np.int64)
+        return self._src[ids].copy(), self._tgt[ids].copy()

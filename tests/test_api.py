@@ -264,3 +264,89 @@ class TestGetRunner:
         assert parallax.shard is shard
         assert hasattr(parallax, "partitioner")
         assert hasattr(parallax, "ParallaxConfig")
+
+
+class TestConfigValidation:
+    """Every ParallaxConfig knob rejects out-of-range values eagerly."""
+
+    def test_negative_sample_warmup_rejected(self):
+        with pytest.raises(ValueError, match="sample_warmup"):
+            ParallaxConfig(sample_warmup=-1)
+
+    def test_nonpositive_max_partitions_rejected(self):
+        with pytest.raises(ValueError, match="max_partitions"):
+            ParallaxConfig(max_partitions=0)
+
+    def test_negative_alpha_measure_batches_rejected(self):
+        with pytest.raises(ValueError, match="alpha_measure_batches"):
+            ParallaxConfig(alpha_measure_batches=-2)
+
+    def test_nonpositive_fusion_buffer_rejected(self):
+        with pytest.raises(ValueError, match="fusion_buffer_mb"):
+            ParallaxConfig(fusion_buffer_mb=0.0)
+        with pytest.raises(ValueError, match="fusion_buffer_mb"):
+            ParallaxConfig(fusion_buffer_mb=-4.0)
+
+    def test_boundary_values_accepted(self):
+        ParallaxConfig(sample_warmup=0, max_partitions=1,
+                       alpha_measure_batches=0, fusion_buffer_mb=0.5)
+
+
+class TestResolveClusterValidation:
+    """Malformed machine lists fail with clear messages, not KeyError."""
+
+    def test_empty_machine_list_rejected(self):
+        with pytest.raises(ValueError, match="no machines"):
+            resolve_cluster({"machines": []})
+
+    def test_zero_gpu_machine_rejected(self):
+        with pytest.raises(ValueError, match="'gpuless'.*no GPUs"):
+            resolve_cluster({
+                "machines": [{"hostname": "ok", "gpus": [0, 1]},
+                             {"hostname": "gpuless", "gpus": []}],
+            })
+
+    def test_machine_entry_without_gpus_key_rejected(self):
+        with pytest.raises(ValueError, match="'gpus'"):
+            resolve_cluster({"machines": [{"hostname": "a"}]})
+
+    def test_non_list_gpus_rejected(self):
+        with pytest.raises(ValueError, match="'gpus' list"):
+            resolve_cluster({"machines": [{"hostname": "a", "gpus": 2}]})
+
+    def test_non_dict_machine_entry_rejected(self):
+        with pytest.raises(ValueError, match="entry 0"):
+            resolve_cluster({"machines": ["gpu0"]})
+
+
+def _mark_grad_sparse(model, var_name):
+    """Tamper a dense variable's gradient op to be statically classified
+    sparse while its runtime value stays a dense ndarray -- the
+    mismatch measure_alpha used to crash on."""
+    grad_op = model.graph.get_op(model.graph.gradient_info[var_name])
+    grad_op.attrs["is_sparse"] = True
+    return model
+
+
+class TestMeasureAlphaDenseAtRuntime:
+    """A sparse-classified gradient that materializes dense is the
+    strongest sparse-as-dense signal (alpha=1), not a TypeError."""
+
+    def test_dense_at_runtime_measures_alpha_one(self):
+        model = lm_builder()()
+        model = _mark_grad_sparse(model, "w")
+        alphas = measure_alpha(model, num_batches=2)
+        assert alphas["w"] == 1.0
+        assert alphas["emb"] < 1.0  # true sparse var still measured
+
+    def test_get_runner_survives_and_allreduces_it(self):
+        def builder():
+            return _mark_grad_sparse(lm_builder()(), "w")
+
+        runner = get_runner(builder, SMALL,
+                            ParallaxConfig(search_partitions=False))
+        from repro.cluster.plan import SyncMethod
+        method = runner.transformed.plan.methods["w"]
+        assert method is SyncMethod.ALLREDUCE
+        losses = [runner.step(i).mean_loss for i in range(3)]
+        assert np.isfinite(losses).all()

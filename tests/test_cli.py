@@ -26,3 +26,28 @@ def test_cli_table2_custom_cluster(capsys):
     assert main(["table2", "--machines", "4", "--gpus", "2"]) == 0
     out = capsys.readouterr().out
     assert "P=128" in out
+
+
+def test_cli_bench_fusion_writes_report(tmp_path, capsys):
+    out = tmp_path / "BENCH_fusion.json"
+    assert main(["bench", "--fusion", "--machines", "2", "--gpus", "2",
+                 "--iters", "4", "--warmup", "1",
+                 "--bench-output", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "Fusion bench" in printed
+    assert out.exists()
+
+    import json
+    report = json.loads(out.read_text())
+    assert report["losses_bit_identical"] is True
+    records = report["allreduce_records"]
+    assert records["fused"]["messages"] < records["unfused"]["messages"]
+    assert records["fused"]["bytes"] == records["unfused"]["bytes"]
+    sweep = report["simulated_ablation"]["sweep"]
+    buckets = [row["num_buckets"] for row in sweep]
+    assert buckets == sorted(buckets, reverse=True)
+
+
+def test_cli_bench_fusion_rejects_bad_iters():
+    with pytest.raises(SystemExit):
+        main(["bench", "--fusion", "--iters", "0"])

@@ -1,0 +1,258 @@
+"""Bucketed (fused) dense-gradient AllReduce, on both planes.
+
+The load-bearing guarantee is bit-identity: packing several gradients
+into one collective must perform, element for element, exactly the
+additions the per-variable rings would (``fused_segment_layout``), so
+fused training losses match unfused ones bitwise while the Transcript
+carries fewer, larger AllReduce messages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.comm.allreduce import (
+    fused_segment_layout,
+    ring_allreduce,
+)
+from repro.core.runner import DistributedRunner
+from repro.cluster.plan import fusion_buckets
+from repro.core.transform.plan import (
+    GraphSyncPlan,
+    ar_graph_plan,
+    hybrid_graph_plan,
+    ps_graph_plan,
+)
+from repro.graph import gradients
+from repro.graph.executor import overlap_schedule
+from repro.graph.graph import Graph, TensorSpec
+from repro.graph.ops import constant
+from repro.nn.models import build_lm
+from repro.nn.optimizers import GradientDescentOptimizer
+
+CLUSTER = ClusterSpec(num_machines=2, gpus_per_machine=2)
+
+# The four architectures of the acceptance matrix.  ``fusion`` only
+# changes plans with AllReduce variables (ps is a pure-PS control).
+PLAN_BUILDERS = {
+    "hybrid": lambda g, **kw: hybrid_graph_plan(g, **kw),
+    "ps": lambda g, **kw: ps_graph_plan(g),
+    "opt_ps": lambda g, **kw: ps_graph_plan(g, local_aggregation=True,
+                                            smart_placement=True,
+                                            name="opt_ps"),
+    "ar": lambda g, **kw: ar_graph_plan(g, **kw),
+}
+
+
+def make_model():
+    model = build_lm(batch_size=4, vocab_size=30, seq_len=2, emb_dim=6,
+                     hidden=8, num_partitions=2, seed=0)
+    with model.graph.as_default():
+        gvs = gradients(model.loss)
+        GradientDescentOptimizer(0.2).update(gvs)
+    return model
+
+
+def make_runner(arch, **plan_kwargs):
+    model = make_model()
+    plan = PLAN_BUILDERS[arch](model.graph, **plan_kwargs)
+    return DistributedRunner(model, CLUSTER, plan, seed=1)
+
+
+class TestFusionBuckets:
+    def test_cap_groups_consecutively(self):
+        assert fusion_buckets([4, 4, 4, 4], 8) == [[0, 1], [2, 3]]
+
+    def test_order_preserved_and_exhaustive(self):
+        buckets = fusion_buckets([1, 9, 2, 3, 5], 10)
+        flat = [i for b in buckets for i in b]
+        assert flat == list(range(5))
+
+    def test_oversize_entry_gets_own_bucket(self):
+        assert fusion_buckets([100, 1, 1], 8) == [[0], [1, 2]]
+
+    def test_empty(self):
+        assert fusion_buckets([], 8) == []
+
+
+class TestFusedSegmentLayout:
+    @pytest.mark.parametrize("sizes,workers", [
+        ([7], 3), ([5, 3], 2), ([1, 2, 3, 4], 4), ([6, 6, 6], 1),
+        ([0, 4], 2),
+    ])
+    def test_perm_is_a_permutation_with_monotone_bounds(self, sizes,
+                                                        workers):
+        perm, inv_perm, bounds = fused_segment_layout(sizes, workers)
+        total = sum(sizes)
+        assert sorted(perm.tolist()) == list(range(total))
+        np.testing.assert_array_equal(perm[inv_perm], np.arange(total))
+        assert bounds[0] == 0 and bounds[-1] == total
+        assert all(lo <= hi for lo, hi in zip(bounds, bounds[1:]))
+        assert len(bounds) == workers + 1
+
+    def test_fused_ring_bit_identical_to_per_segment_rings(self):
+        """One ring over the packed buffer == a ring per segment.
+
+        Exact float equality, not approx: the layout exists so fusion
+        cannot perturb summation order.
+        """
+        rng = np.random.default_rng(0)
+        sizes, workers = [5, 12, 3], 4
+        segments = [[rng.standard_normal(s).astype(np.float32)
+                     for s in sizes] for _ in range(workers)]
+        unfused = [ring_allreduce([segments[w][i] for w in range(workers)])
+                   for i in range(len(sizes))]
+        perm, inv_perm, bounds = fused_segment_layout(sizes, workers)
+        packed = [np.concatenate(segments[w])[perm]
+                  for w in range(workers)]
+        fused = ring_allreduce(packed, bounds=bounds)
+        offsets = np.cumsum([0] + sizes)
+        for w in range(workers):
+            unpacked = fused[w][inv_perm]
+            for i, (lo, hi) in enumerate(zip(offsets[:-1], offsets[1:])):
+                np.testing.assert_array_equal(unpacked[lo:hi],
+                                              unfused[i][w])
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError):
+            fused_segment_layout([4], 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            fused_segment_layout([4, -1], 2)
+
+
+class TestRingBounds:
+    def test_custom_bounds_match_default(self):
+        rng = np.random.default_rng(1)
+        arrays = [rng.standard_normal(8).astype(np.float32)
+                  for _ in range(4)]
+        from repro.comm.allreduce import chunk_bounds
+        explicit = ring_allreduce(arrays, bounds=chunk_bounds(8, 4))
+        default = ring_allreduce(arrays)
+        for a, b in zip(explicit, default):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("bounds", [
+        [0, 4, 8],          # one chunk short
+        [1, 2, 4, 6, 8],    # does not start at 0
+        [0, 2, 4, 6, 7],    # does not cover the array
+        [0, 6, 4, 7, 8],    # not monotone
+    ])
+    def test_bad_bounds_rejected(self, bounds):
+        arrays = [np.ones(8, dtype=np.float32) for _ in range(4)]
+        with pytest.raises(ValueError):
+            ring_allreduce(arrays, bounds=bounds)
+
+
+class TestFusedTraining:
+    """Fused == unfused, bitwise, for every architecture."""
+
+    @pytest.mark.parametrize("arch", sorted(PLAN_BUILDERS))
+    def test_losses_and_state_bit_identical(self, arch):
+        fused = make_runner(arch, fusion=True)
+        unfused = make_runner(arch, fusion=False)
+        for i in range(3):
+            a = fused.step(i)
+            b = unfused.step(i)
+            assert a.replica_losses == b.replica_losses
+        state_a = fused.logical_state()
+        state_b = unfused.logical_state()
+        assert set(state_a) == set(state_b)
+        for name in state_a:
+            np.testing.assert_array_equal(state_a[name], state_b[name])
+
+    @pytest.mark.parametrize("arch", ["hybrid", "ar"])
+    def test_transcript_fewer_larger_messages_same_bytes(self, arch):
+        fused = make_runner(arch, fusion=True)
+        unfused = make_runner(arch, fusion=False)
+        fused.step(0)
+        unfused.step(0)
+        fused_ar = fused.transcript.filter("allreduce")
+        unfused_ar = unfused.transcript.filter("allreduce")
+        assert len(fused_ar) < len(unfused_ar)
+        assert (sum(t.nbytes for t in fused_ar)
+                == sum(t.nbytes for t in unfused_ar))
+        assert (max(t.nbytes for t in fused_ar)
+                > max(t.nbytes for t in unfused_ar))
+
+    def test_tiny_buffer_forces_per_variable_buckets(self):
+        """A cap below every gradient degenerates to unfused message
+        counts -- and must still be bit-identical."""
+        tiny = make_runner("hybrid", fusion=True, fusion_buffer_mb=1e-6)
+        unfused = make_runner("hybrid", fusion=False)
+        for i in range(2):
+            assert (tiny.step(i).replica_losses
+                    == unfused.step(i).replica_losses)
+        assert (len(tiny.transcript.filter("allreduce"))
+                == len(unfused.transcript.filter("allreduce")))
+
+    def test_fused_ops_present_only_when_fusion_on(self):
+        fused = make_runner("hybrid", fusion=True)
+        unfused = make_runner("hybrid", fusion=False)
+        def op_types(runner):
+            return {op.op_type
+                    for op in runner.transformed.graph.operations}
+        assert "fused_allreduce" in op_types(fused)
+        assert "fused_allreduce" not in op_types(unfused)
+
+    def test_plan_rejects_nonpositive_buffer(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="fusion_buffer_mb"):
+            hybrid_graph_plan(model.graph, fusion=True,
+                              fusion_buffer_mb=0.0)
+        with pytest.raises(ValueError):
+            GraphSyncPlan("p", {}, fusion_buffer_mb=-1.0)
+
+
+class TestOverlapSchedule:
+    """Collectives launch as soon as their last input is ready."""
+
+    def build_chain(self):
+        """a -> b -> c (compute chain); collective depends only on a."""
+        g = Graph()
+        with g.as_default():
+            a = constant(np.ones(2, dtype=np.float32), name="a")
+            b = g.add_op("relu", [a], TensorSpec((2,)), name="b")
+            c = g.add_op("relu", [b.output], TensorSpec((2,)), name="c")
+            coll = g.add_op("fused_allreduce", [a], TensorSpec((2,)),
+                            name="coll")
+            sink = g.add_op("concat", [c.output, coll.output],
+                            TensorSpec((4,)), attrs={"axis": 0},
+                            name="sink")
+        return g, sink
+
+    def test_collective_hoisted_to_readiness(self):
+        g, sink = self.build_chain()
+        order = g.topo_sort([sink])
+        scheduled = overlap_schedule(order)
+        names = [op.name for op in scheduled]
+        # Depth-first topo order would leave the collective last before
+        # the sink; the overlap scheduler fires it right after "a".
+        assert names.index("coll") == names.index("a") + 1
+
+    def test_schedule_is_a_valid_topological_order(self):
+        g, sink = self.build_chain()
+        scheduled = overlap_schedule(g.topo_sort([sink]))
+        position = {op.name: i for i, op in enumerate(scheduled)}
+        assert sorted(position) == sorted(
+            op.name for op in g.topo_sort([sink]))
+        for op in scheduled:
+            for t in op.inputs:
+                assert position[t.op.name] < position[op.name]
+
+    def test_compiled_plan_hoists_fused_collectives(self):
+        """End to end: in the compiled step plan of a fused hybrid
+        runner, each bucket's collective runs before unrelated backward
+        compute that a plain topological order would schedule first."""
+        runner = make_runner("hybrid", fusion=True)
+        schedule = [entry[0].op_type
+                    for entry in runner.step_plans[0].schedule]
+        first_collective = schedule.index("fused_allreduce")
+        assert "sgd_update" in schedule[first_collective:]
+        # The collective does not sink to the end of the schedule: real
+        # compute still runs after it (overlap window exists).
+        after = schedule[first_collective + 1:]
+        assert any(t not in ("fused_allreduce", "bucket_slice",
+                             "sgd_update", "group")
+                   for t in after)

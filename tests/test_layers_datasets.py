@@ -248,3 +248,44 @@ class TestTranslationDataset:
                     assert mapping[s] == t
                 else:
                     mapping[int(s)] = int(t)
+
+
+class TestVectorizedTake:
+    """The vectorized ``take`` fast paths must be bit-identical to the
+    per-example ``example`` loop the base class falls back to (batches
+    feed training, so any drift changes losses)."""
+
+    @pytest.mark.parametrize("make", [
+        lambda: SyntheticImageDataset(size=32, num_features=6, seed=3),
+        lambda: SyntheticTextDataset(size=32, vocab_size=25, seq_len=4,
+                                     seed=3),
+        lambda: TranslationDataset(size=32, src_vocab=30, tgt_vocab=20,
+                                   src_len=3, tgt_len=4, seed=3),
+    ])
+    def test_take_matches_example_loop(self, make):
+        ds = make()
+        ids = np.array([5, 0, 17, 5, 31], dtype=np.int64)
+        fast = ds.take(ids)
+        slow = [ds.example(int(i)) for i in ids]
+        for col, arrays in enumerate(zip(*slow)):
+            expected = np.stack(arrays)
+            np.testing.assert_array_equal(fast[col], expected)
+            assert fast[col].dtype == expected.dtype
+
+    def test_take_returns_copies(self):
+        ds = SyntheticImageDataset(size=8, num_features=4, seed=0)
+        images, labels = ds.take(np.array([2]))
+        images[0, 0] += 100.0
+        labels[0] += 1
+        again_img, again_lbl = ds.take(np.array([2]))
+        assert again_img[0, 0] != images[0, 0]
+        assert again_lbl[0] != labels[0]
+
+    def test_batch_uses_take_identically(self):
+        ds = TranslationDataset(size=16, src_len=3, tgt_len=4, seed=1)
+        src, tgt = ds.batch(6, 2)
+        ids = [(2 * 6 + i) % len(ds) for i in range(6)]
+        for row, idx in enumerate(ids):
+            s, t = ds.example(idx)
+            np.testing.assert_array_equal(src[row], s)
+            np.testing.assert_array_equal(tgt[row], t)

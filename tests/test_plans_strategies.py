@@ -205,3 +205,52 @@ class TestPaperProfiles:
     def test_get_variable_unknown_raises(self):
         with pytest.raises(KeyError):
             lm_profile().get_variable("nope")
+
+
+class TestAllReduceBuckets:
+    """Fusion-bucket shaping on the performance plane (SyncPlan)."""
+
+    def make_plan(self, cap, elements=(100, 100, 100, 100)):
+        assignments = [
+            VariableAssignment(dense_var(f"w{i}", n), SyncMethod.ALLREDUCE)
+            for i, n in enumerate(elements)
+        ]
+        return SyncPlan("p", assignments, fusion_buffer_mb=cap)
+
+    def test_unfused_one_bucket_per_variable(self):
+        plan = self.make_plan(0.0)
+        assert plan.allreduce_buckets() == [400.0] * 4  # 100 f32 each
+
+    def test_none_cap_matches_unfused_shape(self):
+        plan = self.make_plan(None)
+        assert len(plan.allreduce_buckets()) == 4
+
+    def test_cap_groups_in_assignment_order(self):
+        cap_mb = 800 / (1024 * 1024)  # two 400-byte variables per bucket
+        buckets = self.make_plan(cap_mb).allreduce_buckets()
+        assert buckets == [800.0, 800.0]
+
+    def test_large_cap_single_bucket_conserves_bytes(self):
+        plan = self.make_plan(64.0)
+        buckets = plan.allreduce_buckets()
+        assert len(buckets) == 1
+        assert buckets[0] == float(plan.allreduce_bytes)
+
+    def test_with_fusion_rewrites_only_the_cap(self):
+        plan = self.make_plan(None)
+        fused = plan.with_fusion(4.0)
+        assert fused.fusion_buffer_mb == 4.0
+        assert fused.assignments == plan.assignments
+        assert plan.fusion_buffer_mb is None  # original untouched
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match="fusion_buffer_mb"):
+            self.make_plan(-1.0)
+
+    def test_non_allreduce_variables_ignored(self):
+        assignments = [
+            VariableAssignment(dense_var("w", 100), SyncMethod.ALLREDUCE),
+            VariableAssignment(sparse_var(), SyncMethod.PS),
+        ]
+        plan = SyncPlan("p", assignments, fusion_buffer_mb=64.0)
+        assert plan.allreduce_buckets() == [400.0]

@@ -338,3 +338,68 @@ class TestCheckpointing:
         for name in ("w", "report/w"):
             np.testing.assert_array_equal(runner.variable_value(name),
                                           restored.variable_value(name))
+
+
+class TestRestoreStrictness:
+    """restore() must not silently load a partial checkpoint."""
+
+    def make_runner(self):
+        model, _ = prepare(**lm_kwargs())
+        return DistributedRunner(model, CLUSTER,
+                                 hybrid_graph_plan(model.graph), seed=SEED)
+
+    def test_missing_names_rejected_with_listing(self, tmp_path):
+        runner = self.make_runner()
+        state = runner.logical_state()
+        dropped = sorted(state)[0]
+        del state[dropped]
+        path = str(tmp_path / "partial.npz")
+        np.savez(path, **state)
+        runner2 = self.make_runner()
+        with pytest.raises(ValueError) as err:
+            runner2.restore(path)
+        assert dropped in str(err.value)
+        assert "missing" in str(err.value)
+
+    def test_unexpected_names_rejected_with_listing(self, tmp_path):
+        runner = self.make_runner()
+        state = runner.logical_state()
+        state["not/a/graph/var"] = np.zeros(3, dtype=np.float32)
+        path = str(tmp_path / "extra.npz")
+        np.savez(path, **state)
+        runner2 = self.make_runner()
+        with pytest.raises(ValueError) as err:
+            runner2.restore(path)
+        assert "not/a/graph/var" in str(err.value)
+        assert "unexpected" in str(err.value)
+
+    def test_non_strict_loads_the_intersection(self, tmp_path):
+        runner = self.make_runner()
+        for i in range(2):
+            runner.step(i)
+        state = runner.logical_state()
+        dropped = sorted(state)[0]
+        del state[dropped]
+        state["stray"] = np.zeros(2, dtype=np.float32)
+        path = str(tmp_path / "partial.npz")
+        np.savez(path, **state)
+        runner2 = self.make_runner()
+        before = runner2.variable_value(dropped)
+        runner2.restore(path, strict=False)
+        # Matching names loaded, the missing one kept its initial value.
+        kept = sorted(set(state) - {"stray"})[0]
+        np.testing.assert_array_equal(runner2.variable_value(kept),
+                                      runner.variable_value(kept))
+        np.testing.assert_array_equal(runner2.variable_value(dropped),
+                                      before)
+
+    def test_exact_checkpoint_still_roundtrips_strict(self, tmp_path):
+        runner = self.make_runner()
+        runner.step(0)
+        path = str(tmp_path / "full.npz")
+        runner.save(path)
+        runner2 = self.make_runner()
+        runner2.restore(path)  # strict=True default; must not raise
+        for name in runner.transformed.plan.methods:
+            np.testing.assert_array_equal(runner.variable_value(name),
+                                          runner2.variable_value(name))

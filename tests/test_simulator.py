@@ -293,3 +293,71 @@ class TestCalibration:
         }
         simulated = throughput(profile, builders[arch](), PAPER_CLUSTER)
         assert 0.5 < simulated / paper < 2.0
+
+
+class TestBucketedAllReducePricing:
+    """Fusion-aware collective accounting: the launch-latency term makes
+    iteration time bucket-count sensitive, and overlap hides collective
+    time under backward compute."""
+
+    CLUSTER = ClusterSpec(num_machines=2, gpus_per_machine=2)
+
+    def breakdown(self, buffer_mb, **cost_overrides):
+        profile = resnet50_profile()
+        plan = horovod_plan(profile).with_fusion(buffer_mb)
+        cost = CostModel().with_overrides(**cost_overrides)
+        return simulate_iteration(profile, plan, self.CLUSTER, cost)
+
+    def test_more_buckets_cost_more_launch_latency(self):
+        unfused = self.breakdown(0.0, ar_overlap=0.0)
+        fused = self.breakdown(64.0, ar_overlap=0.0)
+        assert unfused.num_ar_buckets > fused.num_ar_buckets
+        assert unfused.iteration_time > fused.iteration_time
+        assert unfused.allreduce_raw_time > fused.allreduce_raw_time
+
+    def test_launch_latency_term_scales_with_bucket_count(self):
+        """Doubling the per-collective launch cost moves iteration time
+        by exactly launch_delta x num_buckets (overlap off)."""
+        base, bumped = 5e-5, 1e-4
+        a = self.breakdown(0.0, ar_overlap=0.0, c_collective_launch=base)
+        b = self.breakdown(0.0, ar_overlap=0.0, c_collective_launch=bumped)
+        assert a.num_ar_buckets == b.num_ar_buckets > 1
+        expected = (bumped - base) * a.num_ar_buckets
+        assert b.iteration_time - a.iteration_time == pytest.approx(expected)
+
+    def test_bucket_count_monotone_in_buffer_cap(self):
+        counts = [self.breakdown(mb, ar_overlap=0.0).num_ar_buckets
+                  for mb in (0.0, 1.0, 4.0, 64.0)]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] > counts[-1]
+
+    def test_overlap_hides_collectives_under_compute(self):
+        exposed = self.breakdown(4.0, ar_overlap=0.0)
+        hidden = self.breakdown(4.0, ar_overlap=1.0)
+        assert hidden.allreduce_time < exposed.allreduce_time
+        assert hidden.allreduce_raw_time == exposed.allreduce_raw_time
+        assert hidden.allreduce_time >= 0.0
+
+    def test_legacy_aggregate_pricing_unchanged(self):
+        """fusion_buffer_mb=None keeps the seed's aggregate ring price:
+        no launch term, no overlap, no bucket accounting."""
+        legacy = self.breakdown(None, c_collective_launch=1.0,
+                                ar_overlap=1.0)
+        assert legacy.num_ar_buckets == 0
+        assert legacy.allreduce_raw_time == 0.0
+        assert legacy.allreduce_time > 0.0
+
+    def test_single_bucket_beats_legacy_only_by_launch_cost(self):
+        """One bucket prices the same ring as the legacy aggregate, plus
+        exactly one launch (overlap off)."""
+        legacy = self.breakdown(None)
+        one = self.breakdown(10_000.0, ar_overlap=0.0)
+        assert one.num_ar_buckets == 1
+        assert one.allreduce_time - legacy.allreduce_time == pytest.approx(
+            CostModel().c_collective_launch)
+
+    def test_cost_model_validates_new_knobs(self):
+        with pytest.raises(ValueError, match="ar_overlap"):
+            CostModel(ar_overlap=1.5)
+        with pytest.raises(ValueError, match="c_collective_launch"):
+            CostModel(c_collective_launch=-1e-6)
