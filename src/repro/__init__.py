@@ -21,7 +21,9 @@ Quick start (the paper's Figure 3 shape)::
         result = runner.step(i)
 """
 
+from repro.cluster.faults import FaultPlan, NicDegradation, WorkerFailure
 from repro.core.api import ParallaxConfig, get_runner, shard
+from repro.core.elastic import ElasticRunner
 from repro.core.partition_context import partitioner
 from repro.core.runner import DistributedRunner
 from repro.cluster.spec import ClusterSpec
@@ -34,6 +36,10 @@ __all__ = [
     "shard",
     "partitioner",
     "DistributedRunner",
+    "ElasticRunner",
+    "FaultPlan",
+    "WorkerFailure",
+    "NicDegradation",
     "ClusterSpec",
     "__version__",
 ]

@@ -132,13 +132,9 @@ def fig9(cluster: ClusterSpec) -> None:
         print(f"{row[0]:<6}" + "".join(f"{v:<14}" for v in row[1:]))
 
 
-def _quickstart_runner(cluster: ClusterSpec, seed: int,
-                       engine: str = "compiled", fusion: bool = False,
-                       fusion_buffer_mb: float = 4.0):
-    """The quickstart hybrid LM workload (partitioned sparse embedding on
-    PS, dense LSTM/softmax on AllReduce) as a ready DistributedRunner."""
-    from repro.core.runner import DistributedRunner
-    from repro.core.transform.plan import hybrid_graph_plan
+def _quickstart_model():
+    """The quickstart hybrid LM graph (partitioned sparse embedding on
+    PS, dense LSTM/softmax on AllReduce), gradients and updates built."""
     from repro.graph.gradients import gradients
     from repro.nn.models import build_lm
     from repro.nn.optimizers import GradientDescentOptimizer
@@ -148,9 +144,33 @@ def _quickstart_runner(cluster: ClusterSpec, seed: int,
     with model.graph.as_default():
         gvs = gradients(model.loss)
         GradientDescentOptimizer(0.5).update(gvs)
+    return model
+
+
+def _quickstart_runner(cluster: ClusterSpec, seed: int,
+                       engine: str = "compiled", fusion: bool = False,
+                       fusion_buffer_mb: float = 4.0):
+    """The quickstart workload as a ready DistributedRunner."""
+    from repro.core.runner import DistributedRunner
+    from repro.core.transform.plan import hybrid_graph_plan
+
+    model = _quickstart_model()
     plan = hybrid_graph_plan(model.graph, fusion=fusion,
                              fusion_buffer_mb=fusion_buffer_mb)
     return DistributedRunner(model, cluster, plan, seed=seed, engine=engine)
+
+
+def _quickstart_elastic(cluster: ClusterSpec, seed: int,
+                        checkpoint_every: int, fault_plan=None):
+    """The quickstart workload as an ElasticRunner."""
+    from repro.core.elastic import ElasticRunner
+    from repro.core.transform.plan import hybrid_graph_plan
+
+    model = _quickstart_model()
+    plan = hybrid_graph_plan(model.graph)
+    return ElasticRunner(model, cluster, plan,
+                         checkpoint_every=checkpoint_every,
+                         fault_plan=fault_plan, seed=seed)
 
 
 def _validate_bench_args(iters: int, warmup: int) -> None:
@@ -352,6 +372,149 @@ def bench_fusion(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
     return 0
 
 
+def bench_elastic(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
+                  seed: int = 0,
+                  output: str = "BENCH_elastic.json") -> int:
+    """Goodput under a failure schedule vs a fault-free elastic run.
+
+    Trains the quickstart workload twice with the elastic runtime (same
+    checkpoint cadence): once fault-free and once under a deterministic
+    FaultPlan (a worker kill mid-run plus a NIC-degradation window).
+    Recovery restores the last checkpoint and replays, so the faulted
+    run's per-iteration losses must stay bit-identical to the fault-free
+    run -- the differential check -- while its goodput (distinct
+    iterations per second) drops by the replay + recovery overhead.  A
+    planned shrink rescale is timed as well, and the performance plane
+    prices the same schedule through ``simulate_goodput``.
+
+    ``warmup`` iterations train (and absorb plan-compile cost) before
+    the timed window; the fault schedule is anchored inside the window.
+    """
+    _validate_bench_args(iters, warmup)
+    from repro.cluster.faults import FaultPlan, NicDegradation, WorkerFailure
+    from repro.cluster.simulator import simulate_goodput, simulate_rescale
+    from repro.core.hybrid import hybrid_plan
+    from repro.nn.profiles import lm_profile
+
+    checkpoint_every = max(2, iters // 8)
+    kill_at = warmup + iters // 2
+    degrade_at = warmup + max(1, iters // 4)
+    fault_plan = FaultPlan(
+        failures=(WorkerFailure(kill_at, worker=1),),
+        degradations=(NicDegradation(degrade_at, machine=0, factor=0.25,
+                                     duration=3),),
+    )
+
+    def timed_run(runner):
+        for i in range(warmup):
+            runner.step(i)
+        start = time.perf_counter()
+        results = runner.run_elastic(iters, start_iteration=warmup)
+        return results, time.perf_counter() - start
+
+    clean = _quickstart_elastic(cluster, seed, checkpoint_every)
+    clean_results, clean_time = timed_run(clean)
+
+    faulted = _quickstart_elastic(cluster, seed, checkpoint_every,
+                                  fault_plan=fault_plan)
+    faulted_results, faulted_time = timed_run(faulted)
+
+    identical = ([r.replica_losses for r in clean_results]
+                 == [r.replica_losses for r in faulted_results])
+    goodput_clean = iters / clean_time
+    goodput_faulted = iters / faulted_time
+    recoveries = faulted.recovery_log
+
+    # Planned rescale downtime: shrink the fault-free runner by one
+    # machine (when it has one to give) and time the migration.
+    rescale_report = None
+    if cluster.num_machines > 1:
+        start = time.perf_counter()
+        clean.rescale(cluster.without_machine(cluster.num_machines - 1))
+        rescale_wall = time.perf_counter() - start
+        note = clean.transcript.events("elastic/rescale")[-1]
+        rescale_report = {
+            "old_replicas": note.get("old_replicas"),
+            "new_replicas": note.get("new_replicas"),
+            "plans_compiled": note.get("plans_compiled"),
+            "wall_time": rescale_wall,
+        }
+
+    # Performance-plane pricing of the same scenario shape on the paper's
+    # LM inventory.
+    profile = lm_profile()
+    sim_plan = hybrid_plan(profile, 64)
+    sim_total, sim_every = 200, 10
+    sim_faults = FaultPlan(
+        failures=(WorkerFailure(sim_total // 2, worker=1),),
+        degradations=(NicDegradation(sim_total // 4, machine=0,
+                                     factor=0.25, duration=10),),
+    )
+    sim = simulate_goodput(profile, sim_plan, cluster, sim_total,
+                           checkpoint_every=sim_every, faults=sim_faults)
+    sim_rescale = simulate_rescale(sim_plan, cluster,
+                                   cluster.scaled(max(1,
+                                                      cluster.num_machines
+                                                      - 1)))
+
+    report = {
+        "workload": "quickstart_hybrid_lm",
+        "cluster": {"machines": cluster.num_machines,
+                    "gpus_per_machine": cluster.gpus_per_machine},
+        "iterations": iters,
+        "warmup": warmup,
+        "checkpoint_every": checkpoint_every,
+        "fault_plan": {
+            "kill": {"iteration": kill_at, "worker": 1},
+            "nic_degradation": {"iteration": degrade_at, "machine": 0,
+                                "factor": 0.25, "duration": 3},
+        },
+        "goodput_iters_per_sec": {"fault_free": goodput_clean,
+                                  "faulted": goodput_faulted},
+        "goodput_fraction": goodput_faulted / goodput_clean,
+        "losses_bit_identical": identical,
+        "recoveries": recoveries,
+        "rescale": rescale_report,
+        "simulated": {
+            "model": profile.name,
+            "plan": sim_plan.name,
+            "iterations": sim_total,
+            "checkpoint_every": sim_every,
+            "goodput_units_per_sec": sim.units_per_second,
+            "fault_free_units_per_sec": sim.fault_free_units_per_second,
+            "goodput_fraction": sim.goodput_fraction,
+            "downtime_sec": sim.downtime,
+            "replayed_iterations": sim.replayed_iterations,
+            "num_degraded_iterations": sim.num_degraded_iterations,
+            "rescale_downtime_sec": sim_rescale.downtime,
+        },
+    }
+    with open(output, "w") as f:
+        json.dump(report, f, indent=2)
+
+    print(f"\nElastic bench — quickstart hybrid LM "
+          f"({cluster.total_gpus} simulated GPUs, {iters} iterations, "
+          f"checkpoint every {checkpoint_every})")
+    print(f"{'run':<14}{'goodput it/s':>14}{'recoveries':>12}")
+    print(f"{'fault-free':<14}{goodput_clean:>14.1f}{0:>12}")
+    print(f"{'faulted':<14}{goodput_faulted:>14.1f}{len(recoveries):>12}")
+    print(f"goodput fraction: {goodput_faulted / goodput_clean:.2f}   "
+          f"losses bit-identical: {identical}")
+    if rescale_report is not None:
+        print(f"rescale {rescale_report['old_replicas']}->"
+              f"{rescale_report['new_replicas']} replicas: "
+              f"{rescale_report['wall_time'] * 1e3:.1f}ms, "
+              f"{rescale_report['plans_compiled']} plans recompiled")
+    print(f"simulated {profile.name} goodput fraction under faults: "
+          f"{sim.goodput_fraction:.3f} "
+          f"(downtime {sim.downtime:.1f}s over {sim_total} iters)")
+    print(f"wrote {output}")
+    if not identical:
+        print("ERROR: faulted and fault-free losses diverged")
+        return 1
+    return 0
+
+
 COMMANDS: Dict[str, Callable[[ClusterSpec], None]] = {
     "table1": table1, "table2": table2, "table4": table4, "table6": table6,
     "fig8": fig8, "fig9": fig9,
@@ -379,9 +542,14 @@ def main(argv=None) -> int:
     parser.add_argument("--fusion", action="store_true",
                         help="bench: compare fused (bucketed) vs unfused "
                              "dense AllReduce instead of the engines")
+    parser.add_argument("--elastic", action="store_true",
+                        help="bench: goodput under a deterministic failure "
+                             "schedule (worker kill + NIC degradation) vs "
+                             "a fault-free elastic run")
     parser.add_argument("--bench-output", default=None,
                         help="bench report path (default BENCH_engine.json, "
-                             "or BENCH_fusion.json with --fusion)")
+                             "BENCH_fusion.json with --fusion, or "
+                             "BENCH_elastic.json with --elastic)")
     args = parser.parse_args(argv)
     default_machines, default_gpus = ((2, 2) if args.experiment == "bench"
                                       else (8, 6))
@@ -390,6 +558,13 @@ def main(argv=None) -> int:
         default_gpus if args.gpus is None else args.gpus,
     )
     if args.experiment == "bench":
+        if args.fusion and args.elastic:
+            raise SystemExit("bench: choose one of --fusion / --elastic")
+        if args.elastic:
+            return bench_elastic(
+                cluster, iters=args.iters, warmup=args.warmup,
+                seed=args.seed,
+                output=args.bench_output or "BENCH_elastic.json")
         if args.fusion:
             return bench_fusion(
                 cluster, iters=args.iters, warmup=args.warmup,

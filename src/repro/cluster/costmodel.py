@@ -96,11 +96,27 @@ class CostModel:
     # Sparsity overlap across workers (0 = disjoint rows, 1 = identical)
     zipf_overlap: float = 0.9
 
+    # ---- elastic runtime (recovery and rescale downtime pricing) -------
+    # Bandwidth at which one machine serializes/deserializes logical state
+    # for a checkpoint or restore (local NVMe-class storage).
+    ckpt_bw: float = 2.0e9
+    # Wall-clock to declare a worker dead (heartbeat/gRPC deadline).
+    c_failure_detect: float = 2.0
+    # Respawning a worker process and rebuilding its graph.
+    c_worker_respawn: float = 5.0
+    # Compiling one step plan for one replica (the PR-1 engine's
+    # compile-once cost, paid again after every rescale).
+    c_plan_compile: float = 0.05
+
     def __post_init__(self):
         for name in ("nccl_bw", "intra_bw", "mpi_bw", "ps_nic_bw",
-                     "worker_stream_bw"):
+                     "worker_stream_bw", "ckpt_bw"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        for name in ("c_failure_detect", "c_worker_respawn",
+                     "c_plan_compile"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
         if not 0.0 <= self.dense_ps_overlap <= 1.0:
             raise ValueError("dense_ps_overlap must be in [0, 1]")
         if not 0.0 <= self.ar_overlap <= 1.0:
@@ -114,6 +130,22 @@ class CostModel:
 
     def with_overrides(self, **kwargs) -> "CostModel":
         return replace(self, **kwargs)
+
+    def degraded(self, factor: float) -> "CostModel":
+        """The cost model under a NIC running at ``factor`` of line rate.
+
+        Only inter-machine transports slow down; intra-machine PCIe
+        bandwidth and every CPU-side constant are NIC-independent.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degradation factor must be in (0, 1]")
+        return replace(
+            self,
+            nccl_bw=self.nccl_bw * factor,
+            mpi_bw=self.mpi_bw * factor,
+            ps_nic_bw=self.ps_nic_bw * factor,
+            worker_stream_bw=self.worker_stream_bw * factor,
+        )
 
 
 def union_alpha(alpha: float, k: int, zipf_overlap: float) -> float:

@@ -61,5 +61,22 @@ class ClusterSpec:
         """Same hardware with a different machine count (scaling sweeps)."""
         return ClusterSpec(num_machines, self.gpus_per_machine, self.nic_gbps)
 
+    def without_machine(self, machine: int) -> "ClusterSpec":
+        """The cluster after evicting one machine (shrink recovery).
+
+        Machines are homogeneous and logically renumbered after the
+        eviction, so the result is simply one machine fewer; the identity
+        of the failed machine only matters for validation.
+        """
+        if not 0 <= machine < self.num_machines:
+            raise ValueError(
+                f"machine {machine} out of range [0, {self.num_machines})"
+            )
+        if self.num_machines == 1:
+            raise ValueError(
+                "cannot evict the only machine; the cluster would be empty"
+            )
+        return self.scaled(self.num_machines - 1)
+
 
 PAPER_CLUSTER = ClusterSpec(num_machines=8, gpus_per_machine=6, nic_gbps=100.0)

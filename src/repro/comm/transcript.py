@@ -39,11 +39,29 @@ class Transfer:
         return self.src_machine != self.dst_machine
 
 
+@dataclass(frozen=True)
+class Note:
+    """One annotated runtime event (fault injection, rescale, recovery).
+
+    Notes carry no bytes -- they mark *when* something happened on the
+    same timeline the transfers live on, so the chaos tests can correlate
+    byte movement with the failure schedule that produced it.
+    """
+
+    tag: str
+    iteration: int
+    info: tuple  # sorted (key, value) pairs, hashable
+
+    def get(self, key: str, default=None):
+        return dict(self.info).get(key, default)
+
+
 class Transcript:
     """Append-only list of transfers plus aggregation helpers."""
 
     def __init__(self):
         self._transfers: List[Transfer] = []
+        self._events: List[Note] = []
 
     def record(self, tag: str, src_machine: int, dst_machine: int,
                nbytes: int, stage: int = 0) -> None:
@@ -56,8 +74,20 @@ class Transcript:
                      int(stage))
         )
 
+    def note(self, tag: str, iteration: int, **info) -> None:
+        """Record a zero-byte runtime event (fault, rescale, recovery)."""
+        self._events.append(
+            Note(tag, int(iteration), tuple(sorted(info.items())))
+        )
+
+    def events(self, tag_prefix: Optional[str] = None) -> List[Note]:
+        if tag_prefix is None:
+            return list(self._events)
+        return [e for e in self._events if e.tag.startswith(tag_prefix)]
+
     def clear(self) -> None:
         self._transfers = []
+        self._events = []
 
     @property
     def transfers(self) -> List[Transfer]:

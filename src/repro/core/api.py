@@ -17,7 +17,9 @@ from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.cluster.faults import FaultPlan
 from repro.cluster.spec import ClusterSpec
+from repro.core.elastic import ElasticRunner
 from repro.core.partition_context import partitioner, sampling_partitions
 from repro.core.partitioner import PartitionSearch, SearchResult
 from repro.core.runner import DistributedRunner
@@ -33,7 +35,8 @@ from repro.nn.datasets import Dataset
 from repro.nn.models.common import BuiltModel
 from repro.tensor.sparse import IndexedSlices
 
-__all__ = ["shard", "partitioner", "ParallaxConfig", "get_runner"]
+__all__ = ["shard", "partitioner", "ParallaxConfig", "get_runner",
+           "ElasticRunner", "FaultPlan"]
 
 
 def shard(dataset: Dataset) -> Dataset:
@@ -74,6 +77,14 @@ class ParallaxConfig:
             training, but each bucket rides one overlap-scheduled
             collective instead of one collective per variable.
         fusion_buffer_mb: fusion bucket size cap in megabytes.
+        elastic: return an :class:`~repro.core.elastic.ElasticRunner`
+            (supports ``rescale`` and fault-injected recovery) instead of
+            a plain DistributedRunner.
+        checkpoint_every: elastic checkpoint cadence -- in-memory
+            recovery snapshots per this many completed iterations.
+        fault_plan: optional deterministic failure schedule injected into
+            every ``step`` (elastic runners recover from it;
+            non-elastic runners surface ``WorkerFailureError``).
         save_path: if set, ``runner.save()`` writes variables here by
             default (the config's "file path to save trained variables").
         seed: variable-initialization seed.
@@ -92,6 +103,9 @@ class ParallaxConfig:
     alpha_measure_batches: int = 2
     fusion: bool = True
     fusion_buffer_mb: float = 4.0
+    elastic: bool = False
+    checkpoint_every: int = 1
+    fault_plan: Optional[FaultPlan] = None
     save_path: Optional[str] = None
     seed: int = 0
 
@@ -111,6 +125,13 @@ class ParallaxConfig:
             raise ValueError("alpha_measure_batches must be >= 0")
         if self.fusion_buffer_mb <= 0:
             raise ValueError("fusion_buffer_mb must be > 0")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.fault_plan is not None and not self.elastic:
+            raise ValueError(
+                "fault_plan requires elastic=True: a plain runner cannot "
+                "recover from injected failures"
+            )
 
 
 def resolve_cluster(resource_info: Union[ClusterSpec, dict, str],
@@ -309,6 +330,27 @@ def get_runner(
             for name, alpha in alphas.items()
         }
 
+    # The measured decision attaches to the *parent* variable, and is
+    # re-keyed onto each graph's own shard names: a model rebuilt at a
+    # different partition count (the Equation-1 search, elastic re-shard
+    # rescales) applies the same classification to every shard instead
+    # of silently dropping overrides whose names no longer exist.
+    def _parent_name(graph, name: str) -> str:
+        info = getattr(graph.variables[name], "partition_info", None)
+        return info["parent"] if info else name
+
+    parent_overrides = {
+        _parent_name(probe.graph, name): flag
+        for name, flag in sparse_as_dense.items()
+    }
+
+    def overrides_for(graph) -> Dict[str, bool]:
+        return {
+            name: parent_overrides[_parent_name(graph, name)]
+            for name in graph.variables
+            if _parent_name(graph, name) in parent_overrides
+        }
+
     search_result: Optional[SearchResult] = None
     best_partitions = initial
     max_partitions = _partition_bounds(probe, cfg)
@@ -317,7 +359,7 @@ def get_runner(
 
         def measure(num_partitions: int) -> float:
             model = build(num_partitions)
-            plan = _make_plan(model.graph, cfg, sparse_as_dense)
+            plan = _make_plan(model.graph, cfg, overrides_for(model.graph))
             # The runner compiles its step fetches once (in __init__), so
             # every sampled iteration -- warmup included -- replays the
             # same CompiledPlan; the measurement sees steady-state
@@ -334,8 +376,21 @@ def get_runner(
 
     final_model = (probe if best_partitions == initial
                    else build(best_partitions))
-    plan = _make_plan(final_model.graph, cfg, sparse_as_dense)
-    runner = DistributedRunner(final_model, cluster, plan, seed=cfg.seed)
+    plan = _make_plan(final_model.graph, cfg,
+                      overrides_for(final_model.graph))
+    if cfg.elastic:
+        runner: DistributedRunner = ElasticRunner(
+            final_model, cluster, plan,
+            model_builder=model_builder,
+            plan_builder=lambda graph: _make_plan(graph, cfg,
+                                                  overrides_for(graph)),
+            checkpoint_every=cfg.checkpoint_every,
+            fault_plan=cfg.fault_plan,
+            seed=cfg.seed,
+        )
+    else:
+        runner = DistributedRunner(final_model, cluster, plan,
+                                   seed=cfg.seed)
     runner.partition_search = search_result
     runner.config = cfg
     if cfg.save_path:

@@ -34,6 +34,16 @@ def active_partitions() -> Optional[int]:
     return getattr(_state, "value", None) or 1
 
 
+def installed_partitions() -> Optional[int]:
+    """The sampling count currently installed, or None if none is.
+
+    Unlike :func:`active_partitions` this does not require being inside a
+    ``partitioner()`` scope -- the elastic runtime uses it to rebuild a
+    model at the same partition count the surrounding context installed.
+    """
+    return getattr(_state, "value", None)
+
+
 @contextlib.contextmanager
 def partitioner() -> Iterator[None]:
     """Mark variables created inside as targets for partition search.

@@ -55,16 +55,37 @@ class PartitionCostModel:
 
 
 def fit_cost_model(samples: List[Tuple[int, float]]) -> PartitionCostModel:
-    """Least-squares fit of Equation 1 to (P, iteration time) samples."""
+    """Least-squares fit of Equation 1 to (P, iteration time) samples.
+
+    The three coefficients need three *distinct* partition counts --
+    duplicate P values add rows but no rank, and a rank-deficient design
+    would silently return the minimum-norm pseudo-solution (garbage
+    coefficients presented as a fit).  Both degeneracies raise a clear
+    ``ValueError`` instead; :class:`PartitionSearch` falls back to the
+    best sampled point when that happens.
+    """
     if len(samples) < 3:
         raise ValueError(
             f"need at least 3 samples to fit 3 coefficients, got "
             f"{len(samples)}"
         )
+    if any(p < 1 for p, _ in samples):
+        raise ValueError("partition counts must be >= 1")
+    distinct = sorted({p for p, _ in samples})
+    if len(distinct) < 3:
+        raise ValueError(
+            f"need at least 3 distinct partition counts to fit Equation 1, "
+            f"got {distinct}"
+        )
     ps = np.array([float(p) for p, _ in samples])
     ts = np.array([float(t) for _, t in samples])
     design = np.stack([np.ones_like(ps), 1.0 / ps, ps], axis=1)
-    coeffs, *_ = np.linalg.lstsq(design, ts, rcond=None)
+    coeffs, _, rank, _ = np.linalg.lstsq(design, ts, rcond=None)
+    if rank < 3 or not np.all(np.isfinite(coeffs)):
+        raise ValueError(
+            f"Equation-1 design matrix is singular for partition counts "
+            f"{distinct}; sample better-conditioned counts"
+        )
     return PartitionCostModel(*map(float, coeffs))
 
 
@@ -137,7 +158,13 @@ class PartitionSearch:
             # Degenerate bracket (tiny search space): pick the best sample.
             best = min(samples, key=lambda kv: kv[1])[0]
             return SearchResult(best, samples, None)
-        model = fit_cost_model(samples)
+        try:
+            model = fit_cost_model(samples)
+        except ValueError:
+            # Ill-conditioned samples (the fit guards reject them): fall
+            # back to the best sampled point rather than extrapolating.
+            best = min(samples, key=lambda kv: kv[1])[0]
+            return SearchResult(best, samples, None)
         best = model.best_partitions(lo, hi)
         # Guard against a poor fit: never do worse than the best sample.
         best_sampled, best_sampled_time = min(samples, key=lambda kv: kv[1])

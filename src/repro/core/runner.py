@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.cluster.faults import FaultPlan, WorkerFailureError
 from repro.cluster.spec import ClusterSpec
 from repro.comm.transcript import Transcript
 from repro.core.transform.plan import GraphSyncPlan
@@ -175,6 +176,7 @@ class DistributedRunner:
         seed: int = 0,
         transcript: Optional[Transcript] = None,
         engine: str = "compiled",
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if engine not in ("compiled", "interpreted"):
             raise ValueError(
@@ -184,7 +186,12 @@ class DistributedRunner:
         self.model = model
         self.cluster = cluster
         self.plan = plan
+        self.seed = seed
         self.engine = engine
+        self.fault_plan = fault_plan
+        # Events fire once each; the set survives a rescale's re-__init__
+        # so a replayed iteration does not re-kill the same worker.
+        self._faults_fired = getattr(self, "_faults_fired", set())
         self.transformed = transform_graph(model.graph, model.loss, cluster,
                                            plan)
         self.session = DistributedSession(self.transformed, seed=seed,
@@ -256,7 +263,15 @@ class DistributedRunner:
         its own gradients before the next worker reads the variables, so
         later workers see fresher (and earlier iterations' workers see
         staler) state -- the staleness the paper's section 2.1 discusses.
+
+        When a :class:`FaultPlan` is installed, scheduled events for this
+        iteration fire first: a worker kill notes itself into the
+        transcript and raises :class:`WorkerFailureError` (each event at
+        most once -- recovery replays the iteration without re-dying),
+        and newly active NIC degradations are noted so the byte record
+        carries the failure timeline it was produced under.
         """
+        self._inject_faults(iteration)
         start = time.perf_counter()
         if self.engine == "compiled":
             if self.transformed.replica_train_ops is None:
@@ -288,6 +303,31 @@ class DistributedRunner:
             wall_time=time.perf_counter() - start,
         )
 
+    def _inject_faults(self, iteration: int) -> None:
+        """Fire this iteration's scheduled faults (each at most once)."""
+        if self.fault_plan is None:
+            return
+        for degradation in self.fault_plan.degradations_at(iteration):
+            if degradation in self._faults_fired:
+                continue
+            self._faults_fired.add(degradation)
+            self.transcript.note(
+                "fault/nic_degraded", iteration=iteration,
+                machine=degradation.machine, factor=degradation.factor,
+                duration=degradation.duration,
+            )
+        for failure in self.fault_plan.failures_at(iteration):
+            if (failure in self._faults_fired
+                    or failure.worker >= self.num_replicas):
+                continue
+            self._faults_fired.add(failure)
+            machine = self.cluster.machine_of_worker(failure.worker)
+            self.transcript.note(
+                "fault/worker_kill", iteration=iteration,
+                worker=failure.worker, machine=machine,
+            )
+            raise WorkerFailureError(iteration, failure.worker, machine)
+
     def run(self, num_iterations: int,
             start_iteration: int = 0) -> List[IterationResult]:
         return [
@@ -308,13 +348,12 @@ class DistributedRunner:
         trip resumes training exactly.
         """
         state: Dict[str, np.ndarray] = {}
-        for name in self.transformed.graph.variables:
-            replica, base = split_replica_prefix(name)
+        for base, name in self.transformed.logical_variable_names.items():
+            replica, _ = split_replica_prefix(name)
             if replica is not None:
-                if replica == 0:
-                    state[base] = self.session.replica_stores[0].read(name)
-                continue
-            state[name] = self.session.ps_store.read(name)
+                state[base] = self.session.replica_stores[0].read(name)
+            else:
+                state[base] = self.session.ps_store.read(name)
         return state
 
     def save(self, path: Optional[str] = None) -> str:
@@ -338,10 +377,7 @@ class DistributedRunner:
         with np.load(path) as data:
             values = {name: data[name] for name in data.files}
         if strict:
-            logical = set()
-            for name in self.transformed.graph.variables:
-                replica, base = split_replica_prefix(name)
-                logical.add(base if replica is not None else name)
+            logical = set(self.transformed.logical_variable_names)
             missing = sorted(logical - set(values))
             unexpected = sorted(set(values) - logical)
             if missing or unexpected:
@@ -351,6 +387,16 @@ class DistributedRunner:
                     f"{unexpected} (pass strict=False to load the "
                     "intersection)"
                 )
+        self._load_state(values)
+
+    def _load_state(self, values: Dict[str, np.ndarray]) -> None:
+        """Write logical (base-named) values into every matching store.
+
+        The migration primitive behind both ``restore`` and the elastic
+        rescale: a base name loads into the PS store or into *all*
+        replica copies, names absent from *values* keep their current
+        state.
+        """
         for name in self.transformed.graph.variables:
             # Match the true rep<k>/ replica prefix, not any name that
             # merely starts with "rep" (a user variable named "report/w"
@@ -359,11 +405,13 @@ class DistributedRunner:
             if replica is not None:
                 if base in values:
                     self.session.replica_stores[replica].write(
-                        name, values[base].copy()
+                        name, np.asarray(values[base]).copy()
                     )
                 continue
             if name in values:
-                self.session.ps_store.write(name, values[name].copy())
+                self.session.ps_store.write(
+                    name, np.asarray(values[name]).copy()
+                )
 
     # -- inspection helpers (used by tests and examples) -------------------
     def replica_variable(self, replica: int, original_name: str) -> np.ndarray:

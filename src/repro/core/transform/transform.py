@@ -65,6 +65,27 @@ class TransformedGraph:
     def num_replicas(self) -> int:
         return self.cluster.total_gpus
 
+    @property
+    def logical_variable_names(self) -> Dict[str, str]:
+        """Base variable name -> graph name of its canonical copy.
+
+        The logical state of a transformed graph deduplicates replicated
+        variables: replica 0's copy stands for every AR replica (they are
+        bit-identical under synchronous training), and PS variables are
+        their own canonical copy.  This is the name set checkpoints carry
+        and the elastic runtime migrates across rescales.
+        """
+        from repro.graph.session import split_replica_prefix
+
+        out: Dict[str, str] = {}
+        for name in self.graph.variables:
+            replica, base = split_replica_prefix(name)
+            if replica is None:
+                out[base] = name
+            elif replica == 0:
+                out[base] = name
+        return out
+
 
 def _find_optimizer(graph: Graph) -> Optimizer:
     optimizers = graph.collections.get("optimizer", [])

@@ -165,9 +165,15 @@ class CompiledPlan:
                  "placeholder_slots", "has_edges", "call_hook",
                  "_specialized", "_codegen", "_exec_count")
 
+    # Process-wide count of plan compilations.  Purely observational: the
+    # elastic runtime asserts (and reports) that a rescale really paid the
+    # compile-once cost again instead of replaying a stale plan.
+    compiled_total = 0
+
     def __init__(self, graph: Graph, targets: Sequence[Operation],
                  edge_fn: Optional[EdgeFn] = None, call_hook: bool = False,
                  specialize_fn: Optional[Callable] = None):
+        CompiledPlan.compiled_total += 1
         self.graph = graph
         self.version = graph.version
         self.fetch_names: Tuple[str, ...] = tuple(op.name for op in targets)

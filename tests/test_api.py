@@ -291,6 +291,30 @@ class TestConfigValidation:
         ParallaxConfig(sample_warmup=0, max_partitions=1,
                        alpha_measure_batches=0, fusion_buffer_mb=0.5)
 
+    def test_nonpositive_sample_iterations_rejected(self):
+        with pytest.raises(ValueError, match="sample_iterations"):
+            ParallaxConfig(sample_iterations=0)
+        with pytest.raises(ValueError, match="sample_iterations"):
+            ParallaxConfig(sample_iterations=-3)
+
+    def test_unknown_architecture_message_lists_options(self):
+        with pytest.raises(ValueError) as err:
+            ParallaxConfig(architecture="allgather")
+        message = str(err.value)
+        for option in ("hybrid", "ps", "opt_ps", "ar"):
+            assert option in message
+
+    def test_nonpositive_checkpoint_every_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            ParallaxConfig(checkpoint_every=0)
+
+    def test_fault_plan_without_elastic_rejected(self):
+        from repro.cluster.faults import FaultPlan
+
+        with pytest.raises(ValueError, match="elastic"):
+            ParallaxConfig(fault_plan=FaultPlan.kill(0, 0))
+        ParallaxConfig(elastic=True, fault_plan=FaultPlan.kill(0, 0))
+
 
 class TestResolveClusterValidation:
     """Malformed machine lists fail with clear messages, not KeyError."""
@@ -317,6 +341,132 @@ class TestResolveClusterValidation:
     def test_non_dict_machine_entry_rejected(self):
         with pytest.raises(ValueError, match="entry 0"):
             resolve_cluster({"machines": ["gpu0"]})
+
+    def test_malformed_entry_message_names_its_index(self):
+        with pytest.raises(ValueError, match="entry 2"):
+            resolve_cluster({"machines": [
+                {"hostname": "a", "gpus": [0]},
+                {"hostname": "b", "gpus": [0]},
+                {"hostname": "c", "gpus": "zero"},
+            ]})
+
+    def test_zero_gpu_machine_without_hostname_labelled_by_index(self):
+        with pytest.raises(ValueError, match="machine 1"):
+            resolve_cluster({"machines": [{"gpus": [0]}, {"gpus": []}]})
+
+    def test_unequal_gpu_counts_message_lists_counts(self):
+        with pytest.raises(ValueError, match=r"\[1, 3\]"):
+            resolve_cluster({"machines": [
+                {"hostname": "a", "gpus": [0]},
+                {"hostname": "b", "gpus": [0, 1, 2]},
+            ]})
+
+    def test_non_resource_object_rejected_with_type_error(self):
+        with pytest.raises(TypeError, match="resources"):
+            resolve_cluster(42)
+
+
+class TestRestoreBestEffort:
+    """restore(strict=False) keeps the old best-effort semantics through
+    the full get_runner pipeline (optimizer slots included)."""
+
+    def make_runner(self, seed=0):
+        return get_runner(lm_builder(), SMALL,
+                          ParallaxConfig(search_partitions=False,
+                                         alpha_measure_batches=0,
+                                         seed=seed))
+
+    def test_disjoint_checkpoint_leaves_state_untouched(self, tmp_path):
+        runner = self.make_runner()
+        runner.step(0)
+        before = {k: v.copy() for k, v in runner.logical_state().items()}
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, unrelated=np.zeros(3, dtype=np.float32))
+        runner.restore(path, strict=False)
+        after = runner.logical_state()
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+
+    def test_partial_checkpoint_loads_only_matches(self, tmp_path):
+        trained = self.make_runner()
+        for i in range(2):
+            trained.step(i)
+        state = trained.logical_state()
+        kept = sorted(state)[0]
+        path = str(tmp_path / "partial.npz")
+        np.savez(path, **{kept: state[kept]})
+        fresh = self.make_runner(seed=9)
+        untouched = sorted(set(state) - {kept})[0]
+        before = fresh.logical_state()[untouched].copy()
+        fresh.restore(path, strict=False)
+        np.testing.assert_array_equal(fresh.logical_state()[kept],
+                                      state[kept])
+        np.testing.assert_array_equal(fresh.logical_state()[untouched],
+                                      before)
+
+    def test_strict_lists_both_directions_at_once(self, tmp_path):
+        runner = self.make_runner()
+        state = runner.logical_state()
+        dropped = sorted(state)[0]
+        del state[dropped]
+        state["stray/extra"] = np.zeros(2, dtype=np.float32)
+        path = str(tmp_path / "both.npz")
+        np.savez(path, **state)
+        with pytest.raises(ValueError) as err:
+            self.make_runner(seed=3).restore(path)
+        message = str(err.value)
+        assert dropped in message and "stray/extra" in message
+        assert "missing" in message and "unexpected" in message
+
+
+class TestElasticConfig:
+    def test_elastic_config_returns_elastic_runner(self):
+        from repro.core.elastic import ElasticRunner
+
+        runner = get_runner(lm_builder(), SMALL,
+                            ParallaxConfig(search_partitions=False,
+                                           alpha_measure_batches=0,
+                                           elastic=True,
+                                           checkpoint_every=2))
+        assert isinstance(runner, ElasticRunner)
+        assert runner.checkpoint_every == 2
+        runner.step(0)
+        runner.rescale(ClusterSpec(1, 2))
+        assert runner.num_replicas == 2
+        runner.step(1)
+
+    def test_elastic_runner_can_reshard_through_user_builder(self):
+        runner = get_runner(lm_builder(), SMALL,
+                            ParallaxConfig(search_partitions=False,
+                                           alpha_measure_batches=0,
+                                           elastic=True))
+        runner.step(0)
+        old = runner.num_partitions
+        runner.rescale(ClusterSpec(1, 2), num_partitions=old + 1)
+        assert runner.num_partitions == old + 1
+        runner.step(1)
+
+    def test_sparse_as_dense_override_follows_shards_across_reshard(self):
+        """The measured alpha decision attaches to the parent variable:
+        after a partition-count rescale every new shard must share the
+        parent's classification, not just shards whose old names match."""
+        from repro.cluster.plan import SyncMethod
+
+        runner = get_runner(
+            lm_builder(), SMALL,
+            ParallaxConfig(search_partitions=False, elastic=True,
+                           sparse_as_dense_threshold=0.0,
+                           alpha_measure_batches=1))
+        emb_methods = {name: m for name, m in runner.plan.methods.items()
+                       if name.startswith("emb")}
+        assert emb_methods
+        assert set(emb_methods.values()) == {SyncMethod.ALLREDUCE}
+        runner.rescale(ClusterSpec(1, 2),
+                       num_partitions=len(emb_methods) + 1)
+        new_emb = {name: m for name, m in runner.plan.methods.items()
+                   if name.startswith("emb")}
+        assert len(new_emb) == len(emb_methods) + 1
+        assert set(new_emb.values()) == {SyncMethod.ALLREDUCE}
 
 
 def _mark_grad_sparse(model, var_name):

@@ -51,3 +51,37 @@ def test_cli_bench_fusion_writes_report(tmp_path, capsys):
 def test_cli_bench_fusion_rejects_bad_iters():
     with pytest.raises(SystemExit):
         main(["bench", "--fusion", "--iters", "0"])
+
+
+def test_cli_bench_elastic_writes_report(tmp_path, capsys):
+    out = tmp_path / "BENCH_elastic.json"
+    assert main(["bench", "--elastic", "--machines", "2", "--gpus", "2",
+                 "--iters", "8", "--bench-output", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "Elastic bench" in printed
+    assert out.exists()
+
+    import json
+    report = json.loads(out.read_text())
+    assert report["losses_bit_identical"] is True
+    assert len(report["recoveries"]) == 1
+    assert report["recoveries"][0]["action"] == "restore"
+    assert report["rescale"]["old_replicas"] == 4
+    assert report["rescale"]["new_replicas"] == 2
+    assert report["rescale"]["plans_compiled"] >= 1
+    sim = report["simulated"]
+    assert 0 < sim["goodput_fraction"] < 1
+    assert sim["downtime_sec"] > 0
+    assert sim["rescale_downtime_sec"] > 0
+    assert report["goodput_iters_per_sec"]["fault_free"] > 0
+    assert report["goodput_iters_per_sec"]["faulted"] > 0
+
+
+def test_cli_bench_elastic_and_fusion_mutually_exclusive():
+    with pytest.raises(SystemExit):
+        main(["bench", "--elastic", "--fusion"])
+
+
+def test_cli_bench_elastic_rejects_bad_iters():
+    with pytest.raises(SystemExit):
+        main(["bench", "--elastic", "--iters", "0"])

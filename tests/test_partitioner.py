@@ -77,6 +77,52 @@ class TestFit:
             fit_cost_model([(1, 1.0), (2, 0.5)])
 
 
+class TestFitConditioningGuards:
+    """fit_cost_model must reject ill-conditioned samples loudly instead
+    of returning minimum-norm pseudo-fit garbage."""
+
+    def test_duplicate_partition_counts_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            fit_cost_model([(4, 0.1), (4, 0.2), (8, 0.3)])
+
+    def test_two_distinct_counts_padded_with_repeats_rejected(self):
+        with pytest.raises(ValueError, match=r"\[2, 8\]"):
+            fit_cost_model([(2, 0.1), (8, 0.2), (2, 0.11), (8, 0.21)])
+
+    def test_nonpositive_partition_count_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            fit_cost_model([(0, 0.1), (2, 0.2), (4, 0.3)])
+
+    def test_three_distinct_counts_still_fit(self):
+        model = fit_cost_model([(1, 3.0), (2, 2.0), (4, 1.9)])
+        assert math.isfinite(model.theta0)
+
+    def test_search_falls_back_when_fit_rejects(self, monkeypatch):
+        """Regression via PartitionSearch: an ill-conditioned fit must not
+        crash the search -- it falls back to the best sampled point."""
+        import importlib
+
+        partitioner_mod = importlib.import_module("repro.core.partitioner")
+
+        def bad_fit(samples):
+            raise ValueError("singular")
+
+        monkeypatch.setattr(partitioner_mod, "fit_cost_model", bad_fit)
+        measure = eq1(1.0, 8.0, 0.05)
+        search = PartitionSearch(measure, initial=4, max_partitions=64)
+        result = search.run()
+        assert result.model is None
+        assert result.num_samples >= 3
+        best_sampled = min(result.samples, key=lambda kv: kv[1])[0]
+        assert result.best_partitions == best_sampled
+
+    def test_search_with_good_fit_still_uses_model(self):
+        measure = eq1(1.0, 8.0, 0.05)
+        result = PartitionSearch(measure, initial=4,
+                                 max_partitions=64).run()
+        assert result.model is not None
+
+
 class TestBracketSearch:
     def test_finds_convex_minimum(self):
         f = eq1(0.5, 16.0, 0.01)  # continuous optimum at 40

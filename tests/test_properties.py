@@ -203,3 +203,118 @@ def test_best_partitions_within_range_and_optimal(theta1, theta2, lo, hi):
     for candidate in (lo, hi, max(lo, min(hi, best - 1)),
                       max(lo, min(hi, best + 1))):
         assert model.predict(best) <= model.predict(candidate) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Fused AllReduce packing layout
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 40), min_size=1, max_size=8),
+       st.integers(1, 8))
+def test_fused_segment_layout_is_bijection(sizes, workers):
+    from repro.comm.allreduce import fused_segment_layout
+
+    perm, inv_perm, bounds = fused_segment_layout(sizes, workers)
+    total = sum(sizes)
+    # The permutation is a bijection over the packed buffer...
+    assert perm.size == total
+    assert sorted(perm.tolist()) == list(range(total))
+    # ...its inverse really inverts it...
+    np.testing.assert_array_equal(perm[inv_perm], np.arange(total))
+    np.testing.assert_array_equal(inv_perm[perm], np.arange(total))
+    # ...and the fused chunk bounds cover the buffer monotonically.
+    assert bounds[0] == 0 and bounds[-1] == total
+    assert all(lo <= hi for lo, hi in zip(bounds, bounds[1:]))
+    assert len(bounds) == workers + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(1, 30), min_size=1, max_size=6),
+       st.integers(2, 6), st.integers(0, 2 ** 16))
+def test_fused_layout_chunks_group_per_segment_chunks(sizes, workers, seed):
+    """Bytes are conserved chunk-for-chunk: fused chunk c holds exactly
+    the elements of every segment's own chunk c (the bit-identity basis)."""
+    from repro.comm.allreduce import chunk_bounds, fused_segment_layout
+
+    perm, _, bounds = fused_segment_layout(sizes, workers)
+    rng = np.random.default_rng(seed)
+    segments = [rng.standard_normal(s).astype(np.float32) for s in sizes]
+    packed = np.concatenate(segments)[perm] if sum(sizes) else np.zeros(0)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    for c in range(workers):
+        fused_chunk = packed[bounds[c]:bounds[c + 1]]
+        expected = np.concatenate([
+            seg[sb[c]:sb[c + 1]]
+            for seg, sb in zip(segments,
+                               [chunk_bounds(s, workers) for s in sizes])
+        ]) if sizes else np.zeros(0)
+        np.testing.assert_array_equal(fused_chunk, expected)
+    # Total bytes conserved under the permutation.
+    assert packed.nbytes == sum(s.nbytes for s in segments)
+
+
+# ----------------------------------------------------------------------
+# Sparse re-sharding (elastic rescale primitive)
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 48), st.integers(1, 4), st.integers(1, 8),
+       st.integers(1, 8), st.integers(0, 2 ** 16))
+def test_reshard_round_trip_is_bit_exact(rows, dim, old_parts, new_parts,
+                                         seed):
+    from repro.comm.ps import merge_shards, split_rows
+
+    old_parts = min(old_parts, rows)
+    new_parts = min(new_parts, rows)
+    rng = np.random.default_rng(seed)
+    full = rng.standard_normal((rows, dim)).astype(np.float32)
+    old_offsets = partition_offsets(rows, old_parts)
+    new_offsets = partition_offsets(rows, new_parts)
+
+    old_shards = split_rows(full, old_offsets)
+    # concat(shards) == original, bit for bit
+    np.testing.assert_array_equal(merge_shards(old_shards), full)
+    # bytes conserved across the split
+    assert sum(s.nbytes for s in old_shards) == full.nbytes
+    # re-shard to the new layout and back: still the original bits
+    new_shards = split_rows(merge_shards(old_shards), new_offsets)
+    assert [s.shape[0] for s in new_shards] == [
+        hi - lo for lo, hi in zip(new_offsets, new_offsets[1:])
+    ]
+    np.testing.assert_array_equal(merge_shards(new_shards), full)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 40), st.integers(1, 3), st.integers(1, 6),
+       st.integers(1, 6), st.integers(0, 2 ** 16))
+def test_reshard_logical_state_conserves_parent(rows, dim, old_parts,
+                                                new_parts, seed):
+    from repro.core.elastic import reshard_logical_state
+
+    old_parts = min(old_parts, rows)
+    new_parts = min(new_parts, rows)
+    rng = np.random.default_rng(seed)
+    full = rng.standard_normal((rows, dim)).astype(np.float32)
+    vel = rng.standard_normal((rows, dim)).astype(np.float32)
+    old_offsets = partition_offsets(rows, old_parts)
+    new_offsets = partition_offsets(rows, new_parts)
+    state = {}
+    for p, (lo, hi) in enumerate(zip(old_offsets, old_offsets[1:])):
+        state[f"emb/part_{p}"] = full[lo:hi].copy()
+        state[f"emb/part_{p}/velocity"] = vel[lo:hi].copy()
+        state[f"emb/part_{p}/adam_step"] = np.array([3.0], np.float32)
+    state["dense"] = rng.standard_normal(4).astype(np.float32)
+
+    out = reshard_logical_state(state, {"emb": old_offsets},
+                                {"emb": new_offsets})
+    merged = np.concatenate([out[f"emb/part_{p}"]
+                             for p in range(new_parts)])
+    merged_vel = np.concatenate([out[f"emb/part_{p}/velocity"]
+                                 for p in range(new_parts)])
+    np.testing.assert_array_equal(merged, full)
+    np.testing.assert_array_equal(merged_vel, vel)
+    for p in range(new_parts):
+        np.testing.assert_array_equal(out[f"emb/part_{p}/adam_step"],
+                                      [3.0])
+    np.testing.assert_array_equal(out["dense"], state["dense"])
+    # Bytes conserved overall (step counters replicate per shard).
+    assert merged.nbytes + merged_vel.nbytes == full.nbytes + vel.nbytes
