@@ -11,7 +11,7 @@ Run with::
     pytest benchmarks/ --benchmark-only
 """
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 import pytest
 

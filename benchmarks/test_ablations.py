@@ -5,17 +5,15 @@ results: local aggregation, smart placement, the sparse-as-dense alpha
 threshold, and the partition sampling policy.
 """
 
-from dataclasses import replace
 
 import pytest
 
 from conftest import _mark_benchmark, fmt, plan_for, print_table
-from repro.cluster.plan import SyncMethod, SyncPlan, VariableAssignment
 from repro.cluster.simulator import simulate_iteration, throughput
 from repro.cluster.spec import ClusterSpec
 from repro.core.hybrid import hybrid_plan
 from repro.core.partitioner import PartitionSearch, fit_cost_model
-from repro.nn.profiles import ModelProfile, VariableProfile, lm_profile
+from repro.nn.profiles import ModelProfile, VariableProfile
 
 
 class TestLocalAggregationAblation:

@@ -7,7 +7,6 @@ Paper values (words/sec, 48 GPUs, PS architecture):
     NMT     90.7k   97.0k   96.5k   101.6k  98.5k   100.0k
 """
 
-import pytest
 
 from conftest import _mark_benchmark, fmt, plan_for, print_table
 from repro.cluster.simulator import throughput

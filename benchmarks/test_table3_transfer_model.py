@@ -17,7 +17,6 @@ import numpy as np
 import pytest
 
 from conftest import _mark_benchmark, print_table
-from repro.cluster.spec import ClusterSpec
 from repro.comm import Transcript, ring_allgatherv, ring_allreduce
 from repro.tensor.sparse import IndexedSlices
 

@@ -7,7 +7,6 @@ Paper values (words/sec):
     NMT     68.3k   102k      116k    204k
 """
 
-import pytest
 
 from conftest import _mark_benchmark, PAPER_PARTITIONS, fmt, plan_for, print_table
 from repro.cluster.simulator import throughput

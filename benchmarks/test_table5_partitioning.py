@@ -10,10 +10,9 @@ plus the search-cost claim: Parallax needs at most ~5 sampled partition
 counts where brute force needs 50+ runs.
 """
 
-import pytest
 
-from conftest import _mark_benchmark, PAPER_PARTITIONS, fmt, plan_for, print_table
-from repro.cluster.simulator import simulate_iteration, throughput
+from conftest import _mark_benchmark, fmt, plan_for, print_table
+from repro.cluster.simulator import simulate_iteration
 from repro.core.partitioner import PartitionSearch, brute_force_search
 
 PAPER = {

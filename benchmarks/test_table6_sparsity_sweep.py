@@ -58,7 +58,7 @@ def test_table6_rows(benchmark, paper_cluster):
     # legitimately switches the embeddings to AllReduce (section 3.1's
     # near-dense refinement), which changes the mechanism.
     assert speedups[1] > speedups[60]
-    ordered = [speedups[l] for l in (60, 30, 8, 1)]
+    ordered = [speedups[length] for length in (60, 30, 8, 1)]
     assert all(b >= a * 0.95 for a, b in zip(ordered, ordered[1:]))
 
 

@@ -11,7 +11,6 @@ Usage::
     python examples/async_vs_sync.py
 """
 
-import numpy as np
 
 from repro.cluster.spec import ClusterSpec
 from repro.core.runner import DistributedRunner
@@ -60,7 +59,7 @@ def main():
         ps_graph_plan(model.graph, asynchronous=True, name="probe"), seed=9)
     result = runner.step(0)
     print(f"async replica losses (computed against evolving variables): "
-          f"{['%.4f' % l for l in result.replica_losses]}")
+          f"{['%.4f' % loss for loss in result.replica_losses]}")
 
 
 if __name__ == "__main__":

@@ -63,7 +63,7 @@ def table1(cluster: ClusterSpec) -> None:
 
 def table2(cluster: ClusterSpec) -> None:
     partitions = (8, 16, 32, 64, 128, 256)
-    print(f"\nTable 2 — TF-PS throughput vs partition count")
+    print("\nTable 2 — TF-PS throughput vs partition count")
     print(f"{'model':<8}" + "".join(f"P={p:<9}" for p in partitions))
     for name in ("lm", "nmt"):
         profile = PAPER_PROFILES()[name]
@@ -77,8 +77,8 @@ def table2(cluster: ClusterSpec) -> None:
 def table4(cluster: ClusterSpec) -> None:
     archs = ("horovod", "tf_ps", "opt_ps", "parallax")
     labels = ("AR", "NaivePS", "OptPS", "HYB")
-    print(f"\nTable 4 — architecture ablation")
-    print(f"{'model':<8}" + "".join(f"{l:<12}" for l in labels))
+    print("\nTable 4 — architecture ablation")
+    print(f"{'model':<8}" + "".join(f"{label:<12}" for label in labels))
     for name in ("lm", "nmt"):
         profile = PAPER_PROFILES()[name]
         p = PARTITIONS[name]
@@ -90,7 +90,7 @@ def table4(cluster: ClusterSpec) -> None:
 
 
 def table6(cluster: ClusterSpec) -> None:
-    print(f"\nTable 6 — sparsity-degree sweep (constructed LM)")
+    print("\nTable 6 — sparsity-degree sweep (constructed LM)")
     print(f"{'length':>7}{'alpha':>7}{'parallax':>12}{'tf_ps':>12}"
           f"{'speedup':>9}")
     for length in sorted(TABLE6_ALPHA, reverse=True):
@@ -117,7 +117,7 @@ def fig8(cluster: ClusterSpec) -> None:
 
 
 def fig9(cluster: ClusterSpec) -> None:
-    print(f"\nFigure 9 — Parallax normalized throughput (vs 1 GPU)")
+    print("\nFigure 9 — Parallax normalized throughput (vs 1 GPU)")
     profiles = PAPER_PROFILES()
     print(f"{'GPUs':<6}" + "".join(f"{n:<14}" for n in profiles))
     for machines in (1, 2, 4, 8):
@@ -179,6 +179,27 @@ def _validate_bench_args(iters: int, warmup: int) -> None:
         raise SystemExit("bench: --iters must be >= 1")
     if warmup < 0:
         raise SystemExit("bench: --warmup must be >= 0")
+
+
+def _write_report(output: str, report: dict) -> None:
+    """Write a bench report, folding any previous run into its history.
+
+    Each ``BENCH_*.json`` keeps the latest run's fields at top level
+    (stable for CI assertions and readers) plus a ``history`` list of
+    earlier runs, oldest first -- the per-family performance trajectory
+    ``bench --all`` accumulates across invocations.
+    """
+    history = []
+    try:
+        with open(output) as f:
+            previous = json.load(f)
+        if isinstance(previous, dict):
+            history = previous.pop("history", [])
+            history.append(previous)
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        pass
+    with open(output, "w") as f:
+        json.dump({**report, "history": history}, f, indent=2)
 
 
 def _interleaved_measure(runners: Dict[str, object], iters: int,
@@ -251,8 +272,7 @@ def bench(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
         "median_block_speedup": median_ratio,
         "losses_bit_identical": identical,
     }
-    with open(output, "w") as f:
-        json.dump(report, f, indent=2)
+    _write_report(output, report)
 
     print(f"\nEngine bench — quickstart hybrid LM "
           f"({cluster.total_gpus} simulated GPUs, {iters} iterations)")
@@ -345,8 +365,7 @@ def bench_fusion(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
             "sweep": ablation,
         },
     }
-    with open(output, "w") as f:
-        json.dump(report, f, indent=2)
+    _write_report(output, report)
 
     print(f"\nFusion bench — quickstart hybrid LM "
           f"({cluster.total_gpus} simulated GPUs, {iters} iterations)")
@@ -489,8 +508,7 @@ def bench_elastic(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
             "rescale_downtime_sec": sim_rescale.downtime,
         },
     }
-    with open(output, "w") as f:
-        json.dump(report, f, indent=2)
+    _write_report(output, report)
 
     print(f"\nElastic bench — quickstart hybrid LM "
           f"({cluster.total_gpus} simulated GPUs, {iters} iterations, "
@@ -513,6 +531,195 @@ def bench_elastic(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
         print("ERROR: faulted and fault-free losses diverged")
         return 1
     return 0
+
+
+def _bench_matrix_models():
+    """The four evaluation archs at test scale, ready for a runner."""
+    from repro.graph.gradients import gradients
+    from repro.nn.models import (
+        build_inception,
+        build_lm,
+        build_nmt,
+        build_resnet,
+    )
+    from repro.nn.optimizers import GradientDescentOptimizer
+
+    def _finish(model):
+        with model.graph.as_default():
+            gvs = gradients(model.loss)
+            GradientDescentOptimizer(0.1).update(gvs)
+        return model
+
+    return {
+        "lm": lambda: _finish(build_lm(
+            batch_size=4, vocab_size=40, seq_len=3, emb_dim=8, hidden=10,
+            num_partitions=3, seed=0)),
+        "nmt": lambda: _finish(build_nmt(
+            batch_size=4, src_vocab=30, tgt_vocab=30, src_len=2, tgt_len=2,
+            emb_dim=6, hidden=6, num_partitions=2, seed=1)),
+        "resnet": lambda: _finish(build_resnet(
+            batch_size=4, num_features=8, num_classes=3, width=8,
+            num_blocks=1, seed=0)),
+        "inception": lambda: _finish(build_inception(
+            batch_size=4, num_features=8, num_classes=3, width=8,
+            num_modules=1, seed=0)),
+    }
+
+
+def _bench_plan_builders():
+    from repro.core.transform.plan import (
+        ar_graph_plan,
+        hybrid_graph_plan,
+        ps_graph_plan,
+    )
+
+    return {
+        "hybrid": lambda g: hybrid_graph_plan(g, fusion=True),
+        "ps": lambda g: ps_graph_plan(g),
+        "ar": lambda g: ar_graph_plan(g),
+    }
+
+
+def _parallel_timing_runner(cluster: ClusterSpec, seed: int, backend: str):
+    """The timed workload: an LM big enough that per-replica compute
+    dominates the multiprocess backend's messaging overhead."""
+    from repro.core.runner import DistributedRunner
+    from repro.core.transform.plan import hybrid_graph_plan
+    from repro.graph.gradients import gradients
+    from repro.nn.models import build_lm
+    from repro.nn.optimizers import GradientDescentOptimizer
+
+    model = build_lm(batch_size=32, vocab_size=1500, seq_len=10, emb_dim=96,
+                     hidden=192, num_partitions=4, seed=0)
+    with model.graph.as_default():
+        gvs = gradients(model.loss)
+        GradientDescentOptimizer(0.5).update(gvs)
+    plan = hybrid_graph_plan(model.graph, fusion=True)
+    return DistributedRunner(model, cluster, plan, seed=seed,
+                             backend=backend)
+
+
+def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
+                   seed: int = 0,
+                   output: str = "BENCH_parallel.json") -> int:
+    """Multiprocess backend vs the in-process engine.
+
+    Two parts.  The *bit-identity matrix* trains every evaluation arch
+    (ResNet/Inception/NMT/LM) under every plan family (hybrid, PS, AR)
+    for a few iterations on both backends and asserts the per-step
+    losses are identical bit for bit -- the differential guarantee that
+    makes the backends interchangeable.  The *timing* part trains a
+    compute-heavy LM with both backends and reports wall-clock
+    steps/sec; on a machine with >= 4 cores the multiprocess backend
+    must reach at least 1.5x the in-process throughput (on smaller
+    hosts -- CI runners -- the speedup is reported informationally,
+    since there is no hardware parallelism to win).
+    """
+    import os
+
+    from repro.core.runner import DistributedRunner
+
+    _validate_bench_args(iters, warmup)
+    cpu_count = os.cpu_count() or 1
+
+    matrix = []
+    matrix_identical = True
+    matrix_iters = 3
+    for model_key, model_builder in _bench_matrix_models().items():
+        for plan_key, plan_builder in _bench_plan_builders().items():
+            losses = {}
+            for backend in ("inproc", "multiproc"):
+                model = model_builder()
+                runner = DistributedRunner(
+                    model, cluster, plan_builder(model.graph), seed=seed,
+                    backend=backend)
+                losses[backend] = [runner.step(i).replica_losses
+                                   for i in range(matrix_iters)]
+                runner.close()
+            identical = losses["inproc"] == losses["multiproc"]
+            matrix_identical = matrix_identical and identical
+            matrix.append({"model": model_key, "plan": plan_key,
+                           "losses_bit_identical": identical})
+
+    runners = {
+        backend: _parallel_timing_runner(cluster, seed, backend)
+        for backend in ("inproc", "multiproc")
+    }
+    times, losses = _interleaved_measure(runners, iters, warmup)
+    steps_per_sec = {name: 1.0 / min(times[name]) for name in runners}
+    speedup = min(times["inproc"]) / min(times["multiproc"])
+    timing_identical = losses["inproc"] == losses["multiproc"]
+    transport_stats = runners["multiproc"].backend.transport.stats
+    runners["multiproc"].close()
+    speedup_required = cpu_count >= 4
+    speedup_ok = (not speedup_required) or speedup >= 1.5
+
+    report = {
+        "workload": "parallel_lm",
+        "cluster": {"machines": cluster.num_machines,
+                    "gpus_per_machine": cluster.gpus_per_machine},
+        "iterations": iters,
+        "warmup": warmup,
+        "cpu_count": cpu_count,
+        "inproc_steps_per_sec": steps_per_sec["inproc"],
+        "multiproc_steps_per_sec": steps_per_sec["multiproc"],
+        "speedup": speedup,
+        "speedup_enforced": speedup_required,
+        "losses_bit_identical": timing_identical and matrix_identical,
+        "timing_losses_bit_identical": timing_identical,
+        "matrix": matrix,
+        "controller_transport": transport_stats,
+    }
+    _write_report(output, report)
+
+    print(f"\nParallel bench — {cluster.total_gpus} replicas, "
+          f"{iters} iterations, {cpu_count} cores")
+    print(f"{'backend':<14}{'steps/sec':>12}")
+    for name in ("inproc", "multiproc"):
+        print(f"{name:<14}{steps_per_sec[name]:>12.1f}")
+    print(f"speedup: {speedup:.2f}x "
+          f"({'enforced' if speedup_required else 'informational: < 4 cores'})"
+          f"   losses bit-identical: {timing_identical and matrix_identical}")
+    bad = [row for row in matrix if not row["losses_bit_identical"]]
+    print(f"bit-identity matrix: {len(matrix) - len(bad)}/{len(matrix)} "
+          "arch x plan combinations identical")
+    print(f"wrote {output}")
+    if not (timing_identical and matrix_identical):
+        print("ERROR: multiproc and inproc losses diverged")
+        return 1
+    if not speedup_ok:
+        print("ERROR: multiproc speedup below 1.5x on a >= 4-core machine")
+        return 1
+    return 0
+
+
+def bench_all(cluster: ClusterSpec, iters: int, warmup: int,
+              seed: int) -> int:
+    """Run every bench family, merging into the per-family reports.
+
+    One command produces/extends ``BENCH_engine.json``,
+    ``BENCH_fusion.json``, ``BENCH_elastic.json`` and
+    ``BENCH_parallel.json`` (each keeps its history of earlier runs) --
+    the aggregation step the bench trajectory was missing.
+    """
+    families = (
+        ("engine", lambda: bench(cluster, iters=iters, warmup=warmup,
+                                 seed=seed)),
+        ("fusion", lambda: bench_fusion(cluster, iters=iters, warmup=warmup,
+                                        seed=seed)),
+        ("elastic", lambda: bench_elastic(cluster, iters=max(8, iters),
+                                          warmup=warmup, seed=seed)),
+        ("parallel", lambda: bench_parallel(cluster, iters=iters,
+                                            warmup=warmup, seed=seed)),
+    )
+    failures = []
+    for name, run in families:
+        if run() != 0:
+            failures.append(name)
+    print(f"\nbench --all: {len(families) - len(failures)}/{len(families)} "
+          f"families passed"
+          + (f" (failed: {', '.join(failures)})" if failures else ""))
+    return 1 if failures else 0
 
 
 COMMANDS: Dict[str, Callable[[ClusterSpec], None]] = {
@@ -546,10 +753,20 @@ def main(argv=None) -> int:
                         help="bench: goodput under a deterministic failure "
                              "schedule (worker kill + NIC degradation) vs "
                              "a fault-free elastic run")
+    parser.add_argument("--parallel", action="store_true",
+                        help="bench: multiprocess worker backend vs the "
+                             "in-process engine (wall-clock steps/sec plus "
+                             "a bit-identity matrix over every arch/plan)")
+    parser.add_argument("--all", action="store_true", dest="all_families",
+                        help="bench: run every bench family (engine, "
+                             "fusion, elastic, parallel), merging results "
+                             "into the per-family BENCH_*.json files")
     parser.add_argument("--bench-output", default=None,
                         help="bench report path (default BENCH_engine.json, "
-                             "BENCH_fusion.json with --fusion, or "
-                             "BENCH_elastic.json with --elastic)")
+                             "BENCH_fusion.json with --fusion, "
+                             "BENCH_elastic.json with --elastic, or "
+                             "BENCH_parallel.json with --parallel; ignored "
+                             "by --all, which writes every family's file)")
     args = parser.parse_args(argv)
     default_machines, default_gpus = ((2, 2) if args.experiment == "bench"
                                       else (8, 6))
@@ -558,8 +775,20 @@ def main(argv=None) -> int:
         default_gpus if args.gpus is None else args.gpus,
     )
     if args.experiment == "bench":
-        if args.fusion and args.elastic:
-            raise SystemExit("bench: choose one of --fusion / --elastic")
+        chosen = [name for name, flag in (
+            ("--fusion", args.fusion), ("--elastic", args.elastic),
+            ("--parallel", args.parallel), ("--all", args.all_families),
+        ) if flag]
+        if len(chosen) > 1:
+            raise SystemExit(f"bench: choose one of {' / '.join(chosen)}")
+        if args.all_families:
+            return bench_all(cluster, iters=args.iters, warmup=args.warmup,
+                             seed=args.seed)
+        if args.parallel:
+            return bench_parallel(
+                cluster, iters=args.iters, warmup=args.warmup,
+                seed=args.seed,
+                output=args.bench_output or "BENCH_parallel.json")
         if args.elastic:
             return bench_elastic(
                 cluster, iters=args.iters, warmup=args.warmup,

@@ -15,7 +15,7 @@ because its NIC is the max-min bottleneck.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 Resource = Tuple[str, int]  # ("out"|"in", machine)
 

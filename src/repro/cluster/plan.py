@@ -14,10 +14,10 @@ performance simulator prices it.  It captures the paper's design space:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import List, Optional
 
-from repro.nn.profiles import ModelProfile, VariableProfile
+from repro.nn.profiles import VariableProfile
 
 
 class SyncMethod(enum.Enum):

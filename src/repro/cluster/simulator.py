@@ -23,12 +23,12 @@ architecture pays its own full cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL, union_alpha
 from repro.cluster.faults import FaultPlan
 from repro.cluster.network import Flow, simulate_flows
-from repro.cluster.plan import SyncMethod, SyncPlan, VariableAssignment
+from repro.cluster.plan import SyncPlan, VariableAssignment
 from repro.cluster.spec import ClusterSpec
 from repro.comm.ps import place_variables
 from repro.nn.profiles import ModelProfile

@@ -6,7 +6,12 @@ same execution yields correctness results and the per-machine network-byte
 profile the paper's Table 3 analyses.
 """
 
-from repro.comm.transcript import Transcript, Transfer
+from repro.comm.transcript import Note, Transcript, Transfer, merge_transcripts
+from repro.comm.transport import (
+    InMemoryTransport,
+    MultiprocTransport,
+    Transport,
+)
 from repro.comm.allreduce import ring_allreduce, ring_allreduce_mean
 from repro.comm.allgatherv import ring_allgatherv
 from repro.comm.ps import (
@@ -16,8 +21,13 @@ from repro.comm.ps import (
 )
 
 __all__ = [
+    "Note",
     "Transcript",
     "Transfer",
+    "merge_transcripts",
+    "Transport",
+    "InMemoryTransport",
+    "MultiprocTransport",
     "ring_allreduce",
     "ring_allreduce_mean",
     "ring_allgatherv",

@@ -9,7 +9,7 @@ performance simulator replays the same flows through the network model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 
@@ -80,6 +80,18 @@ class Transcript:
             Note(tag, int(iteration), tuple(sorted(info.items())))
         )
 
+    def extend(self, transfers: Iterable[Transfer] = (),
+               events: Iterable[Note] = ()) -> None:
+        """Append already-built records (merging per-worker transcripts).
+
+        The multiprocess backend ships each worker's transcript delta to
+        the controller after every step and appends them here in worker
+        rank order -- see :func:`merge_transcripts` for the ordering
+        contract.
+        """
+        self._transfers.extend(transfers)
+        self._events.extend(events)
+
     def events(self, tag_prefix: Optional[str] = None) -> List[Note]:
         if tag_prefix is None:
             return list(self._events)
@@ -129,3 +141,18 @@ class Transcript:
 
     def __len__(self) -> int:
         return len(self._transfers)
+
+
+def merge_transcripts(parts: Iterable[Transcript]) -> Transcript:
+    """Deterministically merge per-worker transcripts into one.
+
+    Ordering contract: workers in the order given (rank order), each
+    worker's internal record order preserved.  Merging is therefore a
+    pure function of the inputs -- the aggregate views (byte totals,
+    per-machine loads, event queries) are identical no matter when the
+    merge happens, which the multiprocess backend's tests rely on.
+    """
+    merged = Transcript()
+    for part in parts:
+        merged.extend(part.transfers, part.events())
+    return merged

@@ -1,0 +1,245 @@
+"""The message plane behind pluggable execution backends.
+
+A :class:`Transport` carries every inter-process message of a distributed
+step: parameter-server pushes and pulls (gradient contributions up,
+variable values down), the all-to-all buffer exchange feeding fused
+AllReduce and AllGatherv collectives, and the controller's command /
+result traffic.  Execution backends (:mod:`repro.core.backend`) never
+talk to pipes or queues directly -- they address peers by *rank* and let
+the transport move the bytes.
+
+Two implementations ship:
+
+* :class:`InMemoryTransport` -- a thread-safe mailbox for same-process
+  use (tests, the in-process backend's plumbing checks).  Messages are
+  deep-frozen through pickle exactly like the real thing, so a value
+  mutated after ``send`` cannot corrupt the receiver.
+* :class:`MultiprocTransport` -- one :class:`multiprocessing.Queue`
+  (OS pipe + feeder thread) per destination rank.  Payloads are pickled
+  *eagerly* in ``send`` -- the queue's background feeder would otherwise
+  serialize a live numpy buffer that an in-place update kernel may
+  already have mutated.
+
+Both record every send into a :class:`~repro.comm.transcript.Transcript`
+(tag ``transport/<kind>``), the same recording plane the logical byte
+accounting uses -- so the physical message flow of a run is inspectable
+with the familiar filter/aggregate helpers.  The physical plane is kept
+in a transport-owned transcript, separate from the runner's logical one:
+paper-facing byte accounting (Table 3 closed forms) must not change when
+the same graph executes on a different backend.
+
+Ranks ``0..n-1`` are worker replicas; rank :data:`CONTROLLER` (-1) is
+the driving process.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import deque
+from typing import Dict, Optional, Tuple
+
+from repro.comm.transcript import Transcript
+
+# The driving (parent) process' rank.
+CONTROLLER = -1
+
+
+class TransportError(RuntimeError):
+    """A transport-level failure (closed peer, timeout, bad rank)."""
+
+
+class TransportTimeout(TransportError):
+    """``recv`` gave up waiting for a message."""
+
+
+def _freeze(value) -> bytes:
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class Transport:
+    """Point-to-point typed messages between the ranks of one runner.
+
+    The interface is deliberately small: ``send`` is asynchronous and
+    never blocks on the receiver; ``recv`` blocks (with optional
+    timeout) until the message addressed ``(src -> dst, key)`` arrives.
+    Keys are small hashable tuples -- the backends use ``("v", op_name)``
+    for dataflow values, ``("cmd",)``/``("res",)`` for control traffic.
+
+    Per-rank message order is preserved; messages with different keys
+    from the same sender may be consumed in any order (the receiver
+    buffers non-matching arrivals).
+    """
+
+    name: str = "transport"
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("transport needs at least one worker rank")
+        self.num_workers = num_workers
+        self.transcript = Transcript()
+
+    # -- interface -------------------------------------------------------
+    def send(self, src: int, dst: int, key: Tuple, value) -> None:
+        """Deliver *value* to *dst*'s mailbox; returns immediately."""
+        raise NotImplementedError
+
+    def recv(self, dst: int, src: int, key: Tuple,
+             timeout: Optional[float] = None):
+        """Next message ``(src -> dst, key)``; blocks until it arrives."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release OS resources (queues, pipes); idempotent."""
+
+    # -- shared helpers --------------------------------------------------
+    def _check_rank(self, rank: int, role: str) -> None:
+        if rank != CONTROLLER and not 0 <= rank < self.num_workers:
+            raise TransportError(
+                f"{role} rank {rank} out of range "
+                f"[{CONTROLLER}, {self.num_workers})"
+            )
+
+    def _record(self, src: int, dst: int, key: Tuple, nbytes: int) -> None:
+        # Rank -> synthetic "machine" for the transcript's (src, dst)
+        # pair; the controller gets the slot past the last worker.
+        kind = key[0] if key else "msg"
+        self.transcript.record(
+            tag=f"transport/{kind}",
+            src_machine=self.num_workers if src == CONTROLLER else src,
+            dst_machine=self.num_workers if dst == CONTROLLER else dst,
+            nbytes=nbytes,
+        )
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Physical message/byte totals recorded by this endpoint."""
+        transfers = self.transcript.filter(network_only=False)
+        return {
+            "messages": len(transfers),
+            "bytes": int(sum(t.nbytes for t in transfers)),
+        }
+
+
+class InMemoryTransport(Transport):
+    """Same-process mailbox transport (threads or plain sequential use).
+
+    Values round-trip through pickle on ``send`` so the in-memory plane
+    has exactly the multiprocess plane's value semantics (no aliasing of
+    mutable buffers between sender and receiver).
+    """
+
+    name = "inmem"
+
+    def __init__(self, num_workers: int):
+        super().__init__(num_workers)
+        self._lock = threading.Condition()
+        self._boxes: Dict[Tuple[int, int, Tuple], deque] = {}
+
+    def send(self, src: int, dst: int, key: Tuple, value) -> None:
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        frozen = _freeze(value)
+        self._record(src, dst, key, len(frozen))
+        with self._lock:
+            self._boxes.setdefault((src, dst, key), deque()).append(frozen)
+            self._lock.notify_all()
+
+    def recv(self, dst: int, src: int, key: Tuple,
+             timeout: Optional[float] = None):
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        box_key = (src, dst, key)
+        with self._lock:
+            while True:
+                box = self._boxes.get(box_key)
+                if box:
+                    return pickle.loads(box.popleft())
+                if not self._lock.wait(timeout=timeout):
+                    raise TransportTimeout(
+                        f"no message {src}->{dst} {key!r} within "
+                        f"{timeout}s"
+                    )
+
+
+class MultiprocTransport(Transport):
+    """One ``multiprocessing.Queue`` per destination rank (plus one for
+    the controller).
+
+    The queue's feeder thread gives non-blocking sends (no pipe-buffer
+    deadlock between two ranks exchanging large buffers), and the eager
+    ``pickle.dumps`` in :meth:`send` freezes the payload before the
+    feeder runs.  Each receiving endpoint demultiplexes its queue into a
+    local mailbox keyed by ``(src, key)``.
+    """
+
+    name = "multiproc"
+
+    def __init__(self, num_workers: int, context=None):
+        super().__init__(num_workers)
+        if context is None:
+            import multiprocessing as mp
+
+            context = mp
+        # Index 0..n-1: worker inboxes; index n: controller inbox.
+        self._queues = [context.Queue() for _ in range(num_workers + 1)]
+        self._pending: Dict[Tuple[int, Tuple], deque] = {}
+        self._closed = False
+
+    def _inbox(self, rank: int):
+        return self._queues[self.num_workers if rank == CONTROLLER else rank]
+
+    def send(self, src: int, dst: int, key: Tuple, value) -> None:
+        if self._closed:
+            raise TransportError("transport is closed")
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        frozen = _freeze(value)
+        self._record(src, dst, key, len(frozen))
+        self._inbox(dst).put((src, key, frozen))
+
+    def recv(self, dst: int, src: int, key: Tuple,
+             timeout: Optional[float] = None):
+        import queue as queue_mod
+
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        want = (src, key)
+        box = self._pending.get(want)
+        if box:
+            return pickle.loads(box.popleft())
+        inbox = self._inbox(dst)
+        while True:
+            try:
+                got_src, got_key, frozen = inbox.get(timeout=timeout)
+            except queue_mod.Empty:
+                raise TransportTimeout(
+                    f"no message {src}->{dst} {key!r} within {timeout}s"
+                ) from None
+            if (got_src, got_key) == want:
+                return pickle.loads(frozen)
+            self._pending.setdefault((got_src, got_key),
+                                     deque()).append(frozen)
+
+    def drain(self, dst: int) -> int:
+        """Discard every buffered/queued message for *dst* (error paths)."""
+        import queue as queue_mod
+
+        dropped = sum(len(box) for box in self._pending.values())
+        self._pending.clear()
+        inbox = self._inbox(dst)
+        while True:
+            try:
+                inbox.get_nowait()
+                dropped += 1
+            except queue_mod.Empty:
+                return dropped
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._queues:
+            q.close()
+            # Don't block interpreter exit on unflushed feeder threads.
+            q.cancel_join_thread()

@@ -27,6 +27,13 @@ from repro.core.api import (
     resolve_cluster,
     shard,
 )
+from repro.core.backend import (
+    BACKENDS,
+    ExecutionBackend,
+    InprocBackend,
+    MultiprocBackend,
+    make_backend,
+)
 from repro.core.partition_context import partitioner
 from repro.core.runner import DistributedRunner, DistributedSession
 from repro.core.transform import (
@@ -55,6 +62,11 @@ __all__ = [
     "resolve_cluster",
     "shard",
     "partitioner",
+    "BACKENDS",
+    "ExecutionBackend",
+    "InprocBackend",
+    "MultiprocBackend",
+    "make_backend",
     "DistributedRunner",
     "DistributedSession",
     "GraphSyncPlan",

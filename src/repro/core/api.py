@@ -11,8 +11,7 @@ transformation, placement) is automatic.
 from __future__ import annotations
 
 import json
-import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
@@ -85,6 +84,14 @@ class ParallaxConfig:
         fault_plan: optional deterministic failure schedule injected into
             every ``step`` (elastic runners recover from it;
             non-elastic runners surface ``WorkerFailureError``).
+        backend: execution backend of the returned runner -- "inproc"
+            (default; the sequential in-process engine) or "multiproc"
+            (one OS worker process per replica, exchanging messages over
+            a :class:`~repro.comm.transport.Transport`; bit-identical
+            losses, real wall-clock parallelism).  The partition search
+            always samples in-process.
+        plan_cache_size: LRU cap on compiled plans per session (distinct
+            fetch signatures beyond this recompile on next use).
         save_path: if set, ``runner.save()`` writes variables here by
             default (the config's "file path to save trained variables").
         seed: variable-initialization seed.
@@ -106,6 +113,8 @@ class ParallaxConfig:
     elastic: bool = False
     checkpoint_every: int = 1
     fault_plan: Optional[FaultPlan] = None
+    backend: str = "inproc"
+    plan_cache_size: int = 32
     save_path: Optional[str] = None
     seed: int = 0
 
@@ -127,6 +136,15 @@ class ParallaxConfig:
             raise ValueError("fusion_buffer_mb must be > 0")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
+        from repro.core.backend import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{sorted(BACKENDS)}"
+            )
         if self.fault_plan is not None and not self.elastic:
             raise ValueError(
                 "fault_plan requires elastic=True: a plain runner cannot "
@@ -387,10 +405,13 @@ def get_runner(
             checkpoint_every=cfg.checkpoint_every,
             fault_plan=cfg.fault_plan,
             seed=cfg.seed,
+            backend=cfg.backend,
+            plan_cache_size=cfg.plan_cache_size,
         )
     else:
         runner = DistributedRunner(final_model, cluster, plan,
-                                   seed=cfg.seed)
+                                   seed=cfg.seed, backend=cfg.backend,
+                                   plan_cache_size=cfg.plan_cache_size)
     runner.partition_search = search_result
     runner.config = cfg
     if cfg.save_path:

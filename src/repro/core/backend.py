@@ -1,0 +1,646 @@
+"""Pluggable execution backends: who actually runs a training step.
+
+The compiled engine (PR 1) decides *what* to execute -- a frozen schedule
+over the transformed graph.  An :class:`ExecutionBackend` decides *where*:
+
+* :class:`InprocBackend` (default) replays the schedule inside the
+  driving process, replica after replica -- bit-identical to the
+  original sequential loop, zero IPC.
+* :class:`MultiprocBackend` spawns one OS worker process per replica.
+  The global schedule is partitioned by device ownership: every op runs
+  exactly once, in the process that owns its device (GPU ops on their
+  replica's worker; server-side CPU ops on the first worker of their
+  machine, mirroring Parallax's server/worker colocation).  Values that
+  cross process boundaries -- PS pushes and pulls, the all-to-all
+  buffer exchange behind (fused) AllReduce and AllGatherv -- travel over
+  a :class:`~repro.comm.transport.Transport`.
+
+Both backends produce the same per-step losses bit for bit and the same
+logical Transcript records: the partitioned schedule preserves the
+global dependency order, collectives run the identical ring arithmetic
+on identically ordered contributions, and cross-machine edge accounting
+moves with the op that owned it in-process.
+
+Backend protocol
+----------------
+A backend is bound to one :class:`~repro.core.runner.DistributedRunner`
+via :meth:`ExecutionBackend.start` (called at the end of the runner's
+``__init__``; an elastic rescale starts a fresh backend and shuts the
+old one down).  After that:
+
+* :meth:`run_step` executes one synchronous iteration and returns the
+  per-replica losses in replica order;
+* :meth:`read_variables` / :meth:`load_state` are the authoritative
+  variable plane -- the runner's checkpoint, inspection, and elastic
+  migration paths all route through them, because under ``multiproc``
+  the driving process' own stores are stale copies;
+* :meth:`shutdown` releases workers and transport resources.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.transport import (
+    CONTROLLER,
+    MultiprocTransport,
+    Transport,
+    TransportTimeout,
+)
+from repro.graph.executor import SPECIALIZE, _missing_kernel, plan_order
+from repro.graph.graph import Operation
+from repro.tensor.dense import as_array, nbytes_of
+
+# Op types whose kernels exchange data across every replica through the
+# session's run cache; the multiprocess plane ships their remote inputs
+# explicitly and mutes duplicate transcript recording (see
+# :class:`_WorkerSession`).
+_COLLECTIVES = frozenset({"allreduce", "fused_allreduce", "allgatherv"})
+
+
+def op_owner(op: Operation, cluster) -> Optional[int]:
+    """The worker rank that executes *op* under the multiprocess backend.
+
+    GPU ops belong to their replica.  Server-side (CPU) ops belong to the
+    first worker on their machine -- the process standing in for the
+    colocated parameter-server process Parallax launches per machine.
+    Unplaced ops (the ``group`` train op) have no owner; their value is
+    never needed.
+    """
+    if op.device is None:
+        return None
+    if op.device.is_gpu:
+        return (op.device.machine * cluster.gpus_per_machine
+                + op.device.index)
+    return op.device.machine * cluster.gpus_per_machine
+
+
+def build_worker_entries(transformed, fetch_ops: Sequence[Operation],
+                         rank: int) -> List[tuple]:
+    """Rank *rank*'s slice of the global step schedule.
+
+    Returns entries in global :func:`~repro.graph.executor.plan_order`
+    order -- the same order every other rank (and the in-process engine)
+    derives independently, which is what makes the partitioned execution
+    deadlock-free: a rank blocked waiting for a remote value only ever
+    waits on schedule positions strictly before its own.
+
+    Entry shapes:
+      ``("exec", op, send_to)`` -- run *op* here, then send its value to
+      each rank in *send_to* (they consume it remotely);
+      ``("recv", name, src)`` -- block until rank *src* sends the value
+      of op *name*.
+    """
+    cluster = transformed.cluster
+    order = plan_order(transformed.graph, fetch_ops)
+    owner: Dict[str, Optional[int]] = {}
+    for op in order:
+        if op.op_type == "group":
+            # Pure control grouping (the train op): its inputs are update
+            # ops executed by their owners; the group itself runs nowhere.
+            owner[op.name] = None
+            continue
+        own = op_owner(op, cluster)
+        if own is None:
+            raise ValueError(
+                f"multiproc backend requires placed ops; {op.name!r} "
+                f"({op.op_type}) has no device"
+            )
+        owner[op.name] = own
+
+    consumer_ranks: Dict[str, set] = {}
+    for op in order:
+        if owner[op.name] is None:
+            continue
+        for tensor in op.inputs:
+            consumer_ranks.setdefault(tensor.op.name,
+                                      set()).add(owner[op.name])
+
+    entries: List[tuple] = []
+    for op in order:
+        own = owner[op.name]
+        if own is None:
+            continue
+        remote = sorted(consumer_ranks.get(op.name, set()) - {own})
+        if own == rank:
+            entries.append(("exec", op, tuple(remote)))
+        elif rank in remote:
+            entries.append(("recv", op.name, own))
+    return entries
+
+
+class _MutedCollectiveRuntime:
+    """Runtime proxy handed to non-canonical collective kernels.
+
+    Every worker runs the full ring for its own replica's collective op
+    (bit-identical results by construction); only replica 0's op records
+    the ring's transfers, so the merged per-worker transcripts carry each
+    chunk movement exactly once -- the same records the in-process
+    engine's shared-cache execution produces.
+    """
+
+    __slots__ = ("_session",)
+    transcript = None
+
+    def __init__(self, session):
+        self._session = session
+
+    @property
+    def run_cache(self):
+        return self._session.run_cache
+
+
+def _make_worker_session(transformed, seed: int):
+    from repro.core.runner import DistributedSession
+
+    class WorkerSession(DistributedSession):
+        def _specialize_kernel(self, op):
+            if (op.op_type in _COLLECTIVES
+                    and op.attrs.get("replica", 0) != 0):
+                from repro.graph.ops import FORWARD
+
+                generic = FORWARD[op.op_type]
+                muted = _MutedCollectiveRuntime(self)
+
+                def muted_collective(op, inputs, runtime):
+                    return generic(op, inputs, muted)
+
+                return muted_collective
+            return super()._specialize_kernel(op)
+
+    return WorkerSession(transformed, seed=seed)
+
+
+class _WorkerPlan:
+    """One rank's compiled slice of the step schedule.
+
+    Kernels are bound exactly as :class:`~repro.graph.executor.
+    CompiledPlan` binds them -- session specialization first (store
+    routing, SGD prebinding), then the SPECIALIZE registry, then the
+    generic FORWARD table -- and cross-machine edge accounting uses the
+    session's static edge table for the ops this rank owns.
+    """
+
+    def __init__(self, session, transformed, fetch_ops, rank: int,
+                 recv_timeout: Optional[float] = None):
+        self.rank = rank
+        self.recv_timeout = recv_timeout
+        edge_fn = session._compile_edge_fn()
+        steps: List[tuple] = []
+        for entry in build_worker_entries(transformed, fetch_ops, rank):
+            if entry[0] == "recv":
+                _, name, src = entry
+                steps.append(("recv", name, src, None, None, None))
+                continue
+            _, op, sends = entry
+            kernel = session._specialize_kernel(op)
+            if kernel is None:
+                builder = SPECIALIZE.get(op.op_type)
+                if builder is not None:
+                    kernel = builder(op)
+            if kernel is None:
+                from repro.graph.ops import FORWARD
+
+                kernel = FORWARD.get(op.op_type) or _missing_kernel(
+                    op.op_type)
+            input_names = tuple(t.op.name for t in op.inputs)
+            edges = edge_fn(op) if edge_fn is not None else None
+            steps.append(("exec", op, sends, kernel, input_names, edges))
+        self.steps = steps
+        # This rank's share of the step fetches (its replica's loss).
+        loss_names = {t.op.name for t in transformed.replica_losses}
+        self.loss_names = [
+            op.name for kind, op, *_ in steps
+            if kind == "exec" and op.name in loss_names
+        ]
+
+    def execute(self, session, transport: Transport,
+                feeds: Dict[str, np.ndarray]) -> Dict[str, object]:
+        session._begin_run()
+        session.run_cache = {}
+        values: Dict[str, object] = {
+            name: (v if isinstance(v, np.ndarray) else as_array(v))
+            for name, v in feeds.items()
+        }
+        seen = session._seen_edges
+        record = session.transcript.record
+        rank = self.rank
+        for kind, op, extra, kernel, input_names, edges in self.steps:
+            if kind == "recv":
+                values[op] = transport.recv(rank, extra, ("v", op),
+                                            timeout=self.recv_timeout)
+                continue
+            name = op.name
+            value = values.get(name)
+            if value is None and name not in values:
+                inputs = [values[n] for n in input_names]
+                session._current_op = op
+                if edges is not None:
+                    for pos, key, tag, src_m, dst_m in edges:
+                        v = inputs[pos]
+                        if v is None or key in seen:
+                            continue
+                        seen.add(key)
+                        record(tag=tag, src_machine=src_m,
+                               dst_machine=dst_m, nbytes=nbytes_of(v))
+                value = kernel(op, inputs, session)
+                values[name] = value
+            for dst in extra:
+                transport.send(rank, dst, ("v", name), value)
+        session._current_op = None
+        return values
+
+
+def _read_graph_variable(session, name: str) -> np.ndarray:
+    from repro.graph.session import split_replica_prefix
+
+    replica, _ = split_replica_prefix(name)
+    if replica is not None:
+        return session.replica_stores[replica].read(name)
+    return session.ps_store.read(name)
+
+
+def _run_worker(spec: dict, transport: Transport, rank: int) -> None:
+    """Worker process main loop: build the session + plan, serve commands.
+
+    Commands arrive from the controller as ``("cmd",)`` messages; every
+    command is answered with exactly one ``("res",)`` message, which is
+    what keeps the controller and all workers in lock step (a ``step``
+    command is only issued after every worker acknowledged the previous
+    one, so dataflow value keys never collide across iterations).
+    """
+    from repro.core.runner import apply_logical_state
+
+    try:
+        transformed = spec["transformed"]
+        session = _make_worker_session(transformed, spec["seed"])
+        fetch_ops = [transformed.graph.get_op(n)
+                     for n in spec["fetch_names"]]
+        plan = _WorkerPlan(session, transformed, fetch_ops, rank,
+                           recv_timeout=spec.get("recv_timeout"))
+        shard = spec["shard"]
+        batch_size = spec["batch_size"]
+        feed_names = spec["feed_names"]
+    except BaseException:
+        transport.send(rank, CONTROLLER, ("res",),
+                       ("err", traceback.format_exc(), None))
+        return
+    transport.send(rank, CONTROLLER, ("res",), ("ready", rank, None))
+
+    while True:
+        cmd = transport.recv(rank, CONTROLLER, ("cmd",))
+        try:
+            if cmd[0] == "step":
+                iteration = cmd[1]
+                batch = shard.batch(batch_size, iteration)
+                if len(batch) != len(feed_names):
+                    raise ValueError(
+                        f"dataset yields {len(batch)} arrays but replica "
+                        f"{rank} feeds {len(feed_names)} placeholders"
+                    )
+                feeds = dict(zip(feed_names, batch))
+                values = plan.execute(session, transport, feeds)
+                losses = {name: float(values[name])
+                          for name in plan.loss_names}
+                delta = (session.transcript.transfers,
+                         session.transcript.events())
+                session.transcript.clear()
+                transport.send(rank, CONTROLLER, ("res",),
+                               ("ok", losses, delta))
+            elif cmd[0] == "read":
+                out = {name: _read_graph_variable(session, name)
+                       for name in cmd[1]}
+                transport.send(rank, CONTROLLER, ("res",),
+                               ("ok", out, None))
+            elif cmd[0] == "load":
+                apply_logical_state(session, transformed.graph, cmd[1])
+                transport.send(rank, CONTROLLER, ("res",),
+                               ("ok", None, None))
+            elif cmd[0] == "shutdown":
+                transport.send(rank, CONTROLLER, ("res",),
+                               ("ok", None, None))
+                return
+            else:
+                raise ValueError(f"unknown worker command {cmd[0]!r}")
+        except BaseException:
+            transport.send(rank, CONTROLLER, ("res",),
+                           ("err", traceback.format_exc(), None))
+
+
+class ExecutionBackend:
+    """Where a runner's training step executes; see the module docstring.
+
+    Subclasses implement the four-method protocol (:meth:`run_step`,
+    :meth:`read_variables`, :meth:`load_state`, :meth:`shutdown`).  A
+    backend instance binds to exactly one runner at a time.
+    """
+
+    name = "abstract"
+
+    def __init__(self):
+        self.runner = None
+
+    def start(self, runner) -> None:
+        """Bind to *runner* and allocate execution resources."""
+        self.runner = runner
+
+    def fresh(self) -> "ExecutionBackend":
+        """An unbound backend configured like this one.
+
+        The elastic rescale builds the post-migration runner with a
+        *new* backend (worker fleets cannot be rebound to a different
+        replica count); subclasses with constructor configuration
+        override this so that configuration survives the rescale.
+        """
+        return type(self)()
+
+    def run_step(self, iteration: int) -> List[float]:
+        """Execute one synchronous iteration; per-replica losses."""
+        raise NotImplementedError
+
+    def read_variables(self, names: Sequence[str],
+                       ) -> Dict[str, np.ndarray]:
+        """Authoritative current values of graph-level variable names."""
+        raise NotImplementedError
+
+    def load_state(self, values: Dict[str, np.ndarray]) -> None:
+        """Write logical (base-named) values into every replica/server."""
+        raise NotImplementedError
+
+    def shutdown(self, force: bool = False) -> None:
+        """Release resources; idempotent."""
+
+
+class InprocBackend(ExecutionBackend):
+    """The default backend: the original single-process execution loop.
+
+    Synchronous plans run one compiled plan covering every replica;
+    asynchronous plans step replicas one after another (each worker sees
+    the state its predecessors produced -- the paper's staleness
+    semantics).  Variable reads and writes touch the runner's own
+    session stores directly.
+    """
+
+    name = "inproc"
+
+    def run_step(self, iteration: int) -> List[float]:
+        runner = self.runner
+        session = runner.session
+        if runner.engine == "compiled":
+            if runner.transformed.replica_train_ops is None:
+                results = session.run_plan(runner.step_plans[0],
+                                           runner.feeds_for(iteration))
+                return [float(v) for v in results[:-1]]
+            feeds = runner.feeds_for(iteration)
+            losses = []
+            for r in range(runner.num_replicas):
+                loss_r, _ = session.run_plan(runner.step_plans[r], feeds)
+                losses.append(float(loss_r))
+            return losses
+        if runner.transformed.replica_train_ops is None:
+            results = session.run_interpreted(runner._step_fetches[0],
+                                              runner.feeds_for(iteration))
+            return [float(v) for v in results[:-1]]
+        feeds = runner.feeds_for(iteration)
+        losses = []
+        for r in range(runner.num_replicas):
+            loss_r, _ = session.run_interpreted(runner._step_fetches[r],
+                                                feeds)
+            losses.append(float(loss_r))
+        return losses
+
+    def read_variables(self, names: Sequence[str],
+                       ) -> Dict[str, np.ndarray]:
+        return {name: _read_graph_variable(self.runner.session, name)
+                for name in names}
+
+    def load_state(self, values: Dict[str, np.ndarray]) -> None:
+        from repro.core.runner import apply_logical_state
+
+        apply_logical_state(self.runner.session,
+                            self.runner.transformed.graph, values)
+
+
+class MultiprocBackend(ExecutionBackend):
+    """One worker process per replica, wired by a MultiprocTransport.
+
+    Workers are spawned in :meth:`start` from a pickled
+    :class:`~repro.core.transform.transform.TransformedGraph` (plus their
+    dataset shard and feed-name routing), compute their own feeds
+    locally, execute their slice of the partitioned schedule, and ship a
+    per-step result -- replica loss plus their logical Transcript delta
+    -- back to the controller.  Deltas merge into the runner's
+    transcript in worker-rank order, so merged byte accounting is
+    deterministic and backend-independent.
+
+    Only synchronous plans are supported: asynchronous PS training is
+    defined by replicas *serially* applying gradients, which has no
+    parallel execution.
+    """
+
+    name = "multiproc"
+
+    def __init__(self, start_timeout: float = 120.0,
+                 step_timeout: float = 600.0):
+        super().__init__()
+        self.start_timeout = start_timeout
+        self.step_timeout = step_timeout
+        self.transport: Optional[MultiprocTransport] = None
+        self.processes: list = []
+        self._var_owner: Dict[str, int] = {}
+
+    def fresh(self) -> "MultiprocBackend":
+        return type(self)(start_timeout=self.start_timeout,
+                          step_timeout=self.step_timeout)
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self, runner) -> None:
+        if runner.transformed.replica_train_ops is not None:
+            raise ValueError(
+                "the multiproc backend supports synchronous plans only: "
+                "asynchronous PS training is serial by definition"
+            )
+        super().start(runner)
+        import multiprocessing as mp
+
+        try:
+            context = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - platform without fork
+            context = mp.get_context()
+        n = runner.num_replicas
+        self.transport = MultiprocTransport(n, context=context)
+        self._var_owner = self._variable_owner_map(runner.transformed)
+        fetch_names = [t.op.name for t in runner._step_fetches[0]]
+        self.processes = []
+        for rank in range(n):
+            spec = {
+                "transformed": runner.transformed,
+                "seed": runner.seed,
+                "fetch_names": fetch_names,
+                "shard": runner.shards[rank],
+                "batch_size": runner.model.batch_size,
+                "feed_names": runner._feed_names[rank],
+                "recv_timeout": self.step_timeout,
+            }
+            process = context.Process(
+                target=_run_worker, args=(spec, self.transport, rank),
+                daemon=True, name=f"parallax-worker-{rank}",
+            )
+            process.start()
+            self.processes.append(process)
+        for rank in range(n):
+            tag, _, _ = self._result(rank, self.start_timeout)
+            if tag != "ready":  # pragma: no cover - startup failure path
+                raise RuntimeError(f"worker {rank} failed to start")
+
+    def _variable_owner_map(self, transformed) -> Dict[str, int]:
+        """Graph variable name -> rank holding its authoritative value.
+
+        A variable lives wherever its update op runs (optimizer slots
+        follow their update); variables nothing updates default to their
+        read op's owner, or rank 0 when unplaced -- their value never
+        changes, so every rank's seeded copy agrees anyway.
+        """
+        from repro.graph.session import split_replica_prefix
+
+        graph = transformed.graph
+        cluster = transformed.cluster
+        owners: Dict[str, int] = {}
+        for name in graph.variables:
+            replica, _ = split_replica_prefix(name)
+            if replica is not None:
+                owners[name] = replica
+                continue
+            read_op = graph.get_op(name) if graph.has_op(name) else None
+            own = op_owner(read_op, cluster) if read_op is not None else None
+            owners[name] = own if own is not None else 0
+        for op in graph.operations:
+            if not op.attrs.get("is_update"):
+                continue
+            own = op_owner(op, cluster)
+            if own is None:
+                continue
+            # Every string attr naming a graph variable is one the update
+            # kernel reads or writes (the target plus its optimizer
+            # slots, whatever the optimizer calls them) -- derived
+            # structurally so new optimizers route correctly without
+            # this map knowing their slot attr keys.
+            for value in op.attrs.values():
+                if isinstance(value, str) and value in graph.variables:
+                    owners[value] = own
+        return owners
+
+    # -- controller-side protocol ---------------------------------------
+    def _result(self, rank: int, timeout: float) -> tuple:
+        """Next result from *rank*, with liveness checks while waiting."""
+        deadline = timeout
+        while True:
+            try:
+                payload = self.transport.recv(CONTROLLER, rank, ("res",),
+                                              timeout=min(deadline, 1.0))
+            except TransportTimeout:
+                deadline -= 1.0
+                process = self.processes[rank]
+                if not process.is_alive():
+                    self.shutdown(force=True)
+                    raise RuntimeError(
+                        f"worker {rank} died (exit code "
+                        f"{process.exitcode})"
+                    ) from None
+                if deadline <= 0:
+                    self.shutdown(force=True)
+                    raise RuntimeError(
+                        f"worker {rank} did not answer within {timeout}s"
+                    ) from None
+                continue
+            if payload[0] == "err":
+                self.shutdown(force=True)
+                raise RuntimeError(
+                    f"worker {rank} failed:\n{payload[1]}"
+                )
+            return payload
+
+    def _command(self, command: tuple) -> List[tuple]:
+        """Broadcast a command; collect one result per rank, rank order."""
+        for rank in range(self.transport.num_workers):
+            self.transport.send(CONTROLLER, rank, ("cmd",), command)
+        return [self._result(rank, self.step_timeout)
+                for rank in range(self.transport.num_workers)]
+
+    # -- backend protocol ------------------------------------------------
+    def run_step(self, iteration: int) -> List[float]:
+        runner = self.runner
+        losses_by_name: Dict[str, float] = {}
+        for _, losses, delta in self._command(("step", iteration)):
+            losses_by_name.update(losses)
+            transfers, events = delta
+            runner.transcript.extend(transfers, events)
+        return [losses_by_name[t.op.name]
+                for t in runner.transformed.replica_losses]
+
+    def read_variables(self, names: Sequence[str],
+                       ) -> Dict[str, np.ndarray]:
+        by_rank: Dict[int, List[str]] = {}
+        for name in names:
+            by_rank.setdefault(self._var_owner.get(name, 0),
+                               []).append(name)
+        for rank, wanted in by_rank.items():
+            self.transport.send(CONTROLLER, rank, ("cmd",),
+                                ("read", wanted))
+        out: Dict[str, np.ndarray] = {}
+        for rank in sorted(by_rank):
+            _, values, _ = self._result(rank, self.step_timeout)
+            out.update(values)
+        return out
+
+    def load_state(self, values: Dict[str, np.ndarray]) -> None:
+        from repro.core.runner import apply_logical_state
+
+        self._command(("load", values))
+        # Mirror into the controller's own (otherwise stale) stores so
+        # direct session inspection stays coherent with the workers.
+        apply_logical_state(self.runner.session,
+                            self.runner.transformed.graph, values)
+
+    def shutdown(self, force: bool = False) -> None:
+        if self.transport is None:
+            return
+        transport, self.transport = self.transport, None
+        if not force:
+            try:
+                for rank in range(transport.num_workers):
+                    transport.send(CONTROLLER, rank, ("cmd",),
+                                   ("shutdown",))
+                for rank in range(transport.num_workers):
+                    transport.recv(CONTROLLER, rank, ("res",), timeout=10.0)
+            except Exception:  # pragma: no cover - degraded shutdown
+                force = True
+        for process in self.processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        self.processes = []
+        transport.close()
+
+
+BACKENDS = {
+    "inproc": InprocBackend,
+    "multiproc": MultiprocBackend,
+}
+
+
+def make_backend(backend) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        return BACKENDS[backend]()
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{sorted(BACKENDS)}"
+        ) from None

@@ -204,6 +204,8 @@ class ElasticRunner(DistributedRunner):
         seed: int = 0,
         transcript: Optional[Transcript] = None,
         engine: str = "compiled",
+        backend: str = "inproc",
+        plan_cache_size: int = 32,
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -214,7 +216,8 @@ class ElasticRunner(DistributedRunner):
             )
         super().__init__(model, cluster, plan, seed=seed,
                          transcript=transcript, engine=engine,
-                         fault_plan=fault_plan)
+                         fault_plan=fault_plan, backend=backend,
+                         plan_cache_size=plan_cache_size)
         self.model_builder = model_builder
         self.plan_builder = plan_builder
         self.checkpoint_every = checkpoint_every
@@ -303,29 +306,47 @@ class ElasticRunner(DistributedRunner):
         transcript = self.transcript
         # Keep the old runner guts so a failed migration can roll back:
         # rescale is atomic -- it either completes or leaves the runner
-        # exactly as it was.
+        # exactly as it was.  The old execution backend (and with it any
+        # worker processes) stays alive until the migration commits.
         old_guts = {
             name: getattr(self, name)
             for name in ("model", "cluster", "plan", "transformed",
                          "session", "shards", "_feed_names",
-                         "_step_fetches", "step_plans")
+                         "_step_fetches", "step_plans", "backend")
         }
         # Re-run the full construction pipeline: transform (placement for
-        # the new machine count), session stores, and compiled step plans.
-        DistributedRunner.__init__(self, model, new_cluster, plan,
-                                   seed=self.seed, transcript=transcript,
-                                   engine=self.engine,
-                                   fault_plan=self.fault_plan)
-        expected = set(self.transformed.logical_variable_names)
-        mismatch = sorted(expected ^ set(state))
-        if mismatch:
+        # the new machine count), session stores, compiled step plans,
+        # and a fresh backend configured like the old one -- under
+        # ``multiproc`` this respawns one worker process per new replica
+        # and reconnects the transport.  ANY failure in the pipeline
+        # (worker spawn, state validation, the state broadcast) rolls
+        # the runner back to the pre-rescale guts, old worker fleet
+        # included -- rescale is atomic.
+        try:
+            DistributedRunner.__init__(self, model, new_cluster, plan,
+                                       seed=self.seed,
+                                       transcript=transcript,
+                                       engine=self.engine,
+                                       fault_plan=self.fault_plan,
+                                       backend=old_guts["backend"].fresh(),
+                                       plan_cache_size=self.plan_cache_size)
+            expected = set(self.transformed.logical_variable_names)
+            mismatch = sorted(expected ^ set(state))
+            if mismatch:
+                raise ValueError(
+                    f"rescale state does not match the new graph's "
+                    f"logical variables; mismatched names: {mismatch[:8]}"
+                )
+            self._load_state(state)
+        except BaseException:
+            if self.backend is not old_guts["backend"]:
+                self.backend.shutdown(force=True)
             for name, value in old_guts.items():
                 setattr(self, name, value)
-            raise ValueError(
-                f"rescale state does not match the new graph's logical "
-                f"variables; mismatched names: {mismatch[:8]}"
-            )
-        self._load_state(state)
+            raise
+        # The migration committed: release the pre-rescale backend's
+        # workers (a no-op for inproc).
+        old_guts["backend"].shutdown()
         self.num_rescales += 1
         # The migrated state is the new recovery point: the old
         # checkpoint's names may no longer exist after a re-shard.

@@ -11,7 +11,6 @@ The crossover is exposed as ``sparse_as_dense_threshold``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.cluster.plan import SyncMethod, SyncPlan, VariableAssignment
 from repro.nn.profiles import ModelProfile

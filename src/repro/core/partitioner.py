@@ -16,7 +16,7 @@ between the sampled extremes -- no extrapolation (section 3.2).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np

@@ -24,10 +24,11 @@ import numpy as np
 from repro.cluster.faults import FaultPlan, WorkerFailureError
 from repro.cluster.spec import ClusterSpec
 from repro.comm.transcript import Transcript
+from repro.core.backend import make_backend
 from repro.core.transform.plan import GraphSyncPlan
 from repro.core.transform.transform import TransformedGraph, transform_graph
 from repro.graph.executor import EdgeSpec
-from repro.graph.graph import Operation
+from repro.graph.graph import Graph, Operation
 from repro.graph.session import Session, VariableStore, split_replica_prefix
 from repro.nn.models.common import BuiltModel
 from repro.nn.optimizers import specialize_update
@@ -38,11 +39,36 @@ from repro.tensor.dense import nbytes_of
 _SELF_ACCOUNTING = {"allreduce", "fused_allreduce", "allgatherv"}
 
 
+def apply_logical_state(session: "DistributedSession", graph: Graph,
+                        values: Dict[str, np.ndarray]) -> None:
+    """Write logical (base-named) values into every matching store.
+
+    The migration primitive behind ``restore``, the elastic rescale, and
+    the multiprocess workers' ``load`` command: a base name loads into
+    the PS store or into *all* replica copies; names absent from
+    *values* keep their current state.
+    """
+    for name in graph.variables:
+        # Match the true rep<k>/ replica prefix, not any name that
+        # merely starts with "rep" (a user variable named "report/w"
+        # is a plain PS variable).
+        replica, base = split_replica_prefix(name)
+        if replica is not None:
+            if base in values:
+                session.replica_stores[replica].write(
+                    name, np.asarray(values[base]).copy()
+                )
+            continue
+        if name in values:
+            session.ps_store.write(name, np.asarray(values[name]).copy())
+
+
 class DistributedSession(Session):
     """Executes a transformed graph across logical machines and GPUs."""
 
     def __init__(self, transformed: TransformedGraph, seed: int = 0,
-                 transcript: Optional[Transcript] = None):
+                 transcript: Optional[Transcript] = None,
+                 plan_cache_size: int = 32):
         self.transformed = transformed
         self.cluster = transformed.cluster
         self.transcript = transcript if transcript is not None else Transcript()
@@ -54,7 +80,8 @@ class DistributedSession(Session):
             for _ in range(transformed.num_replicas)
         ]
         self._seen_edges: set = set()
-        super().__init__(transformed.graph, seed=seed, store=self.ps_store)
+        super().__init__(transformed.graph, seed=seed, store=self.ps_store,
+                         plan_cache_size=plan_cache_size)
 
     # -- variable routing --------------------------------------------------
     def _store_for(self, op: Optional[Operation]) -> VariableStore:
@@ -177,6 +204,8 @@ class DistributedRunner:
         transcript: Optional[Transcript] = None,
         engine: str = "compiled",
         fault_plan: Optional[FaultPlan] = None,
+        backend: str = "inproc",
+        plan_cache_size: int = 32,
     ):
         if engine not in ("compiled", "interpreted"):
             raise ValueError(
@@ -189,13 +218,17 @@ class DistributedRunner:
         self.seed = seed
         self.engine = engine
         self.fault_plan = fault_plan
+        self.backend = make_backend(backend)
+        self.backend_name = self.backend.name
+        self.plan_cache_size = plan_cache_size
         # Events fire once each; the set survives a rescale's re-__init__
         # so a replayed iteration does not re-kill the same worker.
         self._faults_fired = getattr(self, "_faults_fired", set())
         self.transformed = transform_graph(model.graph, model.loss, cluster,
                                            plan)
         self.session = DistributedSession(self.transformed, seed=seed,
-                                          transcript=transcript)
+                                          transcript=transcript,
+                                          plan_cache_size=plan_cache_size)
         n = self.transformed.num_replicas
         self.shards = [model.dataset.shard(n, r) for r in range(n)]
         # Placeholder routing is static: replica r's k-th dataset array
@@ -222,7 +255,9 @@ class DistributedRunner:
                 for r in range(n)
             ]
         self.step_plans = []
-        if engine == "compiled":
+        if engine == "compiled" and self.backend_name == "inproc":
+            # Multiproc workers compile their own partitioned schedules;
+            # the controller's monolithic step plans would never replay.
             self.step_plans = [self.session.compile(fetches)
                                for fetches in self._step_fetches]
             fed_names = {name
@@ -230,6 +265,9 @@ class DistributedRunner:
                          for name in names}
             for step_plan in self.step_plans:
                 step_plan.validate_placeholders(fed_names)
+        # The backend starts last: it may snapshot runner attributes (or
+        # spawn worker processes from them).
+        self.backend.start(self)
 
     @property
     def num_replicas(self) -> int:
@@ -270,32 +308,16 @@ class DistributedRunner:
         most once -- recovery replays the iteration without re-dying),
         and newly active NIC degradations are noted so the byte record
         carries the failure timeline it was produced under.
+
+        *Where* the step executes is the installed
+        :class:`~repro.core.backend.ExecutionBackend`'s business: the
+        default ``inproc`` backend replays compiled plans in this
+        process; the ``multiproc`` backend drives one worker process per
+        replica and returns the same losses bit for bit.
         """
         self._inject_faults(iteration)
         start = time.perf_counter()
-        if self.engine == "compiled":
-            if self.transformed.replica_train_ops is None:
-                results = self.session.run_plan(self.step_plans[0],
-                                                self.feeds_for(iteration))
-                losses = [float(v) for v in results[:-1]]
-            else:
-                feeds = self.feeds_for(iteration)
-                losses = []
-                for r in range(self.num_replicas):
-                    loss_r, _ = self.session.run_plan(self.step_plans[r],
-                                                      feeds)
-                    losses.append(float(loss_r))
-        elif self.transformed.replica_train_ops is None:
-            results = self.session.run_interpreted(self._step_fetches[0],
-                                                   self.feeds_for(iteration))
-            losses = [float(v) for v in results[:-1]]
-        else:
-            feeds = self.feeds_for(iteration)
-            losses = []
-            for r in range(self.num_replicas):
-                loss_r, _ = self.session.run_interpreted(
-                    self._step_fetches[r], feeds)
-                losses.append(float(loss_r))
+        losses = self.backend.run_step(iteration)
         return IterationResult(
             iteration=iteration,
             mean_loss=float(np.mean(losses)),
@@ -345,16 +367,13 @@ class DistributedRunner:
         """Deduplicated variable state: PS values plus replica-0 copies.
 
         Optimizer slot variables are included, so a save/restore round
-        trip resumes training exactly.
+        trip resumes training exactly.  Reads route through the
+        execution backend -- under ``multiproc`` the authoritative values
+        live in the worker processes, not this one.
         """
-        state: Dict[str, np.ndarray] = {}
-        for base, name in self.transformed.logical_variable_names.items():
-            replica, _ = split_replica_prefix(name)
-            if replica is not None:
-                state[base] = self.session.replica_stores[0].read(name)
-            else:
-                state[base] = self.session.ps_store.read(name)
-        return state
+        names = self.transformed.logical_variable_names
+        values = self.backend.read_variables(list(names.values()))
+        return {base: values[name] for base, name in names.items()}
 
     def save(self, path: Optional[str] = None) -> str:
         """Write all logical variable values to an ``.npz`` checkpoint."""
@@ -390,28 +409,18 @@ class DistributedRunner:
         self._load_state(values)
 
     def _load_state(self, values: Dict[str, np.ndarray]) -> None:
-        """Write logical (base-named) values into every matching store.
+        """Load logical (base-named) values through the backend.
 
         The migration primitive behind both ``restore`` and the elastic
         rescale: a base name loads into the PS store or into *all*
-        replica copies, names absent from *values* keep their current
-        state.
+        replica copies (on every worker process under ``multiproc``),
+        names absent from *values* keep their current state.
         """
-        for name in self.transformed.graph.variables:
-            # Match the true rep<k>/ replica prefix, not any name that
-            # merely starts with "rep" (a user variable named "report/w"
-            # is a plain PS variable).
-            replica, base = split_replica_prefix(name)
-            if replica is not None:
-                if base in values:
-                    self.session.replica_stores[replica].write(
-                        name, np.asarray(values[base]).copy()
-                    )
-                continue
-            if name in values:
-                self.session.ps_store.write(
-                    name, np.asarray(values[name]).copy()
-                )
+        self.backend.load_state(values)
+
+    def close(self) -> None:
+        """Release backend resources (worker processes, transports)."""
+        self.backend.shutdown()
 
     # -- inspection helpers (used by tests and examples) -------------------
     def replica_variable(self, replica: int, original_name: str) -> np.ndarray:
@@ -419,13 +428,14 @@ class DistributedRunner:
         names = self.transformed.replica_variables.get(original_name)
         if names is None:
             raise KeyError(f"{original_name!r} is not a replicated variable")
-        return self.session.replica_value(replica, names[replica])
+        name = names[replica]
+        return self.backend.read_variables([name])[name]
 
     def server_variable(self, original_name: str) -> np.ndarray:
         """Current value of a PS variable on its server."""
         if original_name not in self.transformed.ps_placement:
             raise KeyError(f"{original_name!r} is not a PS variable")
-        return self.session.server_value(original_name)
+        return self.backend.read_variables([original_name])[original_name]
 
     def variable_value(self, original_name: str) -> np.ndarray:
         """Current logical value of any variable (replica 0 view)."""

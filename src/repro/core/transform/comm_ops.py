@@ -23,7 +23,6 @@ from repro.comm.allreduce import ring_allreduce
 from repro.graph.executor import register_direct
 from repro.graph.gradients import register_custom_grad
 from repro.graph.ops import register_forward
-from repro.tensor.dense import TensorSpec
 from repro.tensor.sparse import IndexedSlices, concat_slices, to_dense
 
 

@@ -9,8 +9,8 @@ gradient tensor is IndexedSlices-typed (paper section 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.cluster.plan import SyncMethod
 from repro.graph.gradients import grad_tensor_is_sparse

@@ -65,6 +65,42 @@ class TransformedGraph:
     def num_replicas(self) -> int:
         return self.cluster.total_gpus
 
+    # -- serialization ---------------------------------------------------
+    # Tensors pickle as op names resolved against the (flat-pickling)
+    # graph: the object graph behind a Tensor is arbitrarily deep, and the
+    # multiprocess backend ships TransformedGraph to every worker.
+    def __getstate__(self) -> dict:
+        return {
+            "graph": self.graph,
+            "cluster": self.cluster,
+            "plan": self.plan,
+            "replica_losses": [t.name for t in self.replica_losses],
+            "train_op": self.train_op.name,
+            "placeholder_names": self.placeholder_names,
+            "ps_placement": self.ps_placement,
+            "replica_variables": self.replica_variables,
+            "replica_train_ops": (
+                None if self.replica_train_ops is None
+                else [t.name for t in self.replica_train_ops]
+            ),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        graph = state["graph"]
+        self.graph = graph
+        self.cluster = state["cluster"]
+        self.plan = state["plan"]
+        self.replica_losses = [graph.get_op(n).output
+                               for n in state["replica_losses"]]
+        self.train_op = graph.get_op(state["train_op"]).output
+        self.placeholder_names = state["placeholder_names"]
+        self.ps_placement = state["ps_placement"]
+        self.replica_variables = state["replica_variables"]
+        self.replica_train_ops = (
+            None if state["replica_train_ops"] is None
+            else [graph.get_op(n).output for n in state["replica_train_ops"]]
+        )
+
     @property
     def logical_variable_names(self) -> Dict[str, str]:
         """Base variable name -> graph name of its canonical copy.

@@ -84,6 +84,24 @@ def overlap_schedule(order: Sequence[Operation]) -> List[Operation]:
                  else ready).append(consumer)
     return scheduled
 
+def plan_order(graph: Graph, targets: Sequence[Operation]) -> List[Operation]:
+    """The execution order a :class:`CompiledPlan` uses for *targets*.
+
+    The memoized topological order, overlap-rescheduled when the fetch set
+    contains collectives.  Exposed so the multiprocess backend partitions
+    exactly the schedule the in-process engine would replay -- every
+    worker derives the same global order independently.
+    """
+    order = graph.cached_topo_sort(targets)
+    if any(op.op_type in COLLECTIVE_OPS for op in order):
+        order = overlap_schedule(order)
+    return order
+
+
+def _rebuild_plan(graph: Graph, fetch_names: Sequence[str]) -> "CompiledPlan":
+    return CompiledPlan(graph, [graph.get_op(n) for n in fetch_names])
+
+
 # Compile-time kernel specializers: op_type -> builder(op) returning a
 # kernel with the op's static state (attrs, dispatch lookups) prebound.
 # Registered next to the generic kernels they specialize (ops.py,
@@ -179,9 +197,7 @@ class CompiledPlan:
         self.fetch_names: Tuple[str, ...] = tuple(op.name for op in targets)
 
         forward = _forward_registry()
-        order = graph.cached_topo_sort(targets)
-        if any(op.op_type in COLLECTIVE_OPS for op in order):
-            order = overlap_schedule(order)
+        order = plan_order(graph, targets)
         slot_of: Dict[str, int] = {}
         schedule = []
         placeholders: List[str] = []
@@ -219,6 +235,19 @@ class CompiledPlan:
         self._specialized = specialized
         self._codegen = None
         self._exec_count = 0
+
+    def __reduce__(self):
+        """Serialize as (graph, fetch signature); loading re-compiles.
+
+        The schedule itself holds bound kernels (closures) that cannot
+        pickle, but a plan is a pure function of ``(graph, fetches)``:
+        recompiling on load yields a bit-identical executor.  Plans
+        carrying *session* specializations (store routing, static edge
+        tables) are owned by their session, which recompiles them when it
+        is reattached -- the round trip here covers the plain-graph
+        contract the multiprocess backend and the plan caches rely on.
+        """
+        return (_rebuild_plan, (self.graph, self.fetch_names))
 
     def validate_placeholders(self, available: Sequence[str]) -> None:
         """One-time feed validation: every placeholder slot the schedule

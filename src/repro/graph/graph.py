@@ -289,3 +289,95 @@ class Graph:
             for other in self._ops.values()
             if any(t.op is op for t in other.inputs)
         ]
+
+    # ------------------------------------------------------------------
+    # Serialization.  Graphs pickle as a *flat* op table (name-indexed
+    # edges) rather than object-graph traversal: deep chains of Operation
+    # references would otherwise exceed the pickler's recursion budget,
+    # and Variables must not re-run their constructors (which add ops) on
+    # load.  This is the serialization contract the multiprocess
+    # execution backend relies on to ship a transformed graph to worker
+    # processes; see README "Execution backends".
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        ops_state = [
+            (op.name, op.op_type, [t.op.name for t in op.inputs],
+             op.output.spec, op.attrs, op.device,
+             [c.name for c in op.control_inputs])
+            for op in self._ops.values()
+        ]
+        variables_state = [
+            (name, var.initializer, var.trainable,
+             getattr(var, "partition_info", None))
+            for name, var in self.variables.items()
+        ]
+        collections_state = {
+            key: [self._encode_collection_entry(v) for v in values]
+            for key, values in self.collections.items()
+        }
+        return {
+            "ops": ops_state,
+            "variables": variables_state,
+            "collections": collections_state,
+            "gradient_info": dict(self.gradient_info),
+            "name_counts": dict(self._name_counts),
+            "version": self._version,
+        }
+
+    def _encode_collection_entry(self, value):
+        from repro.graph import variables as variables_mod
+
+        if isinstance(value, Operation):
+            return ("op", value.name)
+        if isinstance(value, variables_mod.Variable):
+            return ("var", value.name)
+        if isinstance(value, variables_mod.PartitionedVariable):
+            return ("pvar", value.name, value.full_shape,
+                    list(value.offsets), [p.name for p in value.partitions])
+        return ("raw", value)
+
+    def _decode_collection_entry(self, entry):
+        from repro.graph import variables as variables_mod
+
+        kind = entry[0]
+        if kind == "op":
+            return self._ops[entry[1]]
+        if kind == "var":
+            return self.variables[entry[1]]
+        if kind == "pvar":
+            _, name, full_shape, offsets, partition_names = entry
+            return variables_mod.restore_partitioned_variable(
+                self, name, full_shape, offsets, partition_names
+            )
+        return entry[1]
+
+    def __setstate__(self, state: dict) -> None:
+        from repro.graph import variables as variables_mod
+
+        self._ops = {}
+        self._name_counts = dict(state["name_counts"])
+        self._device_stack = []
+        self.variables = {}
+        self.gradient_info = dict(state["gradient_info"])
+        self.collections = {}
+        self._version = state["version"]
+        self._topo_cache = {}
+        # Data inputs always precede their consumers in insertion order
+        # (add_op requires existing tensors), so one forward pass rebuilds
+        # every op; control edges may point forward and need a second.
+        for name, op_type, input_names, spec, attrs, device, _ in state["ops"]:
+            inputs = [self._ops[i].output for i in input_names]
+            self._ops[name] = Operation(self, name, op_type, inputs, spec,
+                                        attrs, device)
+        for name, _, _, _, _, _, control_names in state["ops"]:
+            if control_names:
+                self._ops[name].control_inputs = [
+                    self._ops[c] for c in control_names
+                ]
+        for name, initializer, trainable, partition_info in state["variables"]:
+            variables_mod.restore_variable(self, name, initializer,
+                                           trainable, partition_info)
+        for key, encoded in state["collections"].items():
+            self.collections[key] = [
+                self._decode_collection_entry(e) for e in encoded
+            ]

@@ -23,7 +23,7 @@ import numpy as np
 import operator
 
 from repro.graph.executor import register_direct, register_specialization
-from repro.graph.graph import Graph, Operation, Tensor, get_default_graph
+from repro.graph.graph import Graph, Tensor, get_default_graph
 from repro.tensor import math as k
 from repro.tensor.dense import TensorSpec, as_array
 from repro.tensor.sparse import IndexedSlices

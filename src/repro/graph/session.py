@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import re
 import zlib
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -103,7 +104,10 @@ class Session:
     """
 
     def __init__(self, graph: Graph, seed: int = 0,
-                 store: Optional[VariableStore] = None):
+                 store: Optional[VariableStore] = None,
+                 plan_cache_size: int = 32):
+        if plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
         self.graph = graph
         self.store = store if store is not None else VariableStore(graph, seed)
         # Scratch space cleared at the start of each run; kernels (e.g. the
@@ -111,7 +115,15 @@ class Session:
         self.run_cache: Dict[str, dict] = {}
         # Compile-once/execute-many: plans keyed by the fetch-name
         # signature, each validated against the graph version on reuse.
-        self._plans: Dict[Tuple[str, ...], CompiledPlan] = {}
+        # The cache is a size-capped LRU: long elastic runs touch many
+        # distinct fetch signatures (probes, searches, inspection reads)
+        # and would otherwise grow a plan per signature forever.  Evicted
+        # plans just recompile on next use; ``plan_evictions`` counts how
+        # often that happened.
+        self.plan_cache_size = plan_cache_size
+        self.plan_evictions = 0
+        self._plans: "OrderedDict[Tuple[str, ...], CompiledPlan]" = \
+            OrderedDict()
 
     # -- variable access used by kernels --------------------------------
     def read_variable(self, name: str) -> np.ndarray:
@@ -143,8 +155,10 @@ class Session:
     def _plan_for(self, targets: List[Operation]) -> CompiledPlan:
         key = tuple(op.name for op in targets)
         plan = self._plans.get(key)
-        if plan is not None and plan.version == self.graph.version:
-            return plan
+        if plan is not None:
+            self._plans.move_to_end(key)
+            if plan.version == self.graph.version:
+                return plan
         edge_fn = self._compile_edge_fn()
         # A subclass with a _before_kernel override but no static edge
         # table still gets its hook called on the compiled path.
@@ -154,6 +168,10 @@ class Session:
                             call_hook=call_hook,
                             specialize_fn=self._specialize_kernel)
         self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.plan_cache_size:
+            self._plans.popitem(last=False)
+            self.plan_evictions += 1
         return plan
 
     def run_plan(self, plan: CompiledPlan, feed_dict: Optional[dict] = None):

@@ -30,21 +30,48 @@ def zeros_initializer(shape, rng) -> np.ndarray:
     return np.zeros(shape, dtype=np.float32)
 
 
-def normal_initializer(stddev: float = 0.05) -> Initializer:
-    def init(shape, rng):
-        return (rng.standard_normal(shape) * stddev).astype(np.float32)
+# Initializers are small callable objects rather than closures so that a
+# graph -- and with it every Variable's init recipe -- survives a pickle
+# round trip: the multiprocess execution backend ships the transformed
+# graph to worker processes, which re-run the same seeded initialization.
+class _NormalInitializer:
+    __slots__ = ("stddev",)
 
-    return init
+    def __init__(self, stddev: float):
+        self.stddev = float(stddev)
+
+    def __call__(self, shape, rng) -> np.ndarray:
+        return (rng.standard_normal(shape) * self.stddev).astype(np.float32)
 
 
-def glorot_initializer() -> Initializer:
-    def init(shape, rng):
+class _GlorotInitializer:
+    __slots__ = ()
+
+    def __call__(self, shape, rng) -> np.ndarray:
         fan_in = shape[0] if shape else 1
         fan_out = shape[-1] if shape else 1
         limit = np.sqrt(6.0 / (fan_in + fan_out))
         return rng.uniform(-limit, limit, size=shape).astype(np.float32)
 
-    return init
+
+class _FrozenInitializer:
+    """Wraps a concrete ndarray initial value (ignores the rng)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: np.ndarray):
+        self.value = value
+
+    def __call__(self, shape, rng) -> np.ndarray:
+        return self.value.copy()
+
+
+def normal_initializer(stddev: float = 0.05) -> Initializer:
+    return _NormalInitializer(stddev)
+
+
+def glorot_initializer() -> Initializer:
+    return _GlorotInitializer()
 
 
 class Variable:
@@ -70,7 +97,7 @@ class Variable:
                     f"initializer shape {frozen.shape} != variable shape "
                     f"{self.spec.shape}"
                 )
-            self.initializer: Initializer = lambda shape, rng: frozen.copy()
+            self.initializer: Initializer = _FrozenInitializer(frozen)
         else:
             self.initializer = initializer or glorot_initializer()
         self.trainable = trainable
@@ -272,6 +299,40 @@ def _part_gather_vjp(op, inputs, output, grad):
         )
     grads.append(None)  # no gradient for the ids input
     return grads
+
+
+# ----------------------------------------------------------------------
+# Pickle-restore hooks.  Graph.__setstate__ rebuilds ops first, then calls
+# these to re-attach Variable / PartitionedVariable metadata *without*
+# running the constructors (which would create duplicate read_var ops).
+# ----------------------------------------------------------------------
+def restore_variable(graph: Graph, name: str, initializer, trainable: bool,
+                     partition_info: Optional[dict]) -> Variable:
+    var = Variable.__new__(Variable)
+    read_op = graph.get_op(name)
+    var.graph = graph
+    var.spec = read_op.output.spec
+    var.initializer = initializer
+    var.trainable = trainable
+    var.name = name
+    var._read_op = read_op
+    if partition_info is not None:
+        var.partition_info = dict(partition_info)  # type: ignore[attr-defined]
+    graph.variables[name] = var
+    return var
+
+
+def restore_partitioned_variable(graph: Graph, name: str, full_shape,
+                                 offsets, partition_names,
+                                 ) -> PartitionedVariable:
+    pvar = PartitionedVariable.__new__(PartitionedVariable)
+    pvar.graph = graph
+    pvar.name = name
+    pvar.full_shape = tuple(int(d) for d in full_shape)
+    pvar.num_partitions = len(partition_names)
+    pvar.offsets = list(offsets)
+    pvar.partitions = [graph.variables[n] for n in partition_names]
+    return pvar
 
 
 # VJP registration lives here (not ops.py) to keep the partitioning logic

@@ -13,7 +13,7 @@ Datasets are deterministic given a seed, indexable, and support
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 

@@ -15,7 +15,7 @@ matching TensorFlow's sparse-apply semantics.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -26,7 +26,7 @@ alpha_model column: 1, 1, 0.02, 0.65.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 FLOAT_BYTES = 4

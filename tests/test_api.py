@@ -500,3 +500,48 @@ class TestMeasureAlphaDenseAtRuntime:
         assert method is SyncMethod.ALLREDUCE
         losses = [runner.step(i).mean_loss for i in range(3)]
         assert np.isfinite(losses).all()
+
+
+class TestBackendConfig:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ParallaxConfig(backend="cloud")
+
+    def test_plan_cache_size_validated(self):
+        with pytest.raises(ValueError, match="plan_cache_size"):
+            ParallaxConfig(plan_cache_size=0)
+        assert ParallaxConfig(plan_cache_size=1).plan_cache_size == 1
+
+    def test_default_backend_is_inproc(self):
+        cfg = ParallaxConfig()
+        assert cfg.backend == "inproc"
+        assert cfg.plan_cache_size == 32
+
+    def test_get_runner_threads_backend_through(self):
+        cfg = ParallaxConfig(backend="multiproc", search_partitions=False,
+                             alpha_measure_batches=0, fusion=False,
+                             plan_cache_size=8)
+        runner = get_runner(lm_builder(), {"machines": 2,
+                                           "gpus_per_machine": 1}, cfg)
+        try:
+            assert runner.backend_name == "multiproc"
+            assert runner.plan_cache_size == 8
+            result = runner.step(0)
+            assert len(result.replica_losses) == 2
+        finally:
+            runner.close()
+
+    def test_get_runner_multiproc_matches_inproc(self):
+        resources = {"machines": 2, "gpus_per_machine": 1}
+        base = dict(search_partitions=False, alpha_measure_batches=0,
+                    seed=4)
+        inproc = get_runner(lm_builder(), resources,
+                            ParallaxConfig(**base))
+        want = [inproc.step(i).replica_losses for i in range(2)]
+        multiproc = get_runner(lm_builder(), resources,
+                               ParallaxConfig(backend="multiproc", **base))
+        try:
+            got = [multiproc.step(i).replica_losses for i in range(2)]
+        finally:
+            multiproc.close()
+        assert got == want

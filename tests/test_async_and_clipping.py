@@ -9,7 +9,6 @@ clipping".
 import numpy as np
 import pytest
 
-from repro.cluster.plan import SyncMethod
 from repro.cluster.spec import ClusterSpec
 from repro.core.runner import DistributedRunner
 from repro.core.transform.plan import (

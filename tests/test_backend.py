@@ -1,0 +1,519 @@
+"""Pluggable execution backends: transport semantics, schedule
+partitioning, and the multiprocess worker backend's differential
+guarantees against the in-process engine.
+
+The multiprocess smoke tests run with two workers (one per machine) so
+the suite stays fast on hosted runners; the heavier 4-replica
+comparisons live in ``repro.cli bench --parallel``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.comm.transcript import Transcript, merge_transcripts
+from repro.comm.transport import (
+    CONTROLLER,
+    InMemoryTransport,
+    MultiprocTransport,
+    TransportError,
+    TransportTimeout,
+)
+from repro.core.backend import (
+    BACKENDS,
+    InprocBackend,
+    MultiprocBackend,
+    build_worker_entries,
+    make_backend,
+    op_owner,
+)
+from repro.core.runner import DistributedRunner
+from repro.core.transform.plan import (
+    ar_graph_plan,
+    hybrid_graph_plan,
+    ps_graph_plan,
+)
+from repro.graph.executor import plan_order
+from repro.graph.gradients import gradients
+from repro.nn.models import build_lm
+from repro.nn.optimizers import AdamOptimizer, GradientDescentOptimizer
+
+SEED = 3
+# Two machines x one GPU: two worker processes, with real cross-machine
+# PS traffic and a two-party ring.
+C2x1 = ClusterSpec(num_machines=2, gpus_per_machine=1)
+
+PLAN_BUILDERS = {
+    "hybrid": lambda g: hybrid_graph_plan(g, fusion=True),
+    "ps": lambda g: ps_graph_plan(g, True, True, name="opt_ps"),
+    "ar": ar_graph_plan,
+}
+
+
+def make_model(optimizer=None):
+    model = build_lm(batch_size=4, vocab_size=40, seq_len=3, emb_dim=8,
+                     hidden=10, num_partitions=3, seed=0)
+    with model.graph.as_default():
+        gvs = gradients(model.loss)
+        (optimizer or GradientDescentOptimizer(0.4)).update(gvs)
+    return model
+
+
+def make_runner(plan_key="hybrid", backend="inproc", cluster=C2x1,
+                optimizer=None, **kwargs):
+    model = make_model(optimizer)
+    return DistributedRunner(model, cluster,
+                             PLAN_BUILDERS[plan_key](model.graph),
+                             seed=SEED, backend=backend, **kwargs)
+
+
+# ======================================================================
+# Transport semantics
+# ======================================================================
+class TestInMemoryTransport:
+    def test_send_recv_round_trip(self):
+        t = InMemoryTransport(2)
+        t.send(0, 1, ("v", "x"), np.arange(3.0))
+        np.testing.assert_array_equal(t.recv(1, 0, ("v", "x")),
+                                      np.arange(3.0))
+
+    def test_messages_are_frozen_at_send_time(self):
+        """Mutating a buffer after send must not corrupt the receiver --
+        the value semantics in-place update kernels rely on."""
+        t = InMemoryTransport(2)
+        value = np.zeros(4)
+        t.send(0, 1, ("v", "x"), value)
+        value[:] = 99.0
+        np.testing.assert_array_equal(t.recv(1, 0, ("v", "x")),
+                                      np.zeros(4))
+
+    def test_fifo_per_channel(self):
+        t = InMemoryTransport(2)
+        for i in range(3):
+            t.send(0, 1, ("v", "x"), i)
+        assert [t.recv(1, 0, ("v", "x")) for _ in range(3)] == [0, 1, 2]
+
+    def test_channels_are_independent(self):
+        t = InMemoryTransport(2)
+        t.send(0, 1, ("v", "a"), "a-val")
+        t.send(0, 1, ("v", "b"), "b-val")
+        assert t.recv(1, 0, ("v", "b")) == "b-val"
+        assert t.recv(1, 0, ("v", "a")) == "a-val"
+
+    def test_recv_timeout(self):
+        t = InMemoryTransport(2)
+        with pytest.raises(TransportTimeout):
+            t.recv(1, 0, ("v", "missing"), timeout=0.01)
+
+    def test_rank_validation(self):
+        t = InMemoryTransport(2)
+        with pytest.raises(TransportError):
+            t.send(0, 5, ("v", "x"), 1)
+        with pytest.raises(TransportError):
+            t.recv(-7, 0, ("v", "x"))
+
+    def test_controller_rank_is_addressable(self):
+        t = InMemoryTransport(2)
+        t.send(1, CONTROLLER, ("res",), ("ok", None))
+        assert t.recv(CONTROLLER, 1, ("res",)) == ("ok", None)
+
+    def test_sends_recorded_into_transcript(self):
+        t = InMemoryTransport(2)
+        t.send(0, 1, ("v", "x"), np.zeros(16))
+        transfers = t.transcript.filter("transport/", network_only=False)
+        assert len(transfers) == 1
+        assert transfers[0].nbytes > 0
+        assert t.stats["messages"] == 1
+
+
+class TestMultiprocTransportLocal:
+    """Single-process checks of the queue transport's demultiplexing."""
+
+    def test_out_of_order_keys_are_buffered(self):
+        t = MultiprocTransport(2)
+        t.send(0, 1, ("v", "a"), "first")
+        t.send(0, 1, ("v", "b"), "second")
+        assert t.recv(1, 0, ("v", "b"), timeout=5.0) == "second"
+        assert t.recv(1, 0, ("v", "a"), timeout=5.0) == "first"
+        t.close()
+
+    def test_recv_timeout_and_drain(self):
+        t = MultiprocTransport(1)
+        with pytest.raises(TransportTimeout):
+            t.recv(0, CONTROLLER, ("cmd",), timeout=0.01)
+        t.send(CONTROLLER, 0, ("cmd",), ("step", 0))
+        import time
+
+        time.sleep(0.1)  # let the feeder thread flush
+        assert t.drain(0) >= 1
+        t.close()
+
+    def test_closed_transport_rejects_sends(self):
+        t = MultiprocTransport(1)
+        t.close()
+        with pytest.raises(TransportError):
+            t.send(CONTROLLER, 0, ("cmd",), "x")
+
+
+# ======================================================================
+# Transcript merging
+# ======================================================================
+class TestTranscriptMerge:
+    def _part(self, machine):
+        part = Transcript()
+        part.record("edge/x", machine, machine + 1, 128)
+        part.note("fault/test", iteration=machine, machine=machine)
+        return part
+
+    def test_merge_preserves_rank_order(self):
+        merged = merge_transcripts([self._part(0), self._part(1)])
+        assert [t.src_machine for t in merged.transfers] == [0, 1]
+        assert [e.get("machine") for e in merged.events()] == [0, 1]
+
+    def test_merge_is_deterministic(self):
+        parts = [self._part(0), self._part(1), self._part(2)]
+        a = merge_transcripts(parts)
+        b = merge_transcripts(parts)
+        assert a.transfers == b.transfers
+        assert a.events() == b.events()
+        assert a.total_network_bytes() == 3 * 128
+
+    def test_extend_appends_records(self):
+        base = Transcript()
+        part = self._part(4)
+        base.extend(part.transfers, part.events())
+        assert len(base) == 1
+        assert base.events("fault/")[0].get("machine") == 4
+
+
+# ======================================================================
+# Schedule partitioning
+# ======================================================================
+class TestPartitioning:
+    def test_op_owner_rules(self):
+        runner = make_runner("hybrid")
+        graph = runner.transformed.graph
+        cluster = runner.cluster
+        for op in graph.operations:
+            own = op_owner(op, cluster)
+            if op.device is None:
+                assert own is None
+            elif op.device.is_gpu:
+                assert own == (op.device.machine * cluster.gpus_per_machine
+                               + op.device.index)
+            else:
+                # Server-side ops run on the first worker of the machine.
+                assert own == op.device.machine * cluster.gpus_per_machine
+
+    @pytest.mark.parametrize("plan_key", list(PLAN_BUILDERS))
+    def test_partition_covers_schedule_exactly_once(self, plan_key):
+        """Across ranks, every schedulable op executes exactly once and
+        every cross-rank value has a matching send/recv pair."""
+        runner = make_runner(plan_key)
+        transformed = runner.transformed
+        fetch_ops = [t.op for t in runner._step_fetches[0]]
+        order = plan_order(transformed.graph, fetch_ops)
+        per_rank = [build_worker_entries(transformed, fetch_ops, r)
+                    for r in range(transformed.num_replicas)]
+
+        executed = {}
+        sends = set()
+        recvs = set()
+        for rank, entries in enumerate(per_rank):
+            for entry in entries:
+                if entry[0] == "exec":
+                    _, op, send_to = entry
+                    assert op.name not in executed
+                    executed[op.name] = rank
+                    for dst in send_to:
+                        sends.add((op.name, dst))
+                else:
+                    _, name, src = entry
+                    recvs.add((name, rank))
+        expected = {op.name for op in order if op.op_type != "group"}
+        assert set(executed) == expected
+        assert sends == recvs
+        for name, dst in sends:
+            assert executed[name] != dst  # no self-sends
+
+    def test_entries_follow_global_order(self):
+        runner = make_runner("hybrid")
+        transformed = runner.transformed
+        fetch_ops = [t.op for t in runner._step_fetches[0]]
+        position = {op.name: i
+                    for i, op in enumerate(plan_order(transformed.graph,
+                                                      fetch_ops))}
+        for rank in range(transformed.num_replicas):
+            names = [
+                (entry[1].name if entry[0] == "exec" else entry[1])
+                for entry in build_worker_entries(transformed, fetch_ops,
+                                                  rank)
+            ]
+            positions = [position[n] for n in names]
+            assert positions == sorted(positions)
+
+
+# ======================================================================
+# The worker loop over the in-memory transport (threads, same process)
+# ======================================================================
+class TestWorkerLoopOverInMemoryTransport:
+    """The worker main loop is transport-agnostic: driving it with
+    threads over InMemoryTransport must reproduce the in-process losses
+    bit for bit -- the abstraction boundary the multiprocess backend
+    builds on."""
+
+    def _spawn_threaded_workers(self, runner, transport):
+        import threading
+
+        from repro.core.backend import _run_worker
+
+        n = runner.num_replicas
+        fetch_names = [t.op.name for t in runner._step_fetches[0]]
+        threads = []
+        for rank in range(n):
+            spec = {
+                "transformed": runner.transformed,
+                "seed": runner.seed,
+                "fetch_names": fetch_names,
+                "shard": runner.shards[rank],
+                "batch_size": runner.model.batch_size,
+                "feed_names": runner._feed_names[rank],
+                "recv_timeout": 60.0,
+            }
+            thread = threading.Thread(target=_run_worker,
+                                      args=(spec, transport, rank),
+                                      daemon=True)
+            thread.start()
+            threads.append(thread)
+        for rank in range(n):
+            tag, *_ = transport.recv(CONTROLLER, rank, ("res",),
+                                     timeout=60.0)
+            assert tag == "ready"
+        return threads
+
+    def test_threaded_workers_match_inproc_losses(self):
+        reference = make_runner("hybrid")
+        driver = make_runner("hybrid")  # spec source; never stepped
+        n = driver.num_replicas
+        transport = InMemoryTransport(n)
+        threads = self._spawn_threaded_workers(driver, transport)
+        loss_names = [t.op.name
+                      for t in driver.transformed.replica_losses]
+        try:
+            for iteration in range(3):
+                want = reference.step(iteration).replica_losses
+                for rank in range(n):
+                    transport.send(CONTROLLER, rank, ("cmd",),
+                                   ("step", iteration))
+                losses = {}
+                deltas = []
+                for rank in range(n):
+                    tag, payload, delta = transport.recv(
+                        CONTROLLER, rank, ("res",), timeout=60.0)
+                    assert tag == "ok", payload
+                    losses.update(payload)
+                    deltas.append(delta)
+                got = [losses[name] for name in loss_names]
+                assert got == want, iteration
+                # Per-worker transcript deltas merge to the inproc bytes.
+                merged = Transcript()
+                for transfers, events in deltas:
+                    merged.extend(transfers, events)
+                assert (merged.total_network_bytes()
+                        == reference.transcript.total_network_bytes())
+                reference.transcript.clear()
+        finally:
+            for rank in range(n):
+                transport.send(CONTROLLER, rank, ("cmd",), ("shutdown",))
+            for rank in range(n):
+                transport.recv(CONTROLLER, rank, ("res",), timeout=60.0)
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_threaded_worker_read_and_load_commands(self):
+        driver = make_runner("hybrid")
+        n = driver.num_replicas
+        transport = InMemoryTransport(n)
+        threads = self._spawn_threaded_workers(driver, transport)
+        try:
+            # A freshly seeded worker agrees with the driver's own store.
+            base, name = next(iter(
+                driver.transformed.logical_variable_names.items()))
+            transport.send(CONTROLLER, 0, ("cmd",), ("read", [name]))
+            tag, values, _ = transport.recv(CONTROLLER, 0, ("res",),
+                                            timeout=60.0)
+            assert tag == "ok"
+            np.testing.assert_array_equal(
+                values[name],
+                driver.backend.read_variables([name])[name])
+            # A broadcast load lands in every worker.
+            replacement = np.full_like(values[name], 0.125)
+            for rank in range(n):
+                transport.send(CONTROLLER, rank, ("cmd",),
+                               ("load", {base: replacement}))
+            for rank in range(n):
+                tag, *_ = transport.recv(CONTROLLER, rank, ("res",),
+                                         timeout=60.0)
+                assert tag == "ok"
+            transport.send(CONTROLLER, 1 % n, ("cmd",), ("read", [name]))
+            _, values, _ = transport.recv(CONTROLLER, 1 % n, ("res",),
+                                          timeout=60.0)
+            np.testing.assert_array_equal(values[name], replacement)
+        finally:
+            for rank in range(n):
+                transport.send(CONTROLLER, rank, ("cmd",), ("shutdown",))
+            for thread in threads:
+                thread.join(timeout=10.0)
+
+
+# ======================================================================
+# Backend registry and lifecycle
+# ======================================================================
+class TestBackendRegistry:
+    def test_registry_names(self):
+        assert set(BACKENDS) == {"inproc", "multiproc"}
+        assert isinstance(make_backend("inproc"), InprocBackend)
+        assert isinstance(make_backend("multiproc"), MultiprocBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu-cluster")
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_runner("hybrid", backend="nope")
+
+    def test_backend_instance_passes_through(self):
+        backend = InprocBackend()
+        assert make_backend(backend) is backend
+
+    def test_runner_records_backend_name(self):
+        runner = make_runner("hybrid")
+        assert runner.backend_name == "inproc"
+        assert runner.backend.runner is runner
+
+    def test_multiproc_rejects_async_plans(self):
+        model = make_model()
+        plan = ps_graph_plan(model.graph, asynchronous=True)
+        with pytest.raises(ValueError, match="synchronous"):
+            DistributedRunner(model, C2x1, plan, seed=SEED,
+                              backend="multiproc")
+
+    def test_inproc_close_is_idempotent(self):
+        runner = make_runner("hybrid")
+        runner.close()
+        runner.close()
+
+
+# ======================================================================
+# Multiprocess differential smoke (2 workers)
+# ======================================================================
+class TestMultiprocSmoke:
+    @pytest.mark.parametrize("plan_key", list(PLAN_BUILDERS))
+    def test_losses_bit_identical_to_inproc(self, plan_key):
+        inproc = make_runner(plan_key, backend="inproc")
+        want = [inproc.step(i).replica_losses for i in range(3)]
+        multiproc = make_runner(plan_key, backend="multiproc")
+        try:
+            got = [multiproc.step(i).replica_losses for i in range(3)]
+        finally:
+            multiproc.close()
+        assert got == want
+
+    def test_logical_state_bit_identical_after_training(self):
+        inproc = make_runner("hybrid", backend="inproc")
+        multiproc = make_runner("hybrid", backend="multiproc")
+        try:
+            for i in range(3):
+                inproc.step(i)
+                multiproc.step(i)
+            want = inproc.logical_state()
+            got = multiproc.logical_state()
+        finally:
+            multiproc.close()
+        assert set(got) == set(want)
+        for name in want:
+            np.testing.assert_array_equal(got[name], want[name], err_msg=name)
+
+    def test_transcript_byte_accounting_matches_inproc(self):
+        """The logical byte plane is backend-independent: same totals,
+        same per-machine loads, collectives recorded exactly once."""
+        inproc = make_runner("hybrid", backend="inproc")
+        multiproc = make_runner("hybrid", backend="multiproc")
+        try:
+            inproc.step(0)
+            multiproc.step(0)
+            assert (multiproc.transcript.total_network_bytes()
+                    == inproc.transcript.total_network_bytes())
+            assert (multiproc.transcript.bytes_per_machine()
+                    == inproc.transcript.bytes_per_machine())
+            assert (multiproc.transcript.total_network_bytes("allreduce")
+                    == inproc.transcript.total_network_bytes("allreduce"))
+        finally:
+            multiproc.close()
+
+    def test_adam_slots_and_inspection_helpers(self):
+        inproc = make_runner("hybrid", optimizer=AdamOptimizer(0.01))
+        multiproc = make_runner("hybrid", backend="multiproc",
+                                optimizer=AdamOptimizer(0.01))
+        try:
+            for i in range(2):
+                inproc.step(i)
+                multiproc.step(i)
+            for name in inproc.transformed.plan.methods:
+                np.testing.assert_array_equal(
+                    multiproc.variable_value(name),
+                    inproc.variable_value(name), err_msg=name)
+        finally:
+            multiproc.close()
+
+    def test_save_restore_round_trip(self, tmp_path):
+        multiproc = make_runner("hybrid", backend="multiproc")
+        try:
+            for i in range(2):
+                multiproc.step(i)
+            path = multiproc.save(str(tmp_path / "ckpt.npz"))
+            resumed = make_runner("hybrid", backend="inproc")
+            resumed.restore(path)
+            want = resumed.step(2).replica_losses
+            got = multiproc.step(2).replica_losses
+        finally:
+            multiproc.close()
+        assert got == want
+
+    def test_restore_into_multiproc_broadcasts_to_workers(self, tmp_path):
+        source = make_runner("hybrid", backend="inproc")
+        for i in range(2):
+            source.step(i)
+        path = source.save(str(tmp_path / "ckpt.npz"))
+        want = source.step(2).replica_losses
+
+        multiproc = make_runner("hybrid", backend="multiproc")
+        try:
+            multiproc.restore(path)
+            got = multiproc.step(2).replica_losses
+        finally:
+            multiproc.close()
+        assert got == want
+
+    def test_worker_error_surfaces_in_controller(self):
+        multiproc = make_runner("hybrid", backend="multiproc")
+        closed = False
+        try:
+            # Provoke a worker-side failure: load a real variable with a
+            # wrong-shaped value.  The worker's traceback must surface in
+            # the controller's exception, and the backend shuts down.
+            base = next(iter(multiproc.transformed.logical_variable_names))
+            with pytest.raises(RuntimeError, match="worker 0 failed"):
+                multiproc.backend.load_state({base: np.zeros((1, 2, 3, 4))})
+            closed = True  # backend shut itself down on the error
+        finally:
+            if not closed:
+                multiproc.close()
+
+    def test_close_terminates_workers(self):
+        multiproc = make_runner("hybrid", backend="multiproc")
+        processes = list(multiproc.backend.processes)
+        assert all(p.is_alive() for p in processes)
+        multiproc.close()
+        assert all(not p.is_alive() for p in processes)
+        multiproc.close()  # idempotent

@@ -85,3 +85,86 @@ def test_cli_bench_elastic_and_fusion_mutually_exclusive():
 def test_cli_bench_elastic_rejects_bad_iters():
     with pytest.raises(SystemExit):
         main(["bench", "--elastic", "--iters", "0"])
+
+
+def test_cli_bench_family_flags_mutually_exclusive():
+    with pytest.raises(SystemExit):
+        main(["bench", "--fusion", "--parallel"])
+    with pytest.raises(SystemExit):
+        main(["bench", "--all", "--elastic"])
+    with pytest.raises(SystemExit):
+        main(["bench", "--parallel", "--iters", "0"])
+
+
+def test_bench_report_history_merging(tmp_path):
+    """_write_report keeps the latest run at top level and folds earlier
+    runs into a history list -- the per-family bench trajectory."""
+    import json
+
+    from repro.cli import _write_report
+
+    out = tmp_path / "BENCH_x.json"
+    _write_report(str(out), {"speedup": 1.0, "run": "first"})
+    _write_report(str(out), {"speedup": 2.0, "run": "second"})
+    _write_report(str(out), {"speedup": 3.0, "run": "third"})
+
+    report = json.loads(out.read_text())
+    assert report["run"] == "third"
+    assert [r["run"] for r in report["history"]] == ["first", "second"]
+    assert "history" not in report["history"][0]
+
+
+def test_bench_report_history_survives_corrupt_file(tmp_path):
+    import json
+
+    from repro.cli import _write_report
+
+    out = tmp_path / "BENCH_x.json"
+    out.write_text("not json{")
+    _write_report(str(out), {"run": "fresh"})
+    report = json.loads(out.read_text())
+    assert report["run"] == "fresh"
+    assert report["history"] == []
+
+
+def test_cli_bench_parallel_writes_report(tmp_path, capsys, monkeypatch):
+    """Smoke the parallel bench at matrix-free scale: patch the matrix
+    and timing workload down to the 2-worker quickstart so the CLI path
+    (report schema, bit-identity gating, history) stays covered without
+    the full 12-combination sweep."""
+    import json
+
+    import repro.cli as cli
+
+    lm_model_builder = cli._bench_matrix_models()["lm"]
+    hybrid_plan_builder = cli._bench_plan_builders()["hybrid"]
+    monkeypatch.setattr(cli, "_bench_matrix_models",
+                        lambda: {"lm": lm_model_builder})
+    monkeypatch.setattr(cli, "_bench_plan_builders",
+                        lambda: {"hybrid": hybrid_plan_builder})
+
+    def small_timing(cluster, seed, backend):
+        from repro.core.runner import DistributedRunner
+        from repro.core.transform.plan import hybrid_graph_plan
+
+        model = cli._quickstart_model()
+        plan = hybrid_graph_plan(model.graph, fusion=True)
+        return DistributedRunner(model, cluster, plan, seed=seed,
+                                 backend=backend)
+
+    monkeypatch.setattr(cli, "_parallel_timing_runner", small_timing)
+
+    out = tmp_path / "BENCH_parallel.json"
+    assert main(["bench", "--parallel", "--machines", "2", "--gpus", "1",
+                 "--iters", "4", "--warmup", "1",
+                 "--bench-output", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "Parallel bench" in printed
+    report = json.loads(out.read_text())
+    assert report["losses_bit_identical"] is True
+    assert report["matrix"] == [{"model": "lm", "plan": "hybrid",
+                                 "losses_bit_identical": True}]
+    assert report["inproc_steps_per_sec"] > 0
+    assert report["multiproc_steps_per_sec"] > 0
+    assert report["controller_transport"]["messages"] > 0
+    assert isinstance(report["speedup_enforced"], bool)

@@ -1,14 +1,9 @@
 """Distributed op kernels: shard_lookup, stitch, densify, aggregations."""
 
 import numpy as np
-import pytest
 
-from repro.cluster.spec import ClusterSpec
-from repro.core.runner import DistributedSession
 from repro.core.transform import comm_ops  # noqa: F401 (registers kernels)
-from repro.graph import Graph, Session, ops
 from repro.graph.ops import FORWARD
-from repro.tensor.dense import TensorSpec
 from repro.tensor.sparse import IndexedSlices
 
 

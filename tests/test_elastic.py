@@ -622,3 +622,90 @@ class TestReshardLogicalState:
         assert sorted(k for k in out if k.startswith("a/")) == [
             f"a/part_{p}" for p in range(4)
         ]
+
+
+class TestMultiprocRescale:
+    """The 4<->2 rescale bit-identity contract under the multiprocess
+    execution backend: worker processes are respawned for the new
+    replica count and the post-rescale trajectory matches an
+    uninterrupted in-process run at the target size."""
+
+    @pytest.mark.parametrize("plan_key", list(PLAN_BUILDERS))
+    @pytest.mark.parametrize("direction", ["down", "up"])
+    def test_rescale_matches_uninterrupted_inproc_run(self, plan_key,
+                                                      direction):
+        start, target = (C4, C2) if direction == "down" else (C2, C4)
+        runner = make_elastic(plan_key=plan_key, cluster=start,
+                              backend="multiproc")
+        try:
+            for i in range(2):
+                runner.step(i)
+            state = {k: v.copy() for k, v in runner.logical_state().items()}
+            old_processes = list(runner.backend.processes)
+            runner.rescale(target)
+            # Rescale respawned the worker fleet for the new size.
+            assert all(not p.is_alive() for p in old_processes)
+            assert len(runner.backend.processes) == target.total_gpus
+            final = [runner.step(i).replica_losses for i in range(2, 5)]
+        finally:
+            runner.close()
+
+        model = MODEL_BUILDERS["lm"]()
+        reference = DistributedRunner(model, target,
+                                      PLAN_BUILDERS[plan_key](model.graph),
+                                      seed=SEED + 7)
+        reference._load_state(state)
+        expected = [reference.step(i).replica_losses for i in range(2, 5)]
+        assert final == expected, (plan_key, direction)
+
+    def test_failed_rescale_keeps_multiproc_workers_alive(self):
+        """Atomicity with processes: a rejected migration leaves the old
+        worker fleet running and training still bit-correct."""
+        runner = make_elastic(backend="multiproc")
+        try:
+            runner.step(0)
+            want = make_elastic()  # inproc twin
+            want.step(0)
+            state = runner.logical_state()
+            state["not/a/real/variable"] = np.zeros(1)
+            with pytest.raises(ValueError, match="mismatched names"):
+                runner.rescale(C2, state=state)
+            assert all(p.is_alive() for p in runner.backend.processes)
+            assert (runner.step(1).replica_losses
+                    == want.step(1).replica_losses)
+        finally:
+            runner.close()
+
+    def test_run_elastic_recovers_under_multiproc(self):
+        """Fault recovery (restore-and-replay) reaches the fault-free
+        losses with worker processes doing the execution."""
+        fault_plan = FaultPlan(failures=(WorkerFailure(2, worker=1),))
+        clean = make_elastic(checkpoint_every=1)
+        want = [r.replica_losses for r in clean.run_elastic(4)]
+        faulted = make_elastic(checkpoint_every=1, fault_plan=fault_plan,
+                               backend="multiproc")
+        try:
+            got = [r.replica_losses for r in faulted.run_elastic(4)]
+        finally:
+            faulted.close()
+        assert got == want
+        assert len(faulted.recovery_log) == 1
+
+    def test_rescale_preserves_configured_backend_instance(self):
+        """A backend instance with custom configuration survives a
+        rescale: the respawned fleet is built from backend.fresh(),
+        not from a default-constructed registry entry."""
+        from repro.core.backend import MultiprocBackend
+
+        backend = MultiprocBackend(start_timeout=90.0, step_timeout=45.0)
+        runner = make_elastic(backend=backend)
+        try:
+            runner.step(0)
+            runner.rescale(C2)
+            assert runner.backend is not backend
+            assert isinstance(runner.backend, MultiprocBackend)
+            assert runner.backend.start_timeout == 90.0
+            assert runner.backend.step_timeout == 45.0
+            runner.step(1)
+        finally:
+            runner.close()

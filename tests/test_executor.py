@@ -202,3 +202,84 @@ class TestReplicaPrefixParsing:
         assert split_replica_prefix("report/w") == (None, "report/w")
         assert split_replica_prefix("w") == (None, "w")
         assert split_replica_prefix("rep/w") == (None, "rep/w")
+
+
+class TestPlanSerialization:
+    """CompiledPlan pickles as (graph, fetch signature) and recompiles on
+    load -- the plain-graph serialization contract of the execution
+    backends."""
+
+    def test_round_trip_executes_bit_identically(self):
+        import pickle
+
+        _, sess, x, _, z = small_session()
+        feed = {"x": np.asarray([1.5, -2.0], dtype=np.float32)}
+        plan = sess.compile(z)
+        want = sess.run_plan(plan, feed)
+
+        restored = pickle.loads(pickle.dumps(plan))
+        assert restored.fetch_names == plan.fetch_names
+        assert restored.version == plan.version
+        got = sess.run_plan(restored, feed)
+        np.testing.assert_array_equal(got[0], want[0])
+
+    def test_round_trip_preserves_placeholder_contract(self):
+        import pickle
+
+        _, sess, _, y, z = small_session()
+        plan = sess.compile([y, z])
+        restored = pickle.loads(pickle.dumps(plan))
+        assert restored.placeholder_names == plan.placeholder_names
+        with pytest.raises(ValueError, match="never feeds"):
+            restored.validate_placeholders([])
+
+
+class TestPlanCacheLRU:
+    def _fetches(self, g):
+        with g.as_default():
+            c = ops.constant(np.ones(1, dtype=np.float32), name="base")
+            return [ops.add(c, c, name=f"fetch{i}") for i in range(6)]
+
+    def test_cache_is_bounded_with_eviction_counter(self):
+        g = Graph()
+        fetches = self._fetches(g)
+        sess = Session(g, plan_cache_size=2)
+        for t in fetches:
+            sess.run(t)
+        assert len(sess._plans) == 2
+        assert sess.plan_evictions == len(fetches) - 2
+
+    def test_lru_order_keeps_recently_used_plans(self):
+        g = Graph()
+        fetches = self._fetches(g)
+        sess = Session(g, plan_cache_size=2)
+        plan_a = sess.compile(fetches[0])
+        sess.compile(fetches[1])
+        assert sess.compile(fetches[0]) is plan_a  # refresh a
+        sess.compile(fetches[2])  # evicts fetches[1], not a
+        assert sess.compile(fetches[0]) is plan_a
+        assert sess.plan_evictions == 1
+
+    def test_evicted_plan_recompiles_transparently(self):
+        g = Graph()
+        fetches = self._fetches(g)
+        sess = Session(g, plan_cache_size=1)
+        first = sess.compile(fetches[0])
+        sess.compile(fetches[1])
+        again = sess.compile(fetches[0])
+        assert again is not first
+        np.testing.assert_array_equal(sess.run(fetches[0]),
+                                      np.asarray([2.0], dtype=np.float32))
+
+    def test_cache_size_validated(self):
+        g = Graph()
+        with pytest.raises(ValueError, match="plan_cache_size"):
+            Session(g, plan_cache_size=0)
+
+    def test_runner_threads_cache_size_to_session(self):
+        model = make_model()
+        runner = DistributedRunner(model, CLUSTER,
+                                   hybrid_graph_plan(model.graph),
+                                   plan_cache_size=7)
+        assert runner.session.plan_cache_size == 7
+        assert runner.plan_cache_size == 7

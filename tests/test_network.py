@@ -1,6 +1,5 @@
 """Fluid network model: max-min fairness and flow completion times."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.network import (

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import horovod_plan, opt_ps_plan, tf_ps_plan
 from repro.cluster.costmodel import CostModel, union_alpha
-from repro.cluster.plan import SyncMethod, SyncPlan, VariableAssignment
+from repro.cluster.plan import SyncPlan
 from repro.cluster.simulator import (
     shard_assignments,
     simulate_iteration,

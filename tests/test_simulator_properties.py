@@ -1,6 +1,5 @@
 """Property-style invariants of the performance simulator."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
