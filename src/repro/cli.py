@@ -181,6 +181,33 @@ def _validate_bench_args(iters: int, warmup: int) -> None:
         raise SystemExit("bench: --warmup must be >= 0")
 
 
+def _git_sha() -> "str | None":
+    """The repo HEAD this bench run measured (None outside a checkout)."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(["git", "rev-parse", "HEAD"],
+                              capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _host_fingerprint() -> str:
+    """Coarse identity of the measuring host.
+
+    Steps/sec numbers are only comparable between runs of the same kind
+    of machine; ``bench --check`` uses this to keep a hosted CI runner
+    from being judged against a developer workstation's history (and
+    vice versa).
+    """
+    import os
+    import platform
+
+    return f"{platform.system()}-{platform.machine()}-{os.cpu_count()}c"
+
+
 def _write_report(output: str, report: dict) -> None:
     """Write a bench report, folding any previous run into its history.
 
@@ -188,7 +215,14 @@ def _write_report(output: str, report: dict) -> None:
     (stable for CI assertions and readers) plus a ``history`` list of
     earlier runs, oldest first -- the per-family performance trajectory
     ``bench --all`` accumulates across invocations.
+
+    History entries deduplicate by git SHA (the family is the file
+    itself): re-running a bench at the same commit -- a retried CI job,
+    a local loop -- *replaces* that commit's data point instead of
+    appending a duplicate, so the trajectory stays one point per commit.
+    Runs outside a git checkout (no SHA) always append.
     """
+    report = {**report, "git_sha": _git_sha(), "host": _host_fingerprint()}
     history = []
     try:
         with open(output) as f:
@@ -198,6 +232,10 @@ def _write_report(output: str, report: dict) -> None:
             history.append(previous)
     except (FileNotFoundError, json.JSONDecodeError, OSError):
         pass
+    sha = report["git_sha"]
+    if sha is not None:
+        history = [h for h in history
+                   if not (isinstance(h, dict) and h.get("git_sha") == sha)]
     with open(output, "w") as f:
         json.dump({**report, "history": history}, f, indent=2)
 
@@ -693,14 +731,296 @@ def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
     return 0
 
 
+def _compression_runner(cluster: ClusterSpec, seed: int,
+                        compression=None, ratio: float = 0.1):
+    """The quickstart LM under the pure-collective (AR) plan family --
+    sparse embedding shards on AllGatherv, dense LSTM/softmax on fused
+    AllReduce -- so both compressed collective paths are exercised."""
+    from repro.core.runner import DistributedRunner
+    from repro.core.transform.plan import ar_graph_plan
+
+    model = _quickstart_model()
+    plan = ar_graph_plan(model.graph, fusion=True, compression=compression,
+                         compression_ratio=ratio)
+    return DistributedRunner(model, cluster, plan, seed=seed)
+
+
+def _trajectory_checks(base: list, compressed: list):
+    """(monotone_improving, max_rise, final_gap) of a loss trajectory.
+
+    ``monotone_improving`` tolerates the sub-1e-3 wiggles stochastic
+    minibatches produce even without compression; the net trajectory
+    must improve and no single step may rise materially.
+    """
+    rises = [b - a for a, b in zip(compressed, compressed[1:])]
+    max_rise = max(rises) if rises else 0.0
+    scale = max(abs(compressed[0]), 1e-12)
+    monotone = (compressed[-1] < compressed[0]
+                and max_rise <= 2e-3 * scale)
+    final_gap = abs(compressed[-1] - base[-1]) / max(abs(base[-1]), 1e-12)
+    return monotone, max_rise, final_gap
+
+
+def bench_compression(cluster: ClusterSpec, iters: int = 40,
+                      warmup: int = 5, seed: int = 0, ratio: float = 0.1,
+                      output: str = "BENCH_compression.json") -> int:
+    """Gradient compression (top-k + fp16) vs exact collectives.
+
+    Trains the quickstart LM under the AR plan family uncompressed, with
+    top-k (error feedback) at *ratio*, and with fp16 quantization, then
+    checks the compression contract end to end: top-k must cut bytes on
+    the wire by at least 2x while the loss trajectory stays
+    monotone-improving (error feedback re-injects dropped mass) and
+    lands within tolerance of the exact run; fp16 losses must track the
+    exact run tightly, and an fp16 compress/decompress round trip of an
+    fp16-representable matrix must be bit-exact.  The performance plane
+    prices the same codecs on the paper's LM inventory and demonstrates
+    the bandwidth-budget plan picker.
+    """
+    import numpy as np
+
+    from repro.comm.compression import decompress, make_compressor
+
+    _validate_bench_args(iters, warmup)
+    runners = {
+        "uncompressed": _compression_runner(cluster, seed),
+        "topk": _compression_runner(cluster, seed, "topk", ratio),
+        "fp16": _compression_runner(cluster, seed, "fp16"),
+    }
+    times, losses = _interleaved_measure(runners, iters, warmup)
+    steps_per_sec = {name: 1.0 / min(times[name]) for name in runners}
+    mean_losses = {
+        name: [float(np.mean(step)) for step in losses[name]]
+        for name in runners
+    }
+
+    # Bytes on the wire: one extra iteration per runner with a clean
+    # transcript; every recorded transfer counts (collectives plus any
+    # cross-machine edges), intra-machine included so the comparison is
+    # meaningful on single-machine clusters too.
+    nbytes = {}
+    for name, runner in runners.items():
+        runner.transcript.clear()
+        runner.step(warmup + iters)
+        nbytes[name] = int(sum(
+            t.nbytes for t in runner.transcript.filter(None,
+                                                       network_only=False)))
+    reductions = {name: nbytes["uncompressed"] / nbytes[name]
+                  for name in ("topk", "fp16")}
+
+    topk_monotone, topk_max_rise, topk_gap = _trajectory_checks(
+        mean_losses["uncompressed"], mean_losses["topk"])
+    topk_within_tolerance = topk_gap <= 0.05
+    fp16_dev = max(
+        abs(a - b) / max(abs(a), 1e-12)
+        for a, b in zip(mean_losses["uncompressed"], mean_losses["fp16"])
+    )
+    fp16_within_tolerance = fp16_dev <= 1e-3
+
+    # The quantization contract: decompressing an fp16-representable
+    # payload reproduces it bit for bit.
+    rng = np.random.default_rng(seed)
+    representable = rng.standard_normal((64, 33)).astype(
+        np.float16).astype(np.float32)
+    roundtrip = decompress(make_compressor("fp16").encode_flat(representable))
+    fp16_bit_exact = bool(np.array_equal(roundtrip, representable))
+
+    # Performance plane: the paper's LM inventory under the same codecs,
+    # plus the bandwidth-budget plan picker the partition search can use.
+    from repro.baselines import horovod_plan
+    from repro.cluster.simulator import (
+        pick_plan_under_budget,
+        plan_wire_bytes,
+        simulate_iteration,
+    )
+    from repro.nn.profiles import lm_profile
+
+    profile = lm_profile()
+    base_plan = horovod_plan(profile).with_fusion(4.0)
+    candidates = {
+        "uncompressed": base_plan,
+        "topk": base_plan.with_compression("topk", ratio),
+        "fp16": base_plan.with_compression("fp16"),
+    }
+    simulated = {}
+    for name, plan in candidates.items():
+        b = simulate_iteration(profile, plan, cluster)
+        simulated[name] = {
+            "raw_bytes": b.collective_raw_bytes,
+            "wire_bytes": b.collective_wire_bytes,
+            "compress_time": b.compress_time,
+            "iteration_time": b.iteration_time,
+        }
+    budget = 0.5 * plan_wire_bytes(
+        simulate_iteration(profile, base_plan, cluster))
+    picked = pick_plan_under_budget(profile, candidates.values(), cluster,
+                                    budget)
+
+    report = {
+        "workload": "quickstart_hybrid_lm_ar_plan",
+        "cluster": {"machines": cluster.num_machines,
+                    "gpus_per_machine": cluster.gpus_per_machine},
+        "iterations": iters,
+        "warmup": warmup,
+        "compression_ratio": ratio,
+        "uncompressed_steps_per_sec": steps_per_sec["uncompressed"],
+        "topk_steps_per_sec": steps_per_sec["topk"],
+        "fp16_steps_per_sec": steps_per_sec["fp16"],
+        "bytes_per_iteration": nbytes,
+        "topk_bytes_reduction": reductions["topk"],
+        "fp16_bytes_reduction": reductions["fp16"],
+        "topk_monotone_improving": topk_monotone,
+        "topk_max_consecutive_rise": topk_max_rise,
+        "topk_final_loss_gap": topk_gap,
+        "topk_within_tolerance": topk_within_tolerance,
+        "fp16_max_rel_loss_dev": fp16_dev,
+        "fp16_within_tolerance": fp16_within_tolerance,
+        "fp16_roundtrip_bit_exact": fp16_bit_exact,
+        "simulated": {
+            "model": profile.name,
+            "plan": base_plan.name,
+            "codecs": simulated,
+            "budget_bytes": budget,
+            "picked_under_budget": (picked.compression or "uncompressed"
+                                    if picked is not None else None),
+        },
+    }
+    _write_report(output, report)
+
+    print(f"\nCompression bench — quickstart LM, AR plan "
+          f"({cluster.total_gpus} simulated GPUs, {iters} iterations, "
+          f"top-k ratio {ratio})")
+    print(f"{'codec':<14}{'steps/sec':>12}{'bytes/iter':>12}{'reduction':>11}")
+    for name in ("uncompressed", "topk", "fp16"):
+        red = ("" if name == "uncompressed"
+               else f"{reductions[name]:>10.2f}x")
+        print(f"{name:<14}{steps_per_sec[name]:>12.1f}"
+              f"{nbytes[name]:>12}{red:>11}")
+    print(f"top-k: monotone-improving={topk_monotone} "
+          f"final-loss gap {topk_gap:.2e}")
+    print(f"fp16: max rel loss dev {fp16_dev:.2e}   "
+          f"round trip bit-exact: {fp16_bit_exact}")
+    print(f"simulated {profile.name}: picked "
+          f"{report['simulated']['picked_under_budget']!r} under a "
+          f"{budget / 1e6:.1f} MB/iter budget")
+    print(f"wrote {output}")
+
+    failures = []
+    if reductions["topk"] < 2.0:
+        failures.append(
+            f"top-k bytes reduction {reductions['topk']:.2f}x < 2x")
+    if not (topk_monotone and topk_within_tolerance):
+        failures.append("top-k loss trajectory violates the convergence "
+                        "contract")
+    if not fp16_within_tolerance:
+        failures.append(f"fp16 losses deviate {fp16_dev:.2e} > 1e-3")
+    if not fp16_bit_exact:
+        failures.append("fp16 round trip is not bit-exact on "
+                        "representable values")
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    return 1 if failures else 0
+
+
+# Report keys whose False value marks a broken exactness/conservation
+# contract (not a performance number): any of these failing means the
+# bench itself detected wrong arithmetic, and ``bench --check`` treats
+# that as a hard violation.
+_CHECK_CONTRACT_KEYS = (
+    "losses_bit_identical",
+    "timing_losses_bit_identical",
+    "topk_monotone_improving",
+    "topk_within_tolerance",
+    "fp16_within_tolerance",
+    "fp16_roundtrip_bit_exact",
+)
+
+# Allowed steps/sec drop vs the history reference before --check fails.
+_CHECK_MAX_REGRESSION = 0.25
+
+
+def bench_check(pattern: str = "BENCH_*.json") -> int:
+    """The bench-regression gate: current run vs its recorded history.
+
+    For every ``BENCH_*.json`` present, the current (top-level) run is
+    held to two contracts.  *Correctness*: every bit-identity /
+    bytes-conservation / convergence flag the family records must hold.
+    *Performance*: each ``*_steps_per_sec`` number must stay within
+    ``_CHECK_MAX_REGRESSION`` of the median of the last five history
+    entries that carry the same key (median, so one noisy CI data point
+    cannot ratchet the reference).  Only history measured on the same
+    kind of host (:func:`_host_fingerprint`) counts as a reference --
+    absolute steps/sec from a developer workstation say nothing about a
+    hosted CI runner.  Families with no comparable history pass the
+    performance check vacuously -- the first run on a host class *is*
+    its reference.
+    """
+    import glob
+
+    paths = sorted(glob.glob(pattern))
+    if not paths:
+        print(f"bench --check: no reports match {pattern!r}; run "
+              "'bench --all' first")
+        return 1
+    violations = []
+    for path in paths:
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (json.JSONDecodeError, OSError) as exc:
+            violations.append(f"{path}: unreadable ({exc})")
+            continue
+        host = data.get("host", _host_fingerprint())
+        history = [h for h in data.get("history", [])
+                   if isinstance(h, dict) and h.get("host") == host]
+        for key in _CHECK_CONTRACT_KEYS:
+            if data.get(key) is False:
+                violations.append(f"{path}: {key} is False")
+        records = data.get("allreduce_records")
+        if isinstance(records, dict) and len(records) == 2:
+            totals = {name: rec.get("bytes")
+                      for name, rec in records.items()}
+            if len(set(totals.values())) != 1:
+                violations.append(
+                    f"{path}: AllReduce bytes not conserved across "
+                    f"engines ({totals})")
+        checked = 0
+        for key, value in data.items():
+            if not key.endswith("steps_per_sec"):
+                continue
+            if not isinstance(value, (int, float)):
+                continue
+            refs = [h[key] for h in history[-5:]
+                    if isinstance(h.get(key), (int, float))]
+            if not refs:
+                continue
+            reference = statistics.median(refs)
+            checked += 1
+            if value < (1.0 - _CHECK_MAX_REGRESSION) * reference:
+                violations.append(
+                    f"{path}: {key} {value:.1f} is "
+                    f"{1 - value / reference:.0%} below the history "
+                    f"median {reference:.1f}")
+        print(f"bench --check: {path} — {len(history)} history entries, "
+              f"{checked} throughput keys compared")
+    if violations:
+        for violation in violations:
+            print(f"ERROR: {violation}")
+        print(f"bench --check: {len(violations)} violation(s)")
+        return 1
+    print(f"bench --check: {len(paths)} report(s) clean")
+    return 0
+
+
 def bench_all(cluster: ClusterSpec, iters: int, warmup: int,
               seed: int) -> int:
     """Run every bench family, merging into the per-family reports.
 
     One command produces/extends ``BENCH_engine.json``,
-    ``BENCH_fusion.json``, ``BENCH_elastic.json`` and
-    ``BENCH_parallel.json`` (each keeps its history of earlier runs) --
-    the aggregation step the bench trajectory was missing.
+    ``BENCH_fusion.json``, ``BENCH_elastic.json``,
+    ``BENCH_parallel.json`` and ``BENCH_compression.json`` (each keeps
+    its history of earlier runs) -- the aggregation step the bench
+    trajectory was missing.
     """
     families = (
         ("engine", lambda: bench(cluster, iters=iters, warmup=warmup,
@@ -711,6 +1031,9 @@ def bench_all(cluster: ClusterSpec, iters: int, warmup: int,
                                           warmup=warmup, seed=seed)),
         ("parallel", lambda: bench_parallel(cluster, iters=iters,
                                             warmup=warmup, seed=seed)),
+        ("compression", lambda: bench_compression(cluster, iters=iters,
+                                                  warmup=warmup,
+                                                  seed=seed)),
     )
     failures = []
     for name, run in families:
@@ -757,16 +1080,32 @@ def main(argv=None) -> int:
                         help="bench: multiprocess worker backend vs the "
                              "in-process engine (wall-clock steps/sec plus "
                              "a bit-identity matrix over every arch/plan)")
+    parser.add_argument("--compression", action="store_true",
+                        help="bench: gradient compression (top-k with "
+                             "error feedback, fp16) vs exact collectives "
+                             "-- bytes-on-wire reduction, steps/sec, and "
+                             "the convergence contract")
+    parser.add_argument("--ratio", type=float, default=0.1,
+                        help="bench --compression: top-k keep fraction")
     parser.add_argument("--all", action="store_true", dest="all_families",
                         help="bench: run every bench family (engine, "
-                             "fusion, elastic, parallel), merging results "
-                             "into the per-family BENCH_*.json files")
+                             "fusion, elastic, parallel, compression), "
+                             "merging results into the per-family "
+                             "BENCH_*.json files")
+    parser.add_argument("--check", action="store_true",
+                        help="bench: regression gate -- compare every "
+                             "BENCH_*.json's current run against its "
+                             "history; fail on a >25%% steps/sec "
+                             "regression or any bit-identity/"
+                             "bytes-conservation violation")
     parser.add_argument("--bench-output", default=None,
                         help="bench report path (default BENCH_engine.json, "
                              "BENCH_fusion.json with --fusion, "
-                             "BENCH_elastic.json with --elastic, or "
-                             "BENCH_parallel.json with --parallel; ignored "
-                             "by --all, which writes every family's file)")
+                             "BENCH_elastic.json with --elastic, "
+                             "BENCH_parallel.json with --parallel, or "
+                             "BENCH_compression.json with --compression; "
+                             "ignored by --all, which writes every "
+                             "family's file)")
     args = parser.parse_args(argv)
     default_machines, default_gpus = ((2, 2) if args.experiment == "bench"
                                       else (8, 6))
@@ -778,12 +1117,20 @@ def main(argv=None) -> int:
         chosen = [name for name, flag in (
             ("--fusion", args.fusion), ("--elastic", args.elastic),
             ("--parallel", args.parallel), ("--all", args.all_families),
+            ("--compression", args.compression), ("--check", args.check),
         ) if flag]
         if len(chosen) > 1:
             raise SystemExit(f"bench: choose one of {' / '.join(chosen)}")
+        if args.check:
+            return bench_check()
         if args.all_families:
             return bench_all(cluster, iters=args.iters, warmup=args.warmup,
                              seed=args.seed)
+        if args.compression:
+            return bench_compression(
+                cluster, iters=args.iters, warmup=args.warmup,
+                seed=args.seed, ratio=args.ratio,
+                output=args.bench_output or "BENCH_compression.json")
         if args.parallel:
             return bench_parallel(
                 cluster, iters=args.iters, warmup=args.warmup,

@@ -96,6 +96,15 @@ class CostModel:
     # Sparsity overlap across workers (0 = disjoint rows, 1 = identical)
     zipf_overlap: float = 0.9
 
+    # ---- gradient compression (comm/compression.py) ---------------------
+    # Elements/sec one worker compresses or decompresses (top-k selection
+    # or fp16 pack on the GPU; the decompress side scatters/casts).  Both
+    # directions are priced at this rate.
+    compress_throughput: float = 2.0e9
+    # Fixed cost of launching one compress/decompress kernel pair per
+    # collective (mirrors c_collective_launch on the compute side).
+    c_compress_launch: float = 2e-5
+
     # ---- elastic runtime (recovery and rescale downtime pricing) -------
     # Bandwidth at which one machine serializes/deserializes logical state
     # for a checkpoint or restore (local NVMe-class storage).
@@ -110,11 +119,11 @@ class CostModel:
 
     def __post_init__(self):
         for name in ("nccl_bw", "intra_bw", "mpi_bw", "ps_nic_bw",
-                     "worker_stream_bw", "ckpt_bw"):
+                     "worker_stream_bw", "ckpt_bw", "compress_throughput"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         for name in ("c_failure_detect", "c_worker_respawn",
-                     "c_plan_compile"):
+                     "c_plan_compile", "c_compress_launch"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
         if not 0.0 <= self.dense_ps_overlap <= 1.0:

@@ -37,6 +37,7 @@ def ring_allreduce(
     tag: str = "allreduce",
     stage_offset: int = 0,
     bounds: Optional[Sequence[int]] = None,
+    wire_itemsize: Optional[int] = None,
 ) -> List[np.ndarray]:
     """Sum *arrays* across workers via the ring algorithm.
 
@@ -51,6 +52,11 @@ def ring_allreduce(
         bounds: custom chunk boundaries (one chunk per worker over the
             flattened array).  Fused buckets pass the boundaries of their
             packed layout; the default splits evenly.
+        wire_itemsize: bytes per element *on the wire* for transfer
+            accounting (defaults to the in-memory fp32 itemsize).  The
+            fp16-compressed collective sums quantized values in fp32 --
+            the NCCL half-precision ring keeps fp32 accumulators -- but
+            each chunk crosses the network at two bytes per element.
 
     Returns:
         A list with each worker's copy of the reduced array.
@@ -83,10 +89,13 @@ def ring_allreduce(
                 "define one chunk per worker"
             )
 
+    itemsize = wire_itemsize if wire_itemsize is not None \
+        else flats[0].itemsize
+
     def record(src: int, dst: int, lo: int, hi: int, stage: int) -> None:
         if transcript is not None:
-            nbytes = (hi - lo) * flats[0].itemsize
-            transcript.record(tag, machines[src], machines[dst], nbytes,
+            transcript.record(tag, machines[src], machines[dst],
+                              (hi - lo) * itemsize,
                               stage=stage_offset + stage)
 
     # Phase 1: reduce-scatter.  At step s, worker i sends chunk (i - s) mod n

@@ -75,7 +75,18 @@ class ParallaxConfig:
             (Horovod-style tensor fusion); bit-identical to unfused
             training, but each bucket rides one overlap-scheduled
             collective instead of one collective per variable.
-        fusion_buffer_mb: fusion bucket size cap in megabytes.
+        fusion_buffer_mb: fusion bucket size cap in megabytes (measured
+            in on-wire bytes, so compression fits more gradient per
+            bucket).
+        compression: gradient compression on the collective paths --
+            None (exact), "topk" (keep the ``compression_ratio``
+            largest-magnitude coordinates, with a per-replica
+            error-feedback residual carrying the rest forward), "fp16"
+            (round-trip half-precision quantization), or "topk+fp16".
+            PS-synchronized variables are unaffected; requires a
+            collective architecture ("hybrid" or "ar").
+        compression_ratio: fraction of elements (rows, for sparse
+            gradients) top-k keeps.
         elastic: return an :class:`~repro.core.elastic.ElasticRunner`
             (supports ``rescale`` and fault-injected recovery) instead of
             a plain DistributedRunner.
@@ -110,6 +121,8 @@ class ParallaxConfig:
     alpha_measure_batches: int = 2
     fusion: bool = True
     fusion_buffer_mb: float = 4.0
+    compression: Optional[str] = None
+    compression_ratio: float = 0.1
     elastic: bool = False
     checkpoint_every: int = 1
     fault_plan: Optional[FaultPlan] = None
@@ -134,6 +147,18 @@ class ParallaxConfig:
             raise ValueError("alpha_measure_batches must be >= 0")
         if self.fusion_buffer_mb <= 0:
             raise ValueError("fusion_buffer_mb must be > 0")
+        if self.compression is not None:
+            from repro.comm.compression import parse_spec
+
+            parse_spec(self.compression)  # raises on unknown specs
+            if self.architecture in ("ps", "opt_ps"):
+                raise ValueError(
+                    "compression applies to collective synchronization; "
+                    f"the {self.architecture!r} architecture has no "
+                    "collective path"
+                )
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError("compression_ratio must be in (0, 1]")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if self.plan_cache_size < 1:
@@ -272,6 +297,8 @@ def _make_plan(graph, config: ParallaxConfig,
             sparse_as_dense=sparse_as_dense,
             fusion=config.fusion,
             fusion_buffer_mb=config.fusion_buffer_mb,
+            compression=config.compression,
+            compression_ratio=config.compression_ratio,
         )
     if config.architecture == "ps":
         return ps_graph_plan(graph, local_aggregation=False,
@@ -287,7 +314,9 @@ def _make_plan(graph, config: ParallaxConfig,
     return ar_graph_plan(graph, average_dense=config.average_dense,
                          average_sparse=config.average_sparse,
                          fusion=config.fusion,
-                         fusion_buffer_mb=config.fusion_buffer_mb)
+                         fusion_buffer_mb=config.fusion_buffer_mb,
+                         compression=config.compression,
+                         compression_ratio=config.compression_ratio)
 
 
 def _partition_bounds(model: BuiltModel, config: ParallaxConfig) -> int:

@@ -58,7 +58,8 @@ from repro.tensor.dense import as_array, nbytes_of
 # session's run cache; the multiprocess plane ships their remote inputs
 # explicitly and mutes duplicate transcript recording (see
 # :class:`_WorkerSession`).
-_COLLECTIVES = frozenset({"allreduce", "fused_allreduce", "allgatherv"})
+_COLLECTIVES = frozenset({"allreduce", "fused_allreduce", "allgatherv",
+                          "compressed_allreduce", "compressed_allgatherv"})
 
 
 def op_owner(op: Operation, cluster) -> Optional[int]:

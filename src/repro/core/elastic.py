@@ -44,6 +44,39 @@ __all__ = ["ElasticRunner", "partition_layout", "reshard_logical_state",
            "replicated_slot_suffixes"]
 
 
+def _reconcile_residual_state(
+    state: Dict[str, np.ndarray],
+    expected_names: Dict[str, str],
+    graph: Graph,
+) -> Dict[str, np.ndarray]:
+    """Fit error-feedback residuals in *state* to the post-rescale graph.
+
+    Residuals are approximate state (unsent gradient mass): they migrate
+    exactly whenever names and shapes line up -- per-variable residuals
+    always do, and row-sharded ones re-shard through
+    :func:`reshard_logical_state` like optimizer slots -- but a
+    partition-count change can re-layout fusion buckets, changing bucket
+    residual shapes or counts.  Those reset to zeros (the error-feedback
+    contract allows dropping a residual: it only delays, never corrupts,
+    the dropped mass), and residuals the new plan no longer creates are
+    dropped so the strict state-match check stays meaningful for real
+    variables.
+    """
+    from repro.comm.compression import is_residual_name
+
+    out = dict(state)
+    for base, graph_name in expected_names.items():
+        if not is_residual_name(base):
+            continue
+        shape = tuple(graph.variables[graph_name].shape)
+        if base not in out or tuple(np.shape(out[base])) != shape:
+            out[base] = np.zeros(shape, dtype=np.float32)
+    for name in list(out):
+        if is_residual_name(name) and name not in expected_names:
+            del out[name]
+    return out
+
+
 def partition_layout(graph: Graph) -> Dict[str, List[int]]:
     """Parent variable name -> row-offset boundaries, for one graph."""
     return {
@@ -330,6 +363,9 @@ class ElasticRunner(DistributedRunner):
                                        fault_plan=self.fault_plan,
                                        backend=old_guts["backend"].fresh(),
                                        plan_cache_size=self.plan_cache_size)
+            state = _reconcile_residual_state(
+                state, self.transformed.logical_variable_names,
+                self.transformed.graph)
             expected = set(self.transformed.logical_variable_names)
             mismatch = sorted(expected ^ set(state))
             if mismatch:

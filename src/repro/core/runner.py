@@ -36,7 +36,8 @@ from repro.tensor.dense import nbytes_of
 
 # Collectives record their own ring transfers; the generic edge recorder
 # must not double-count their input edges.
-_SELF_ACCOUNTING = {"allreduce", "fused_allreduce", "allgatherv"}
+_SELF_ACCOUNTING = {"allreduce", "fused_allreduce", "allgatherv",
+                    "compressed_allreduce", "compressed_allgatherv"}
 
 
 def apply_logical_state(session: "DistributedSession", graph: Graph,
@@ -47,7 +48,16 @@ def apply_logical_state(session: "DistributedSession", graph: Graph,
     the multiprocess workers' ``load`` command: a base name loads into
     the PS store or into *all* replica copies; names absent from
     *values* keep their current state.
+
+    Error-feedback residuals (``.../ef_residual``) are the one
+    exception to the broadcast rule: their logical value is the *sum*
+    of genuinely-divergent per-replica accumulators, so the sum loads
+    into replica 0 and the other replicas reset to zero -- total unsent
+    gradient mass is preserved, and every backend (and every rescaled
+    replica count) loads the same state identically.
     """
+    from repro.comm.compression import is_residual_name
+
     for name in graph.variables:
         # Match the true rep<k>/ replica prefix, not any name that
         # merely starts with "rep" (a user variable named "report/w"
@@ -55,9 +65,10 @@ def apply_logical_state(session: "DistributedSession", graph: Graph,
         replica, base = split_replica_prefix(name)
         if replica is not None:
             if base in values:
-                session.replica_stores[replica].write(
-                    name, np.asarray(values[base]).copy()
-                )
+                value = np.asarray(values[base])
+                if is_residual_name(base) and replica != 0:
+                    value = np.zeros_like(value)
+                session.replica_stores[replica].write(name, value.copy())
             continue
         if name in values:
             session.ps_store.write(name, np.asarray(values[name]).copy())
@@ -370,10 +381,29 @@ class DistributedRunner:
         trip resumes training exactly.  Reads route through the
         execution backend -- under ``multiproc`` the authoritative values
         live in the worker processes, not this one.
+
+        Error-feedback residuals diverge across replicas (each replica
+        compresses its own gradient), so their logical value is the sum
+        over all replica copies -- the total unsent gradient mass, the
+        quantity the error-feedback convergence argument is about.
+        ``apply_logical_state`` loads it back mass-preservingly.
         """
         names = self.transformed.logical_variable_names
-        values = self.backend.read_variables(list(names.values()))
-        return {base: values[name] for base, name in names.items()}
+        residuals = self.transformed.residual_variables
+        wanted = set(names.values())
+        for replica_names in residuals.values():
+            wanted.update(replica_names)
+        values = self.backend.read_variables(sorted(wanted))
+        state: Dict[str, np.ndarray] = {}
+        for base, name in names.items():
+            if base in residuals:
+                total = values[residuals[base][0]].copy()
+                for other in residuals[base][1:]:
+                    total += values[other]
+                state[base] = total
+            else:
+                state[base] = values[name]
+        return state
 
     def save(self, path: Optional[str] = None) -> str:
         """Write all logical variable values to an ``.npz`` checkpoint."""

@@ -25,13 +25,19 @@ by tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.cluster.plan import SyncMethod, fusion_buckets
 from repro.cluster.spec import ClusterSpec
+from repro.comm.compression import (
+    EF_RESIDUAL_SUFFIX,
+    is_residual_name,
+    spec_uses_error_feedback,
+    wire_fraction,
+)
 from repro.comm.ps import place_variables
 from repro.core.transform import comm_ops  # noqa: F401  (registers kernels)
 from repro.core.transform.plan import GraphSyncPlan
@@ -60,6 +66,12 @@ class TransformedGraph:
     replica_variables: Dict[str, List[str]]
     # asynchronous mode only: one train op per worker replica
     replica_train_ops: Optional[List[Tensor]] = None
+    # compression only: error-feedback residual base name (e.g.
+    # "softmax/kernel/ef_residual") -> per-replica variable names, in
+    # replica order.  Residuals are per-replica state -- every replica
+    # compresses its own gradient -- so their logical (checkpoint) value
+    # is the SUM across replicas, not replica 0's copy.
+    residual_variables: Dict[str, List[str]] = field(default_factory=dict)
 
     @property
     def num_replicas(self) -> int:
@@ -83,6 +95,7 @@ class TransformedGraph:
                 None if self.replica_train_ops is None
                 else [t.name for t in self.replica_train_ops]
             ),
+            "residual_variables": self.residual_variables,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -100,6 +113,7 @@ class TransformedGraph:
             None if state["replica_train_ops"] is None
             else [graph.get_op(n).output for n in state["replica_train_ops"]]
         )
+        self.residual_variables = state.get("residual_variables", {})
 
     @property
     def logical_variable_names(self) -> Dict[str, str]:
@@ -410,6 +424,22 @@ def transform_graph(
                 for r in range(num_replicas)
             ]
 
+    # Error-feedback residuals created by the compress stage, grouped by
+    # base name in replica order (the checkpoint/migration contract sums
+    # them; see TransformedGraph.residual_variables).
+    from repro.graph.session import split_replica_prefix
+
+    residual_variables: Dict[str, List[str]] = {}
+    for name in new_graph.variables:
+        if not is_residual_name(name):
+            continue
+        replica, base = split_replica_prefix(name)
+        residual_variables.setdefault(base, []).append((replica, name))
+    residual_variables = {
+        base: [n for _, n in sorted(entries)]
+        for base, entries in residual_variables.items()
+    }
+
     return TransformedGraph(
         graph=new_graph,
         cluster=cluster,
@@ -420,6 +450,7 @@ def transform_graph(
         ps_placement=ps_placement,
         replica_variables=replica_variables,
         replica_train_ops=replica_train_ops,
+        residual_variables=residual_variables,
     )
 
 
@@ -500,6 +531,45 @@ def _densified_grad(new_graph: Graph, var_name: str, grad: Tensor,
     return dense.output
 
 
+def _build_compress_stage(
+    new_graph: Graph,
+    plan: GraphSyncPlan,
+    group: str,
+    inputs: List[Tensor],
+    devices: List[DeviceSpec],
+) -> List[Tensor]:
+    """Insert the compress leg of compress -> communicate -> decompress.
+
+    One ``grad_compress`` op per replica, placed on the replica's device
+    (so the multiprocess backend runs it in the owning worker).  Codecs
+    that drop mass (top-k) additionally get a per-replica error-feedback
+    residual variable, ``rep<r>/<group>/ef_residual`` -- a plain graph
+    variable, which is what makes the residual pickle to workers, ride
+    checkpoints, and re-shard through the elastic migration like any
+    optimizer slot.
+    """
+    from repro.graph.variables import zeros_initializer
+
+    needs_residual = spec_uses_error_feedback(plan.compression)
+    payloads: List[Tensor] = []
+    for r, grad in enumerate(inputs):
+        attrs = {"codec": plan.compression, "ratio": plan.compression_ratio}
+        if needs_residual:
+            residual = Variable(
+                f"rep{r}/{group}{EF_RESIDUAL_SUFFIX}", grad.spec.shape,
+                initializer=zeros_initializer, trainable=False,
+                graph=new_graph, device=devices[r],
+            )
+            attrs["residual"] = residual.name
+        cop = new_graph.add_op(
+            "grad_compress", [grad], grad.spec,
+            name=f"compress/{group}/rep{r}", attrs=attrs,
+            device=devices[r],
+        )
+        payloads.append(cop.output)
+    return payloads
+
+
 def _build_fused_collective_updates(
     new_graph: Graph,
     plan: GraphSyncPlan,
@@ -530,15 +600,20 @@ def _build_fused_collective_updates(
         for name in var_names
     ]
     cap_bytes = plan.fusion_buffer_mb * 1024 * 1024
+    # Buckets are capped by *on-wire* bytes: under compression a segment
+    # occupies wire_fraction of its raw size, so the same buffer cap
+    # holds proportionally more gradient elements per collective.
+    if plan.compression is None:
+        bucket_sizes = [s * 4.0 for s in sizes]
+    else:
+        fraction = wire_fraction(plan.compression, plan.compression_ratio)
+        bucket_sizes = [s * 4.0 * fraction for s in sizes]
     updates: List[Operation] = []
-    for b, bucket in enumerate(fusion_buckets([s * 4 for s in sizes],
-                                              cap_bytes)):
+    for b, bucket in enumerate(fusion_buckets(bucket_sizes, cap_bytes)):
         names = [var_names[i] for i in bucket]
         seg_sizes = [sizes[i] for i in bucket]
         total = sum(seg_sizes)
         group = f"fused/bucket{b}"
-        perm, inv_perm, bounds = fused_segment_layout(seg_sizes,
-                                                      num_replicas)
         buffers: List[Tensor] = []
         for r in range(num_replicas):
             device = builders[r].device
@@ -560,11 +635,28 @@ def _build_fused_collective_updates(
                 device=device,
             )
             buffers.append(pack.output)
+        if plan.compression is not None:
+            # Compressed buckets exchange payloads all-to-all (a sum of
+            # top-k sets is not top-k, so there is no ring reduction);
+            # the packed-ring permutation is irrelevant to them.
+            buffers = _build_compress_stage(
+                new_graph, plan, group, buffers,
+                [builders[r].device for r in range(num_replicas)],
+            )
+            collective_type = "compressed_allreduce"
+            layout_attrs: Dict[str, object] = {}
+        else:
+            perm, inv_perm, bounds = fused_segment_layout(seg_sizes,
+                                                          num_replicas)
+            collective_type = "fused_allreduce"
+            # Shared read-only layout arrays (one copy per bucket).
+            layout_attrs = {"perm": perm, "inv_perm": inv_perm,
+                            "bounds": bounds}
         for r in range(num_replicas):
             device = builders[r].device
             collective = new_graph.add_op(
-                "fused_allreduce", buffers, buffers[r].spec,
-                name=f"fused_allreduce/{group}/rep{r}",
+                collective_type, buffers, TensorSpec((total,)),
+                name=f"{collective_type}/{group}/rep{r}",
                 attrs={
                     "group": group,
                     "replica": r,
@@ -572,10 +664,7 @@ def _build_fused_collective_updates(
                     "average": average,
                     "is_sparse": False,
                     "segments": list(zip(names, seg_sizes)),
-                    # Shared read-only layout arrays (one copy per bucket).
-                    "perm": perm,
-                    "inv_perm": inv_perm,
-                    "bounds": bounds,
+                    **layout_attrs,
                 },
                 device=device,
             )
@@ -623,10 +712,17 @@ def _build_collective_updates(
 
     op_type = ("allreduce" if method is SyncMethod.ALLREDUCE
                else "allgatherv")
+    specs = [t.spec for t in inputs]
+    if plan.compression is not None:
+        inputs = _build_compress_stage(
+            new_graph, plan, var_name, inputs,
+            [builders[r].device for r in range(len(grads))],
+        )
+        op_type = f"compressed_{op_type}"
     for r in range(len(grads)):
         replica_var = builders[r].replica_vars[var_name]
         collective = new_graph.add_op(
-            op_type, inputs, inputs[r].spec,
+            op_type, inputs, specs[r],
             name=f"{op_type}/{var_name}/rep{r}",
             attrs={
                 "group": var_name,

@@ -39,7 +39,7 @@ EdgeFn = Callable[[Operation], Optional[List[EdgeSpec]]]
 # completes (comm/compute overlap: a fused bucket's collective launches as
 # soon as its last contributing gradient is ready, instead of wherever the
 # depth-first topological order happens to leave it).
-COLLECTIVE_OPS = frozenset({"fused_allreduce"})
+COLLECTIVE_OPS = frozenset({"fused_allreduce", "compressed_allreduce"})
 
 
 def overlap_schedule(order: Sequence[Operation]) -> List[Operation]:

@@ -96,22 +96,66 @@ def test_cli_bench_family_flags_mutually_exclusive():
         main(["bench", "--parallel", "--iters", "0"])
 
 
-def test_bench_report_history_merging(tmp_path):
+def test_bench_report_history_merging(tmp_path, monkeypatch):
     """_write_report keeps the latest run at top level and folds earlier
-    runs into a history list -- the per-family bench trajectory."""
+    runs into a history list -- the per-family bench trajectory.  Each
+    write here happens at a distinct (fake) commit, so all of them make
+    the trajectory."""
     import json
 
-    from repro.cli import _write_report
+    import repro.cli as cli
+
+    shas = iter(["sha1", "sha2", "sha3"])
+    monkeypatch.setattr(cli, "_git_sha", lambda: next(shas))
 
     out = tmp_path / "BENCH_x.json"
-    _write_report(str(out), {"speedup": 1.0, "run": "first"})
-    _write_report(str(out), {"speedup": 2.0, "run": "second"})
-    _write_report(str(out), {"speedup": 3.0, "run": "third"})
+    cli._write_report(str(out), {"speedup": 1.0, "run": "first"})
+    cli._write_report(str(out), {"speedup": 2.0, "run": "second"})
+    cli._write_report(str(out), {"speedup": 3.0, "run": "third"})
 
     report = json.loads(out.read_text())
     assert report["run"] == "third"
+    assert report["git_sha"] == "sha3"
     assert [r["run"] for r in report["history"]] == ["first", "second"]
     assert "history" not in report["history"][0]
+
+
+def test_bench_report_history_dedups_by_sha(tmp_path, monkeypatch):
+    """A re-run at the same commit (a retried CI job) replaces that
+    commit's data point instead of double-counting it."""
+    import json
+
+    import repro.cli as cli
+
+    shas = iter(["sha1", "sha2", "sha2", "sha3"])
+    monkeypatch.setattr(cli, "_git_sha", lambda: next(shas))
+
+    out = tmp_path / "BENCH_x.json"
+    cli._write_report(str(out), {"run": "first"})
+    cli._write_report(str(out), {"run": "second"})
+    cli._write_report(str(out), {"run": "second-retry"})  # same sha2
+    cli._write_report(str(out), {"run": "third"})
+
+    report = json.loads(out.read_text())
+    assert report["run"] == "third"
+    history = report["history"]
+    # sha2 appears once, as the retry; the original run is gone.
+    assert [r["run"] for r in history] == ["first", "second-retry"]
+    assert [r["git_sha"] for r in history] == ["sha1", "sha2"]
+
+
+def test_bench_report_no_sha_always_appends(tmp_path, monkeypatch):
+    """Outside a git checkout (no SHA) the dedup is inert."""
+    import json
+
+    import repro.cli as cli
+
+    monkeypatch.setattr(cli, "_git_sha", lambda: None)
+    out = tmp_path / "BENCH_x.json"
+    cli._write_report(str(out), {"run": "first"})
+    cli._write_report(str(out), {"run": "second"})
+    report = json.loads(out.read_text())
+    assert [r["run"] for r in report["history"]] == ["first"]
 
 
 def test_bench_report_history_survives_corrupt_file(tmp_path):
@@ -168,3 +212,117 @@ def test_cli_bench_parallel_writes_report(tmp_path, capsys, monkeypatch):
     assert report["multiproc_steps_per_sec"] > 0
     assert report["controller_transport"]["messages"] > 0
     assert isinstance(report["speedup_enforced"], bool)
+
+
+def test_cli_bench_compression_writes_report(tmp_path, capsys):
+    out = tmp_path / "BENCH_compression.json"
+    assert main(["bench", "--compression", "--machines", "2", "--gpus", "2",
+                 "--iters", "8", "--warmup", "1",
+                 "--bench-output", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "Compression bench" in printed
+
+    import json
+    report = json.loads(out.read_text())
+    assert report["topk_bytes_reduction"] >= 2.0
+    assert report["topk_monotone_improving"] is True
+    assert report["topk_within_tolerance"] is True
+    assert report["fp16_within_tolerance"] is True
+    assert report["fp16_roundtrip_bit_exact"] is True
+    assert report["bytes_per_iteration"]["topk"] < \
+        report["bytes_per_iteration"]["uncompressed"]
+    simulated = report["simulated"]
+    codecs = simulated["codecs"]
+    assert codecs["topk"]["wire_bytes"] < codecs["topk"]["raw_bytes"]
+    assert codecs["uncompressed"]["wire_bytes"] == \
+        codecs["uncompressed"]["raw_bytes"]
+    assert simulated["picked_under_budget"] in ("topk", "fp16", "topk+fp16")
+
+
+def test_cli_bench_compression_flag_exclusive():
+    with pytest.raises(SystemExit):
+        main(["bench", "--compression", "--fusion"])
+    with pytest.raises(SystemExit):
+        main(["bench", "--check", "--compression"])
+
+
+def test_cli_bench_check_no_reports(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["bench", "--check"]) == 1
+    assert "no reports" in capsys.readouterr().out
+
+
+def test_cli_bench_check_passes_without_history(tmp_path, monkeypatch,
+                                                capsys):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "BENCH_engine.json").write_text(json.dumps({
+        "compiled_steps_per_sec": 100.0, "losses_bit_identical": True,
+        "history": [],
+    }))
+    assert main(["bench", "--check"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_bench_check_flags_regression(tmp_path, monkeypatch, capsys):
+    """>25% below the history median fails; a smaller dip passes."""
+    import json
+
+    from repro.cli import _host_fingerprint
+
+    monkeypatch.chdir(tmp_path)
+    host = _host_fingerprint()
+    history = [{"compiled_steps_per_sec": v, "host": host} for v in
+               (90.0, 100.0, 110.0)]  # median 100
+    (tmp_path / "BENCH_engine.json").write_text(json.dumps({
+        "compiled_steps_per_sec": 70.0, "host": host, "history": history,
+    }))
+    assert main(["bench", "--check"]) == 1
+    assert "below the history median" in capsys.readouterr().out
+
+    (tmp_path / "BENCH_engine.json").write_text(json.dumps({
+        "compiled_steps_per_sec": 80.0, "host": host, "history": history,
+    }))
+    assert main(["bench", "--check"]) == 0
+
+
+def test_cli_bench_check_ignores_other_hosts(tmp_path, monkeypatch, capsys):
+    """History measured on a different kind of machine is not a
+    performance reference: a dev workstation's steps/sec must not fail a
+    hosted CI runner."""
+    import json
+
+    from repro.cli import _host_fingerprint
+
+    monkeypatch.chdir(tmp_path)
+    history = [{"compiled_steps_per_sec": 1000.0,
+                "host": "workstation-64c"}]
+    (tmp_path / "BENCH_engine.json").write_text(json.dumps({
+        "compiled_steps_per_sec": 10.0, "host": _host_fingerprint(),
+        "history": history,
+    }))
+    assert main(["bench", "--check"]) == 0
+    assert "0 throughput keys compared" in capsys.readouterr().out
+
+
+def test_cli_bench_check_flags_contract_violations(tmp_path, monkeypatch,
+                                                   capsys):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "BENCH_engine.json").write_text(json.dumps({
+        "losses_bit_identical": False, "history": [],
+    }))
+    assert main(["bench", "--check"]) == 1
+    assert "losses_bit_identical" in capsys.readouterr().out
+
+    # Bytes conservation: fused vs unfused AllReduce totals must agree.
+    (tmp_path / "BENCH_engine.json").write_text(json.dumps({
+        "losses_bit_identical": True,
+        "allreduce_records": {"fused": {"bytes": 10, "messages": 1},
+                              "unfused": {"bytes": 12, "messages": 3}},
+        "history": [],
+    }))
+    assert main(["bench", "--check"]) == 1
+    assert "not conserved" in capsys.readouterr().out
