@@ -298,6 +298,32 @@ def bench(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
     )
 
     identical = losses["interpreted"] == losses["compiled"]
+
+    # Buffer-arena telemetry from the compiled runner's step plans: how
+    # many intermediate slots write into preallocated storage, what that
+    # storage cost once at compile time, and what fraction of the run's
+    # output bytes it served (steady-state steps allocate nothing, so
+    # the rate converges to 1 over the measured window).
+    from repro.graph.bufferplan import fusion_chains
+
+    measured_steps = warmup + iters
+    arena_bytes = arena_slot_bytes = arena_slots = 0
+    fused_chains = fused_ops = 0
+    for plan in runners["compiled"].step_plans:
+        bplan = plan._ensure_buffer_plan()
+        if bplan is None:
+            continue
+        arena_bytes += bplan.arena_bytes
+        arena_slot_bytes += bplan.arena_slot_bytes
+        arena_slots += bplan.arena_slots
+        chains = fusion_chains(plan, bplan)
+        fused_chains += len(chains)
+        fused_ops += sum(c.end - c.start + 1 for c in chains)
+    arena_reuse_rate = (
+        1.0 - arena_bytes / (measured_steps * arena_slot_bytes)
+        if arena_slot_bytes else 0.0
+    )
+
     report = {
         "workload": "quickstart_hybrid_lm",
         "cluster": {"machines": cluster.num_machines,
@@ -309,6 +335,12 @@ def bench(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
         "speedup": speedup,
         "median_block_speedup": median_ratio,
         "losses_bit_identical": identical,
+        "arena_bytes": arena_bytes,
+        "arena_slot_bytes_per_step": arena_slot_bytes,
+        "arena_slots": arena_slots,
+        "arena_reuse_rate": arena_reuse_rate,
+        "fused_chains": fused_chains,
+        "fused_ops": fused_ops,
     }
     _write_report(output, report)
 
@@ -318,6 +350,9 @@ def bench(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
     for engine in ("interpreted", "compiled"):
         print(f"{engine:<14}{steps_per_sec[engine]:>12.1f}")
     print(f"speedup: {speedup:.2f}x   losses bit-identical: {identical}")
+    print(f"arena: {arena_slots} slots, {arena_bytes} bytes preallocated, "
+          f"reuse rate {arena_reuse_rate:.3f} over {measured_steps} steps; "
+          f"{fused_ops} ops fused into {fused_chains} mega-kernels")
     print(f"wrote {output}")
     if not identical:
         print("ERROR: compiled and interpreted losses diverged")
@@ -687,10 +722,40 @@ def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
     steps_per_sec = {name: 1.0 / min(times[name]) for name in runners}
     speedup = min(times["inproc"]) / min(times["multiproc"])
     timing_identical = losses["inproc"] == losses["multiproc"]
-    transport_stats = runners["multiproc"].backend.transport.stats
+    mp_backend = runners["multiproc"].backend
+    transport_stats = mp_backend.transport.stats
+    transport_kind = mp_backend.transport_kind
+    num_workers = mp_backend.transport.num_workers
+    serialization = dict(mp_backend.serialization_totals)
     runners["multiproc"].close()
     speedup_required = cpu_count >= 4
     speedup_ok = (not speedup_required) or speedup >= 1.5
+
+    # Calibrate the cost model's host-transport constants from the run's
+    # own telemetry and check the simulated multiprocess goodput against
+    # the measurement.  The prediction only means something when the
+    # replicas actually ran in parallel, so the 20% tracking band is
+    # asserted on >= 4-core hosts only (same gate as the speedup).
+    from repro.cluster.costmodel import (
+        fit_transport_constants,
+        predict_multiproc_goodput,
+    )
+
+    measured_steps = max(1, warmup + iters)
+    fitted = fit_transport_constants([serialization])
+    predicted = predict_multiproc_goodput(
+        steps_per_sec["inproc"], num_workers, cpu_count,
+        serialization.get("pickle_bytes", 0) / measured_steps,
+        serialization.get("shm_bytes", 0) / measured_steps,
+        fitted,
+    )
+    measured = steps_per_sec["multiproc"]
+    prediction_error = (abs(predicted - measured) / measured
+                        if measured > 0 else None)
+    prediction_enforced = speedup_required
+    prediction_ok = (not prediction_enforced
+                     or (prediction_error is not None
+                         and prediction_error <= 0.20))
 
     report = {
         "workload": "parallel_lm",
@@ -707,6 +772,13 @@ def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
         "timing_losses_bit_identical": timing_identical,
         "matrix": matrix,
         "controller_transport": transport_stats,
+        "transport_kind": transport_kind,
+        "serialization": serialization,
+        "fitted_c_serialize": fitted.c_serialize,
+        "fitted_shm_bw": fitted.shm_bw,
+        "predicted_multiproc_steps_per_sec": predicted,
+        "prediction_error": prediction_error,
+        "prediction_enforced": prediction_enforced,
     }
     _write_report(output, report)
 
@@ -721,12 +793,25 @@ def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
     bad = [row for row in matrix if not row["losses_bit_identical"]]
     print(f"bit-identity matrix: {len(matrix) - len(bad)}/{len(matrix)} "
           "arch x plan combinations identical")
+    print(f"transport: {transport_kind} — "
+          f"shm {serialization.get('shm_bytes', 0):,.0f} B / "
+          f"pickle {serialization.get('pickle_bytes', 0):,.0f} B, "
+          f"{serialization.get('fallbacks', 0):.0f} ring fallbacks")
+    if prediction_error is not None:
+        print(f"cost model: predicted {predicted:.1f} steps/sec "
+              f"vs measured {measured:.1f} "
+              f"({prediction_error * 100:.0f}% off, "
+              f"{'enforced' if prediction_enforced else 'informational'})")
     print(f"wrote {output}")
     if not (timing_identical and matrix_identical):
         print("ERROR: multiproc and inproc losses diverged")
         return 1
     if not speedup_ok:
         print("ERROR: multiproc speedup below 1.5x on a >= 4-core machine")
+        return 1
+    if not prediction_ok:
+        print("ERROR: calibrated cost model tracks measured multiproc "
+              "goodput worse than 20% on a >= 4-core machine")
         return 1
     return 0
 

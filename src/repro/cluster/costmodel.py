@@ -105,6 +105,16 @@ class CostModel:
     # collective (mirrors c_collective_launch on the compute side).
     c_compress_launch: float = 2e-5
 
+    # ---- host transport (multiprocess backend serialization) -----------
+    # Seconds per byte to pickle a payload onto a queue-based transport
+    # (the PR-4 worker path).  Default 0.0 keeps every pre-existing
+    # simulator output exact; `fit_transport_constants` calibrates it
+    # from the ShmTransport's measured telemetry counters.
+    c_serialize: float = 0.0
+    # Bytes/sec the shared-memory ring moves bulk payloads at (one copy
+    # in, one copy out of /dev/shm).
+    shm_bw: float = 8.0e9
+
     # ---- elastic runtime (recovery and rescale downtime pricing) -------
     # Bandwidth at which one machine serializes/deserializes logical state
     # for a checkpoint or restore (local NVMe-class storage).
@@ -119,11 +129,12 @@ class CostModel:
 
     def __post_init__(self):
         for name in ("nccl_bw", "intra_bw", "mpi_bw", "ps_nic_bw",
-                     "worker_stream_bw", "ckpt_bw", "compress_throughput"):
+                     "worker_stream_bw", "ckpt_bw", "compress_throughput",
+                     "shm_bw"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         for name in ("c_failure_detect", "c_worker_respawn",
-                     "c_plan_compile", "c_compress_launch"):
+                     "c_plan_compile", "c_compress_launch", "c_serialize"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
         if not 0.0 <= self.dense_ps_overlap <= 1.0:
@@ -174,6 +185,64 @@ def union_alpha(alpha: float, k: int, zipf_overlap: float) -> float:
         raise ValueError("k must be >= 1")
     independent = 1.0 - (1.0 - alpha) ** k
     return alpha + (1.0 - zipf_overlap) * (independent - alpha)
+
+
+def fit_transport_constants(samples, base: "CostModel" = None) -> "CostModel":
+    """Calibrate ``c_serialize`` / ``shm_bw`` from transport telemetry.
+
+    *samples* is an iterable of per-step counter dicts as produced by the
+    multiprocess backend's ``transport/step`` transcript notes (and
+    accumulated in ``MultiprocBackend.serialization_totals``): the keys
+    used are ``pickle_bytes`` / ``serialize_s`` for the pickle path and
+    ``shm_bytes`` / ``deserialize_s`` + ``serialize_s`` for the ring
+    path.  Measurements that would produce degenerate constants (no
+    bytes moved, or zero measured time) leave the corresponding default
+    untouched.
+    """
+    base = base if base is not None else DEFAULT_COST_MODEL
+    pickle_bytes = pickle_s = shm_bytes = shm_s = 0.0
+    for counters in samples:
+        pb = float(counters.get("pickle_bytes", 0))
+        sb = float(counters.get("shm_bytes", 0))
+        wall = (float(counters.get("serialize_s", 0.0))
+                + float(counters.get("deserialize_s", 0.0)))
+        total = pb + sb
+        if total <= 0 or wall <= 0:
+            continue
+        # Wall time is attributed to the two paths by bytes moved; on
+        # homogeneous steps (all-shm or all-pickle) this is exact.
+        pickle_bytes += pb
+        shm_bytes += sb
+        pickle_s += wall * (pb / total)
+        shm_s += wall * (sb / total)
+    overrides = {}
+    if pickle_bytes > 0 and pickle_s > 0:
+        overrides["c_serialize"] = pickle_s / pickle_bytes
+    if shm_bytes > 0 and shm_s > 0:
+        overrides["shm_bw"] = shm_bytes / shm_s
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def predict_multiproc_goodput(inproc_steps_per_sec: float, num_workers: int,
+                              cpu_count: int, pickle_bytes_per_step: float,
+                              shm_bytes_per_step: float,
+                              cost: "CostModel" = None) -> float:
+    """Predicted multiprocess steps/sec from the in-process rate.
+
+    Replicas run concurrently up to the host's core count, so compute
+    time shrinks by ``min(num_workers, cpu_count)``; the per-step
+    transport bill (pickled control bytes at ``c_serialize`` sec/byte,
+    ring payload bytes at ``shm_bw``) is paid on the controller's
+    critical path and does not parallelize.
+    """
+    if inproc_steps_per_sec <= 0 or num_workers < 1:
+        return 0.0
+    cost = cost if cost is not None else DEFAULT_COST_MODEL
+    parallelism = max(1, min(num_workers, cpu_count))
+    compute_s = 1.0 / inproc_steps_per_sec / parallelism
+    transport_s = (pickle_bytes_per_step * cost.c_serialize
+                   + shm_bytes_per_step / cost.shm_bw)
+    return 1.0 / (compute_s + transport_s)
 
 
 DEFAULT_COST_MODEL = CostModel()

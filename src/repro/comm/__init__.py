@@ -10,6 +10,7 @@ from repro.comm.transcript import Note, Transcript, Transfer, merge_transcripts
 from repro.comm.transport import (
     InMemoryTransport,
     MultiprocTransport,
+    ShmTransport,
     Transport,
 )
 from repro.comm.allreduce import ring_allreduce, ring_allreduce_mean
@@ -28,6 +29,7 @@ __all__ = [
     "Transport",
     "InMemoryTransport",
     "MultiprocTransport",
+    "ShmTransport",
     "ring_allreduce",
     "ring_allreduce_mean",
     "ring_allgatherv",

@@ -1,0 +1,229 @@
+"""Shared-memory ring buffers: the zero-copy payload plane.
+
+The multiprocess transport of PR 4 moves every tensor through
+``pickle.dumps`` -> pipe -> ``pickle.loads``: three full copies of every
+byte (serialize, kernel pipe write/read, deserialize) plus the pickle
+framing CPU.  This module provides the storage half of the fix: a
+single-producer / single-consumer byte ring over one
+``multiprocessing.shared_memory`` segment per directed rank pair.  The
+producer copies an ndarray into the ring **once** at ``send`` (that copy
+*is* the freeze-at-send semantics the queue transport got from eager
+pickling) and publishes only a tiny header through the existing queue;
+the consumer views the ring and copies out once at ``recv``.
+
+Correctness notes:
+
+* Rings are created by the controller *before* it forks workers, so
+  every process inherits the same mapping -- there is no attach path and
+  no name lookup on the hot path.
+* The head/tail cursors live in the segment itself.  Python cannot
+  update an 8-byte counter atomically through a memoryview, so a torn
+  read could make the producer overestimate free space and overwrite
+  live data; a per-ring ``multiprocessing.Lock`` therefore guards every
+  cursor access.  The lock covers ~16 bytes of bookkeeping, never the
+  bulk copy.
+* Every message carries a generation (sequence) prefix written by the
+  producer and validated by the consumer, so a protocol bug that
+  overwrites an unconsumed slot fails loudly and deterministically
+  instead of silently corrupting tensors.
+* ``try_reserve`` failing (ring full, payload oversized) is not an
+  error: the transport falls back to the pickle path, which keeps the
+  system deadlock-free by construction -- a full ring can always drain
+  because its consumer never blocks on this producer.
+* Only the creating process ever ``unlink``s (guarded by pid), so a
+  fork-inherited copy being garbage collected in a worker cannot tear
+  the segment out from under the fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+# /dev/shm segment name prefix; the CI leak check and the hygiene tests
+# scan for this.
+SHM_PREFIX = "pxring"
+
+# Message parts are padded to this alignment so int64/float64 views of
+# the ring are always aligned no matter how the ring position drifts.
+_ALIGN = 16
+# Per-message prefix: 8-byte sequence number, padded to _ALIGN.
+_PREFIX = _ALIGN
+# Ring bookkeeping at the start of the segment: head and tail cursors.
+_CURSORS = 16
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class ShmRingError(RuntimeError):
+    """A ring-protocol violation (generation mismatch, bad release)."""
+
+
+class ShmRing:
+    """SPSC byte ring over one shared-memory segment.
+
+    One process writes (``try_write``), one other process reads
+    (``read`` + ``release``); release order must equal write order,
+    which the transport guarantees by decoding queue arrivals
+    immediately and in order.
+    """
+
+    def __init__(self, capacity: int, lock, name: Optional[str] = None):
+        from multiprocessing import shared_memory
+
+        capacity = _align(int(capacity))
+        if capacity < 4 * _ALIGN:
+            raise ValueError("ring capacity too small")
+        if name is None:
+            name = f"{SHM_PREFIX}_{os.getpid()}_{secrets.token_hex(4)}"
+        self.capacity = capacity
+        self._lock = lock
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=_CURSORS + capacity, name=name
+        )
+        self.creator_pid = os.getpid()
+        struct.pack_into("<QQ", self.shm.buf, 0, 0, 0)
+        self._next_seq = 0
+        self._destroyed = False
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    # -- cursor helpers (call with self._lock held) ----------------------
+    def _cursors(self) -> Tuple[int, int]:
+        return struct.unpack_from("<QQ", self.shm.buf, 0)
+
+    def used_bytes(self) -> int:
+        """Bytes currently reserved and not yet released (0 when idle)."""
+        with self._lock:
+            head, tail = self._cursors()
+        return int(head - tail)
+
+    # -- producer side ---------------------------------------------------
+    def try_reserve(self, nbytes: int) -> Optional[Tuple[int, int, int]]:
+        """Reserve ``nbytes`` of contiguous space (prefix included).
+
+        Returns ``(pos, advance, seq)`` or ``None`` when the ring cannot
+        hold the message right now.  ``advance`` includes any wrap
+        padding and is what ``release`` must consume.
+        """
+        total = _align(int(nbytes))
+        if total > self.capacity // 2:
+            return None
+        with self._lock:
+            head, tail = self._cursors()
+            free = self.capacity - (head - tail)
+            pos = head % self.capacity
+            pad = 0
+            if pos + total > self.capacity:
+                pad = self.capacity - pos
+                pos = 0
+            if pad + total > free:
+                return None
+            struct.pack_into("<Q", self.shm.buf, 0, head + pad + total)
+        seq = self._next_seq
+        self._next_seq += 1
+        struct.pack_into("<Q", self.shm.buf, _CURSORS + pos, seq)
+        return pos, pad + total, seq
+
+    def try_write(self, arrays: Sequence[np.ndarray]
+                  ) -> Optional[Tuple[int, int, int, Tuple[int, ...]]]:
+        """Copy *arrays* into the ring as one message.
+
+        Returns ``(pos, advance, seq, part_offsets)`` -- offsets are
+        relative to the message start -- or ``None`` on no-space.
+        """
+        offs: List[int] = []
+        total = _PREFIX
+        for a in arrays:
+            offs.append(total)
+            total += _align(a.nbytes)
+        reserved = self.try_reserve(total)
+        if reserved is None:
+            return None
+        pos, advance, seq = reserved
+        base = _CURSORS + pos
+        for a, off in zip(arrays, offs):
+            dst = np.ndarray(a.shape, dtype=a.dtype, buffer=self.shm.buf,
+                             offset=base + off)
+            np.copyto(dst, a, casting="no")
+            del dst
+        return pos, advance, seq, tuple(offs)
+
+    # -- consumer side ---------------------------------------------------
+    def read(self, pos: int, seq: int,
+             parts: Sequence[Tuple[str, Tuple[int, ...], int]]
+             ) -> List[np.ndarray]:
+        """Copy a message's arrays out of the ring.
+
+        ``parts`` is ``[(dtype_str, shape, offset), ...]`` as produced by
+        the transport header.  Raises :class:`ShmRingError` if the slot's
+        generation prefix does not match ``seq`` (the slot was
+        overwritten -- a protocol violation, never a data race in correct
+        operation).
+        """
+        base = _CURSORS + pos
+        (got,) = struct.unpack_from("<Q", self.shm.buf, base)
+        if got != seq:
+            raise ShmRingError(
+                f"shm ring {self.name}: generation mismatch at pos {pos} "
+                f"(expected seq {seq}, slot holds {got})"
+            )
+        out: List[np.ndarray] = []
+        for dtype_str, shape, off in parts:
+            src = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str),
+                             buffer=self.shm.buf, offset=base + off)
+            out.append(src.copy())
+            del src
+        return out
+
+    def release(self, advance: int) -> None:
+        """Return ``advance`` bytes to the producer (consumption done)."""
+        with self._lock:
+            head, tail = self._cursors()
+            if tail + advance > head:
+                raise ShmRingError(
+                    f"shm ring {self.name}: release({advance}) past head"
+                )
+            struct.pack_into("<Q", self.shm.buf, 8, tail + advance)
+
+    # -- lifecycle -------------------------------------------------------
+    def destroy(self) -> None:
+        """Close this mapping; unlink the segment in the creator process.
+
+        Idempotent.  Fork-inherited copies in workers only close their
+        own mapping -- the pid guard keeps a worker's exit from tearing
+        the segment away from live peers.
+        """
+        if self._destroyed:
+            return
+        self._destroyed = True
+        try:
+            self.shm.close()
+        except BufferError:  # a stray view still alive; mapping dies with us
+            pass
+        if os.getpid() == self.creator_pid:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def live_segments() -> List[str]:
+    """Names of this host's live transport segments (leak checks).
+
+    Scans ``/dev/shm`` where the platform exposes it (Linux); on other
+    platforms returns an empty list, which keeps the hygiene tests
+    trivially green rather than flaky.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):
+        return []
+    return sorted(n for n in os.listdir(root) if n.startswith(SHM_PREFIX))

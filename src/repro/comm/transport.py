@@ -34,8 +34,10 @@ the driving process.
 
 from __future__ import annotations
 
+import os
 import pickle
 import threading
+import time
 from collections import deque
 from typing import Dict, Optional, Tuple
 
@@ -55,6 +57,35 @@ class TransportTimeout(TransportError):
 
 def _freeze(value) -> bytes:
     return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# Serialization-cost counters every transport endpoint tracks.
+# ``pickle_bytes``/``shm_bytes`` split payload bytes by path,
+# ``copy_count`` counts bulk memcpys (one per shm side per message),
+# and the ``*_s`` entries are serialize/deserialize wall time.
+_COUNTER_ZERO = {
+    "pickle_bytes": 0,
+    "pickle_msgs": 0,
+    "shm_bytes": 0,
+    "shm_msgs": 0,
+    "copy_count": 0,
+    "fallbacks": 0,
+    "serialize_s": 0.0,
+    "deserialize_s": 0.0,
+}
+
+
+def counter_delta(now: Dict[str, float],
+                  before: Dict[str, float]) -> Dict[str, float]:
+    """``now - before`` per key (counters are monotonic accumulators)."""
+    return {k: now.get(k, 0) - before.get(k, 0) for k in _COUNTER_ZERO}
+
+
+def merge_counters(total: Dict[str, float],
+                   delta: Dict[str, float]) -> Dict[str, float]:
+    for k in _COUNTER_ZERO:
+        total[k] = total.get(k, 0) + delta.get(k, 0)
+    return total
 
 
 class Transport:
@@ -78,6 +109,11 @@ class Transport:
             raise ValueError("transport needs at least one worker rank")
         self.num_workers = num_workers
         self.transcript = Transcript()
+        # Per-endpoint serialization cost counters.  After a fork each
+        # process accumulates its own copy; the multiprocess backend
+        # ships worker deltas back with every step result so the
+        # controller can price where the bytes of a step actually went.
+        self.counters: Dict[str, float] = dict(_COUNTER_ZERO)
 
     # -- interface -------------------------------------------------------
     def send(self, src: int, dst: int, key: Tuple, value) -> None:
@@ -194,9 +230,20 @@ class MultiprocTransport(Transport):
             raise TransportError("transport is closed")
         self._check_rank(src, "source")
         self._check_rank(dst, "destination")
+        t0 = time.perf_counter()
         frozen = _freeze(value)
+        c = self.counters
+        c["serialize_s"] += time.perf_counter() - t0
+        c["pickle_bytes"] += len(frozen)
+        c["pickle_msgs"] += 1
         self._record(src, dst, key, len(frozen))
         self._inbox(dst).put((src, key, frozen))
+
+    def _thaw(self, frozen: bytes):
+        t0 = time.perf_counter()
+        value = pickle.loads(frozen)
+        self.counters["deserialize_s"] += time.perf_counter() - t0
+        return value
 
     def recv(self, dst: int, src: int, key: Tuple,
              timeout: Optional[float] = None):
@@ -207,7 +254,7 @@ class MultiprocTransport(Transport):
         want = (src, key)
         box = self._pending.get(want)
         if box:
-            return pickle.loads(box.popleft())
+            return self._thaw(box.popleft())
         inbox = self._inbox(dst)
         while True:
             try:
@@ -217,7 +264,7 @@ class MultiprocTransport(Transport):
                     f"no message {src}->{dst} {key!r} within {timeout}s"
                 ) from None
             if (got_src, got_key) == want:
-                return pickle.loads(frozen)
+                return self._thaw(frozen)
             self._pending.setdefault((got_src, got_key),
                                      deque()).append(frozen)
 
@@ -243,3 +290,183 @@ class MultiprocTransport(Transport):
             q.close()
             # Don't block interpreter exit on unflushed feeder threads.
             q.cancel_join_thread()
+
+
+class ShmTransport(MultiprocTransport):
+    """Zero-copy transport: bulk arrays ride shared-memory rings.
+
+    One SPSC :class:`~repro.comm.shm.ShmRing` per directed rank pair,
+    all created by the controller *before* the workers fork (so every
+    process inherits the mappings).  ``send`` copies an eligible payload
+    into the ring once -- that copy is the freeze-at-send semantics the
+    queue transport got from eager pickling -- and ships only a small
+    header tuple through the queue.  ``recv`` copies the payload out the
+    moment the header is dequeued (release order therefore equals write
+    order, the ring's one protocol requirement) and buffers the decoded
+    value if it was not the message being waited for.
+
+    Fallback to the parent's pickle path, keeping the fleet
+    deadlock-free and fully general, happens when the payload is
+
+    * not a plain ``ndarray`` / ``IndexedSlices`` (commands, results,
+      state dicts, scalars),
+    * an object/non-native dtype,
+    * smaller than ``min_shm_bytes`` (header overhead would dominate),
+    * larger than half the ring, or the ring is momentarily full.
+
+    Byte accounting stays deterministic: shm messages record the exact
+    payload ``nbytes`` (dtype x shape), pickle messages the frozen
+    length, so the transcript plane is a pure function of the traffic.
+    """
+
+    name = "shm"
+
+    #: Payloads below this many bytes take the pickle path.
+    DEFAULT_MIN_SHM_BYTES = 1024
+    #: Default per-ring capacity.
+    DEFAULT_RING_BYTES = 1 << 22
+
+    def __init__(self, num_workers: int, context=None,
+                 ring_bytes: int = DEFAULT_RING_BYTES,
+                 min_shm_bytes: int = DEFAULT_MIN_SHM_BYTES):
+        super().__init__(num_workers, context=context)
+        from repro.comm.shm import ShmRing
+
+        if context is None:
+            import multiprocessing as mp
+
+            context = mp
+        self.min_shm_bytes = int(min_shm_bytes)
+        self._creator_pid = os.getpid()
+        self._rings: Dict[Tuple[int, int], ShmRing] = {}
+        ranks = [CONTROLLER] + list(range(num_workers))
+        for a in ranks:
+            for b in ranks:
+                if a != b:
+                    self._rings[(a, b)] = ShmRing(ring_bytes,
+                                                  lock=context.Lock())
+
+    # -- encode / decode -------------------------------------------------
+    def _shm_parts(self, value):
+        """``(kind, arrays, extra)`` for shm-eligible values, else None."""
+        import numpy as np
+
+        from repro.tensor.sparse import IndexedSlices
+
+        if type(value) is np.ndarray:
+            if value.dtype.hasobject or not value.dtype.isnative:
+                return None
+            return "a", [value], None
+        if isinstance(value, IndexedSlices):
+            vals, idx = value.values, value.indices
+            if (type(vals) is not np.ndarray or type(idx) is not np.ndarray
+                    or vals.dtype.hasobject or not vals.dtype.isnative
+                    or idx.dtype.hasobject or not idx.dtype.isnative):
+                return None
+            return "s", [vals, idx], value.dense_shape
+        return None
+
+    def send(self, src: int, dst: int, key: Tuple, value) -> None:
+        if self._closed:
+            raise TransportError("transport is closed")
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        parts = self._shm_parts(value)
+        if parts is not None:
+            kind, arrays, extra = parts
+            nbytes = sum(int(a.nbytes) for a in arrays)
+            if nbytes >= self.min_shm_bytes:
+                t0 = time.perf_counter()
+                written = self._rings[(src, dst)].try_write(arrays)
+                if written is not None:
+                    pos, advance, seq, offs = written
+                    c = self.counters
+                    c["serialize_s"] += time.perf_counter() - t0
+                    c["shm_bytes"] += nbytes
+                    c["shm_msgs"] += 1
+                    c["copy_count"] += 1
+                    self._record(src, dst, key, nbytes)
+                    header = ("shm", pos, advance, seq, kind, extra,
+                              tuple((a.dtype.str, a.shape, off)
+                                    for a, off in zip(arrays, offs)))
+                    self._inbox(dst).put((src, key, header))
+                    return
+                self.counters["fallbacks"] += 1
+        super().send(src, dst, key, value)
+
+    def _decode(self, src: int, dst: int, payload):
+        """Materialize one queue arrival (header tuple or pickled bytes).
+
+        Shm messages must be decoded immediately on dequeue -- the copy
+        out frees the ring slot in arrival order.
+        """
+        if isinstance(payload, (bytes, bytearray)):
+            return self._thaw(payload)
+        from repro.tensor.sparse import IndexedSlices
+
+        _, pos, advance, seq, kind, extra, metas = payload
+        ring = self._rings[(src, dst)]
+        t0 = time.perf_counter()
+        try:
+            arrays = ring.read(pos, seq, metas)
+        finally:
+            ring.release(advance)
+        c = self.counters
+        c["deserialize_s"] += time.perf_counter() - t0
+        c["copy_count"] += 1
+        if kind == "a":
+            return arrays[0]
+        values, indices = arrays
+        return IndexedSlices._wrap(values, indices, tuple(extra))
+
+    def recv(self, dst: int, src: int, key: Tuple,
+             timeout: Optional[float] = None):
+        import queue as queue_mod
+
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        want = (src, key)
+        box = self._pending.get(want)
+        if box:
+            return box.popleft()  # already decoded at dequeue time
+        inbox = self._inbox(dst)
+        while True:
+            try:
+                got_src, got_key, payload = inbox.get(timeout=timeout)
+            except queue_mod.Empty:
+                raise TransportTimeout(
+                    f"no message {src}->{dst} {key!r} within {timeout}s"
+                ) from None
+            value = self._decode(got_src, dst, payload)
+            if (got_src, got_key) == want:
+                return value
+            self._pending.setdefault((got_src, got_key),
+                                     deque()).append(value)
+
+    def drain(self, dst: int) -> int:
+        import queue as queue_mod
+
+        dropped = sum(len(box) for box in self._pending.values())
+        self._pending.clear()
+        inbox = self._inbox(dst)
+        while True:
+            try:
+                got_src, _got_key, payload = inbox.get_nowait()
+            except queue_mod.Empty:
+                return dropped
+            if isinstance(payload, tuple) and payload and payload[0] == "shm":
+                # Keep ring accounting sane even for discarded messages.
+                self._rings[(got_src, dst)].release(payload[2])
+            dropped += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        super().close()
+        for ring in self._rings.values():
+            ring.destroy()
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        """The /dev/shm segment names this transport owns (hygiene tests)."""
+        return tuple(sorted(r.name for r in self._rings.values()))

@@ -47,8 +47,11 @@ import numpy as np
 from repro.comm.transport import (
     CONTROLLER,
     MultiprocTransport,
+    ShmTransport,
     Transport,
     TransportTimeout,
+    counter_delta,
+    merge_counters,
 )
 from repro.graph.executor import SPECIALIZE, _missing_kernel, plan_order
 from repro.graph.graph import Operation
@@ -303,11 +306,13 @@ def _run_worker(spec: dict, transport: Transport, rank: int) -> None:
                         f"{rank} feeds {len(feed_names)} placeholders"
                     )
                 feeds = dict(zip(feed_names, batch))
+                counters_before = dict(transport.counters)
                 values = plan.execute(session, transport, feeds)
                 losses = {name: float(values[name])
                           for name in plan.loss_names}
                 delta = (session.transcript.transfers,
-                         session.transcript.events())
+                         session.transcript.events(),
+                         counter_delta(transport.counters, counters_before))
                 session.transcript.clear()
                 transport.send(rank, CONTROLLER, ("res",),
                                ("ok", losses, delta))
@@ -444,18 +449,33 @@ class MultiprocBackend(ExecutionBackend):
 
     name = "multiproc"
 
+    #: transport kinds accepted by the ``transport`` constructor arg.
+    TRANSPORTS = ("shm", "queue")
+
     def __init__(self, start_timeout: float = 120.0,
-                 step_timeout: float = 600.0):
+                 step_timeout: float = 600.0,
+                 transport: str = "shm"):
         super().__init__()
+        if transport not in self.TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; expected one of "
+                f"{self.TRANSPORTS}"
+            )
         self.start_timeout = start_timeout
         self.step_timeout = step_timeout
+        self.transport_kind = transport
         self.transport: Optional[MultiprocTransport] = None
         self.processes: list = []
         self._var_owner: Dict[str, int] = {}
+        # Serialization-cost totals across every step this backend ran
+        # (controller + worker endpoints); per-step values also land as
+        # ``transport/step`` Notes on the transport transcript.
+        self.serialization_totals: Dict[str, float] = {}
 
     def fresh(self) -> "MultiprocBackend":
         return type(self)(start_timeout=self.start_timeout,
-                          step_timeout=self.step_timeout)
+                          step_timeout=self.step_timeout,
+                          transport=self.transport_kind)
 
     # -- lifecycle -------------------------------------------------------
     def start(self, runner) -> None:
@@ -472,7 +492,12 @@ class MultiprocBackend(ExecutionBackend):
         except ValueError:  # pragma: no cover - platform without fork
             context = mp.get_context()
         n = runner.num_replicas
-        self.transport = MultiprocTransport(n, context=context)
+        if self.transport_kind == "shm":
+            # Rings must exist before the fork below: workers inherit
+            # the mappings, so there is no attach/name-lookup path.
+            self.transport = ShmTransport(n, context=context)
+        else:
+            self.transport = MultiprocTransport(n, context=context)
         self._var_owner = self._variable_owner_map(runner.transformed)
         fetch_names = [t.op.name for t in runner._step_fetches[0]]
         self.processes = []
@@ -575,10 +600,20 @@ class MultiprocBackend(ExecutionBackend):
     def run_step(self, iteration: int) -> List[float]:
         runner = self.runner
         losses_by_name: Dict[str, float] = {}
+        step_counters: Dict[str, float] = {}
+        controller_before = dict(self.transport.counters)
         for _, losses, delta in self._command(("step", iteration)):
             losses_by_name.update(losses)
-            transfers, events = delta
+            transfers, events, worker_counters = delta
             runner.transcript.extend(transfers, events)
+            merge_counters(step_counters, worker_counters)
+        merge_counters(step_counters,
+                       counter_delta(self.transport.counters,
+                                     controller_before))
+        self.transport.transcript.note(
+            tag="transport/step", iteration=iteration, **step_counters
+        )
+        merge_counters(self.serialization_totals, step_counters)
         return [losses_by_name[t.op.name]
                 for t in runner.transformed.replica_losses]
 

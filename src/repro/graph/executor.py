@@ -142,6 +142,28 @@ def register_direct(op_type: str):
     return deco
 
 
+# Out-parameter builders for the buffer arena: op_type -> builder(op)
+# returning a positional function ``fn(*input_values, out)`` that computes
+# exactly what the DIRECT kernel computes, writing the result into ``out``
+# (a preallocated arena buffer) when the runtime values match the compile
+# time specs, and falling back to the allocating expression otherwise.
+# The returned array is stored into the value buffer either way, so a
+# fallback changes allocation behaviour only -- never values.
+DIRECT_OUT: Dict[str, Callable[[Operation], Optional[Callable]]] = {}
+
+
+def register_direct_out(op_type: str):
+    def deco(fn):
+        if op_type in DIRECT_OUT:
+            raise ValueError(
+                f"direct out-kernel for {op_type!r} already registered"
+            )
+        DIRECT_OUT[op_type] = fn
+        return fn
+
+    return deco
+
+
 def _forward_registry():
     # Imported lazily (compile time only) so kernel modules may import
     # this one to register specializations without a cycle.
@@ -181,7 +203,8 @@ class CompiledPlan:
     __slots__ = ("graph", "version", "fetch_names", "num_slots", "schedule",
                  "target_slots", "slot_of_name", "placeholder_names",
                  "placeholder_slots", "has_edges", "call_hook",
-                 "_specialized", "_codegen", "_exec_count")
+                 "_specialized", "_codegen", "_exec_count",
+                 "_buffer_plan", "_arena")
 
     # Process-wide count of plan compilations.  Purely observational: the
     # elastic runtime asserts (and reports) that a rescale really paid the
@@ -235,6 +258,8 @@ class CompiledPlan:
         self._specialized = specialized
         self._codegen = None
         self._exec_count = 0
+        self._buffer_plan = None
+        self._arena: List[np.ndarray] = []
 
     def __reduce__(self):
         """Serialize as (graph, fetch signature); loading re-compiles.
@@ -337,15 +362,53 @@ class CompiledPlan:
         constants become literals, DIRECT kernels are called positionally,
         and specialized kernels skip the ``_current_op`` bookkeeping they
         contractually ignore.
+
+        Both variants route arena-planned forward ops through guarded
+        out-parameter kernels writing into preallocated buffers (see
+        ``repro.graph.bufferplan``).  The fast variant additionally
+        expands shared vjp rules into per-node arena kernels and fuses
+        maximal runs of adjacent elementwise calls into generated
+        mega-kernels whose interior values never touch the value buffer.
         """
-        checked = self._emit(checked=True)
-        fast = None if self.call_hook else self._emit(checked=False)
+        bplan = self._ensure_buffer_plan()
+        checked = self._emit(checked=True, bplan=bplan)
+        fast = None if self.call_hook else self._emit(checked=False,
+                                                      bplan=bplan)
         return checked, fast
 
-    def _emit(self, checked: bool):
+    # -- buffer arena ----------------------------------------------------
+    def _ensure_buffer_plan(self):
+        """Compute (once) the liveness/alias buffer plan and allocate the
+        arena.  Plans with a ``_before_kernel`` hook stay on the generic
+        kernel convention and get no arena."""
+        if self._buffer_plan is None and not self.call_hook:
+            from repro.graph.bufferplan import build_buffer_plan
+
+            self._buffer_plan = build_buffer_plan(self)
+            self._arena = [np.empty(shape, dtype=np.dtype(dt))
+                           for shape, dt in self._buffer_plan.buffers]
+        return self._buffer_plan
+
+    @property
+    def arena_bytes(self) -> int:
+        bp = self._ensure_buffer_plan()
+        return bp.arena_bytes if bp is not None else 0
+
+    @property
+    def arena_slots(self) -> int:
+        bp = self._ensure_buffer_plan()
+        return bp.arena_slots if bp is not None else 0
+
+    def arena_reuse_rate(self, steps: int = 1) -> float:
+        bp = self._ensure_buffer_plan()
+        return bp.arena_reuse_rate(steps) if bp is not None else 0.0
+
+    def _emit(self, checked: bool, bplan=None):
         from repro.graph import ops as ops_mod
 
         ns: Dict[str, object] = {"NB": nbytes_of}
+        for b, arr in enumerate(self._arena):
+            ns[f"A{b}"] = arr
         signature = "(session, buf, fed)" if checked else "(session, buf)"
         lines: List[str] = [f"def _run{signature}:",
                             "    rc = {}",
@@ -362,6 +425,22 @@ class CompiledPlan:
         if self.call_hook:
             lines.append("    hook = session._before_kernel")
 
+        # Mega-kernel fusion (fast variant only): adjacent arena calls
+        # collapse into generated helper functions emitted ahead of _run.
+        header: List[str] = []
+        chain_by_start: Dict[int, tuple] = {}
+        chain_members: set = set()
+        if bplan is not None and not checked:
+            from repro.graph.bufferplan import fusion_chains
+
+            for ch in fusion_chains(self, bplan):
+                escapes = [s for s in ch.members
+                           if bplan.slot_last_use.get(s, s) > ch.end]
+                if not escapes:
+                    continue
+                chain_by_start[ch.start] = (ch, escapes)
+                chain_members.update(ch.members)
+
         vjp_ids: Dict[tuple, int] = {}
         edge_id = 0
         emit = lines.append
@@ -374,6 +453,17 @@ class CompiledPlan:
                 if op.op_type == "placeholder":
                     continue  # fast path: every placeholder is fed
                 ind = "    "
+
+            if i in chain_members:
+                entry = chain_by_start.get(i)
+                if entry is None:
+                    continue  # interior: emitted by its chain head
+                ch, escapes = entry
+                params = self._emit_chain(ns, header, bplan, ch, escapes)
+                targets = ", ".join(f"buf[{s}]" for s in escapes)
+                call = ", ".join(f"buf[{p}]" for p in params)
+                emit(f"{ind}{targets} = _F{ch.start}({call})")
+                continue
 
             def emit_edges():
                 nonlocal edge_id
@@ -396,6 +486,21 @@ class CompiledPlan:
                 emit(f"{ind}hook(O{i}, _in)")
                 emit(f"{ind}buf[{i}] = K{i}(O{i}, _in, session)")
                 continue
+            if op.op_type == "vjp" and bplan is not None and not checked:
+                # Expanded nodes bypass the shared-rule cache entirely:
+                # alias nodes copy the gradient reference, call nodes run
+                # a guarded single-output kernel into their arena buffer.
+                exp = bplan.expansions.get(i)
+                if exp is not None:
+                    emit_edges()
+                    if exp.kind == "alias":
+                        emit(f"{ind}buf[{i}] = buf[{exp.args[0]}]")
+                    else:
+                        ns[f"X{i}"] = exp.fn
+                        a = ", ".join(f"buf[{s}]" for s in exp.args)
+                        emit(f"{ind}buf[{i}] = "
+                             f"X{i}({a}, A{bplan.assignment[i]})")
+                    continue
             if op.op_type == "vjp" and inline_vjp:
                 fwd_op = self.graph.get_op(op.attrs["forward_op"])
                 rule = ops_mod.VJP.get(fwd_op.op_type)
@@ -432,6 +537,13 @@ class CompiledPlan:
                 ns[f"C{i}"] = op.attrs["value"]
                 emit(f"{ind}buf[{i}] = C{i}")
                 continue
+            if bplan is not None and i in bplan.out_fns:
+                emit_edges()
+                ns[f"W{i}"] = bplan.out_fns[i]
+                call_args = ", ".join(f"buf[{j}]" for j in input_slots)
+                emit(f"{ind}buf[{i}] = "
+                     f"W{i}({call_args}, A{bplan.assignment[i]})")
+                continue
             if i not in self._specialized:
                 direct_builder = DIRECT.get(op.op_type)
                 direct = (direct_builder(op) if direct_builder is not None
@@ -455,7 +567,50 @@ class CompiledPlan:
         lines.append("    session._current_op = None")
 
         variant = "checked" if checked else "fast"
-        code = compile("\n".join(lines),
+        code = compile("\n".join(header + lines),
                        f"<plan/{variant} {self.fetch_names[:2]}...>", "exec")
         exec(code, ns)
         return ns["_run"]
+
+    def _emit_chain(self, ns: Dict[str, object], header: List[str],
+                    bplan, chain, escapes: List[int]) -> List[int]:
+        """Emit one fused mega-kernel ``_F<start>`` into *header*.
+
+        Interior values live in locals ``t<slot>``; only *escapes* (slots
+        consumed outside the chain) are returned to the caller for
+        storing into the value buffer.  Returns the ordered external
+        input slots forming the call signature.
+        """
+        produced = set(chain.members)
+        params: List[int] = []
+        param_ix: Dict[int, str] = {}
+
+        def ref(j: int) -> str:
+            if j in produced:
+                return f"t{j}"
+            name = param_ix.get(j)
+            if name is None:
+                name = param_ix[j] = f"x{len(params)}"
+                params.append(j)
+            return name
+
+        body: List[str] = []
+        for s in chain.members:
+            op, _kernel, input_slots, _slot, _edges = self.schedule[s]
+            exp = bplan.expansions.get(s)
+            if exp is not None and exp.kind == "alias":
+                body.append(f"    t{s} = {ref(exp.args[0])}")
+            elif exp is not None:
+                ns[f"X{s}"] = exp.fn
+                args = ", ".join(ref(a) for a in exp.args)
+                body.append(f"    t{s} = X{s}({args}, A{bplan.assignment[s]})")
+            else:
+                ns[f"W{s}"] = bplan.out_fns[s]
+                args = ", ".join(ref(j) for j in input_slots)
+                body.append(f"    t{s} = W{s}({args}, A{bplan.assignment[s]})")
+        sig = ", ".join(param_ix[p] for p in params)
+        header.append(f"def _F{chain.start}({sig}):")
+        header.extend(body)
+        header.append("    return " + ", ".join(f"t{s}" for s in escapes))
+        header.append("")
+        return params

@@ -22,7 +22,11 @@ import numpy as np
 
 import operator
 
-from repro.graph.executor import register_direct, register_specialization
+from repro.graph.executor import (
+    register_direct,
+    register_direct_out,
+    register_specialization,
+)
 from repro.graph.graph import Graph, Tensor, get_default_graph
 from repro.tensor import math as k
 from repro.tensor.dense import TensorSpec, as_array
@@ -603,3 +607,185 @@ def _softmax_xent_direct(op):
         return np.float32(k.softmax_xent(logits, labels))
 
     return softmax_xent_direct
+
+
+# ======================================================================
+# Out-parameter kernels for the buffer arena
+# ======================================================================
+# Each builder returns ``fn(*inputs, out)`` writing into a preallocated
+# arena buffer.  Every fn guards the runtime values against the compile
+# time assumptions (exact ndarray type, matching dtype/shape) and falls
+# back to the allocating DIRECT expression on any mismatch, so a stale
+# spec or a sparse value degrades to extra allocation -- never to a
+# wrong or silently-cast result.  The ``out=`` forms invoke the same
+# ufunc / BLAS routine as their allocating twins with an output of the
+# same dtype, so results are bitwise identical.
+
+def _is_dense(a, out):
+    return type(a) is np.ndarray and a.dtype == out.dtype
+
+
+@register_direct_out("matmul")
+def _matmul_out(op):
+    def matmul_out(a, b, out):
+        if (_is_dense(a, out) and _is_dense(b, out)
+                and a.ndim == 2 and b.ndim == 2 and out.ndim == 2
+                and out.shape == (a.shape[0], b.shape[1])):
+            return np.matmul(a, b, out=out)
+        return a @ b
+
+    return matmul_out
+
+
+@register_direct_out("add")
+def _add_out(op):
+    def add_out(a, b, out):
+        if (_is_dense(a, out) and _is_dense(b, out)
+                and a.shape == out.shape and b.shape == out.shape):
+            return np.add(a, b, out=out)
+        return a + b
+
+    return add_out
+
+
+@register_direct_out("mul")
+def _mul_out(op):
+    def mul_out(a, b, out):
+        if (_is_dense(a, out) and _is_dense(b, out)
+                and a.shape == out.shape and b.shape == out.shape):
+            return np.multiply(a, b, out=out)
+        return a * b
+
+    return mul_out
+
+
+@register_direct_out("add_bias")
+def _add_bias_out(op):
+    def add_bias_out(x, b, out):
+        if (_is_dense(x, out) and _is_dense(b, out)
+                and x.shape == out.shape and x.ndim >= 1
+                and b.shape == x.shape[-1:]):
+            return np.add(x, b, out=out)
+        return k.add_bias(x, b)
+
+    return add_bias_out
+
+
+@register_direct_out("tanh")
+def _tanh_out(op):
+    def tanh_out(x, out):
+        if _is_dense(x, out) and x.shape == out.shape:
+            return np.tanh(x, out=out)
+        return k.tanh(x)
+
+    return tanh_out
+
+
+@register_direct_out("relu")
+def _relu_out(op):
+    def relu_out(x, out):
+        if _is_dense(x, out) and x.shape == out.shape:
+            return np.maximum(x, 0.0, out=out)
+        return k.relu(x)
+
+    return relu_out
+
+
+@register_direct_out("sigmoid")
+def _sigmoid_out(op):
+    def sigmoid_out(x, out):
+        if _is_dense(x, out) and x.shape == out.shape:
+            return k.sigmoid_out(x, out)
+        return k.sigmoid(x)
+
+    return sigmoid_out
+
+
+@register_direct_out("scale")
+def _scale_out(op):
+    factor = op.attrs["factor"]
+
+    def scale_out(value, out):
+        if _is_dense(value, out) and value.shape == out.shape:
+            return np.multiply(value, factor, out=out)
+        if isinstance(value, IndexedSlices):
+            return value.scale(factor)
+        return value * factor
+
+    return scale_out
+
+
+# Out-parameter expansions of the shared vjp rules, used by generated
+# plans to turn one multi-output rule call into per-node single-output
+# kernels that write into arena buffers.  Keyed by forward op type; each
+# builder receives (fwd_op, input_index) and returns
+# ``(relative_arg_positions, fn)`` -- positions index the vjp node's
+# input list ``[*fwd_inputs, output, grad]`` -- or None when that index
+# of that rule cannot be expanded.  Fallback branches replicate the
+# exact expression the generic rule uses for that output index.
+VJP_OUT: Dict[str, Callable] = {}
+
+
+def _register_vjp_out(op_type: str):
+    def deco(fn):
+        VJP_OUT[op_type] = fn
+        return fn
+
+    return deco
+
+
+@_register_vjp_out("tanh")
+def _tanh_vjp_out(fwd_op, index):
+    def fn(y, g, out):
+        if (_is_dense(y, out) and _is_dense(g, out)
+                and y.shape == out.shape and g.shape == out.shape):
+            return k.tanh_grad_out(y, g, out)
+        return k.tanh_grad(y, g)
+
+    return (1, 2), fn  # (output, grad)
+
+
+@_register_vjp_out("sigmoid")
+def _sigmoid_vjp_out(fwd_op, index):
+    def fn(y, g, out):
+        if (_is_dense(y, out) and _is_dense(g, out)
+                and y.shape == out.shape and g.shape == out.shape):
+            return k.sigmoid_grad_out(y, g, out)
+        return k.sigmoid_grad(y, g)
+
+    return (1, 2), fn  # (output, grad)
+
+
+@_register_vjp_out("relu")
+def _relu_vjp_out(fwd_op, index):
+    def fn(x, g, out):
+        if (_is_dense(x, out) and _is_dense(g, out)
+                and x.shape == out.shape and g.shape == out.shape):
+            return k.relu_grad_out(x, g, out)
+        return k.relu_grad(x, g)
+
+    return (0, 2), fn  # (fwd input, grad)
+
+
+@_register_vjp_out("mul")
+def _mul_vjp_out(fwd_op, index):
+    def fn(g, other, out):
+        if (_is_dense(g, out) and _is_dense(other, out)
+                and g.shape == out.shape and other.shape == out.shape):
+            return np.multiply(g, other, out=out)
+        return g * other
+
+    # d(a*b)/da = g * b (other = input 1); d/db = g * a (other = input 0).
+    return (3, 1 - index), fn
+
+
+@_register_vjp_out("scale")
+def _scale_vjp_out(fwd_op, index):
+    factor = fwd_op.attrs["factor"]
+
+    def fn(g, out):
+        if _is_dense(g, out) and g.shape == out.shape:
+            return np.multiply(g, factor, out=out)
+        return g * factor
+
+    return (2,), fn  # (grad,)

@@ -86,6 +86,52 @@ def sigmoid_grad(y: np.ndarray, g: np.ndarray) -> np.ndarray:
 
 
 # ----------------------------------------------------------------------
+# Out-parameter twins for the buffer arena
+# ----------------------------------------------------------------------
+# Each *_out kernel performs exactly the ufunc sequence of its allocating
+# twin above, writing the result into a caller-provided buffer whose
+# dtype matches the operands (so no cast is introduced anywhere) --
+# results are bitwise identical by construction.  Callers (the generated
+# plans) guard shape/dtype/type compatibility and fall back to the
+# allocating twin on mismatch.
+def sigmoid_out(x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    pos = x >= 0
+    neg = ~pos
+    xp = x[pos]
+    np.negative(xp, out=xp)
+    np.exp(xp, out=xp)
+    xp += 1.0
+    np.divide(1.0, xp, out=xp)
+    out[pos] = xp
+    ex = np.exp(x[neg])
+    denom = ex + 1.0
+    np.divide(ex, denom, out=denom)
+    out[neg] = denom
+    return out
+
+
+def tanh_grad_out(y: np.ndarray, g: np.ndarray,
+                  out: np.ndarray) -> np.ndarray:
+    np.multiply(y, y, out=out)
+    np.subtract(1.0, out, out=out)
+    np.multiply(out, g, out=out)
+    return out
+
+
+def sigmoid_grad_out(y: np.ndarray, g: np.ndarray,
+                     out: np.ndarray) -> np.ndarray:
+    np.multiply(g, y, out=out)
+    np.multiply(out, 1.0 - y, out=out)
+    return out
+
+
+def relu_grad_out(x: np.ndarray, g: np.ndarray,
+                  out: np.ndarray) -> np.ndarray:
+    np.multiply(g, x > 0, out=out)
+    return out
+
+
+# ----------------------------------------------------------------------
 # Embedding access (the sparse path)
 # ----------------------------------------------------------------------
 def gather(params: np.ndarray, indices: np.ndarray) -> np.ndarray:

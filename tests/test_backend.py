@@ -317,7 +317,7 @@ class TestWorkerLoopOverInMemoryTransport:
                 assert got == want, iteration
                 # Per-worker transcript deltas merge to the inproc bytes.
                 merged = Transcript()
-                for transfers, events in deltas:
+                for transfers, events, _counters in deltas:
                     merged.extend(transfers, events)
                 assert (merged.total_network_bytes()
                         == reference.transcript.total_network_bytes())
