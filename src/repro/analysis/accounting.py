@@ -1,0 +1,289 @@
+"""Accounting conservation: static wire-byte bookkeeping per plan.
+
+Two independent derivations of a plan's collective payload must agree:
+
+* **graph-walk** -- every collective group in the transformed graph,
+  with its element count taken from the collective op's static output
+  spec (and, for fused buckets, the sum of its ``segments``);
+* **plan-walk** -- the :class:`GraphSyncPlan`'s variable inventory: the
+  summed element counts of every variable synchronized by a collective
+  method.
+
+A fusion or compression rewrite that drops, duplicates or misroutes a
+gradient breaks the equality and is reported with the offending groups.
+On top of conservation, the analysis prices each group's transcript
+traffic *exactly* -- replaying the ring/exchange index arithmetic of
+``repro.comm`` without moving data -- so tests can assert the measured
+Transcript equals the static prediction byte for byte, and the
+worker-view wire total (raw bytes x codec wire fraction, the quantity
+``repro.cluster.simulator.plan_wire_bytes`` prices) falls out of the
+same walk.  Groups whose payloads depend on runtime values (sparse
+AllGatherv, top-k over sparse rows) are classified ``dynamic`` and
+excluded from exact byte claims.
+
+Registry completeness rides along: every collective op type found in the
+graph must be known to this table, to the runner's self-accounting set
+and to the backend's collective set -- a new collective that misses one
+of those silently double-counts bytes or breaks worker muting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import Finding
+from repro.graph.executor import plan_order
+
+ANALYSIS = "accounting"
+
+_DENSE_RING = frozenset({"allreduce", "fused_allreduce"})
+_KNOWN = frozenset({
+    "allreduce", "fused_allreduce", "allgatherv",
+    "compressed_allreduce", "compressed_allgatherv",
+})
+
+#: int32 coordinates, as shipped by the top-k codec.
+_INDEX_ITEMSIZE = 4
+#: the ring reduces in fp32 regardless of input dtype.
+_RING_ITEMSIZE = 4
+
+
+def _chunk_sizes(numel: int, n: int, bounds=None) -> List[int]:
+    """Chunk extents of a ring over *numel* elements (one per worker)."""
+    if bounds is not None:
+        bounds = [int(b) for b in bounds]
+        return [hi - lo for lo, hi in zip(bounds, bounds[1:])]
+    base, extra = divmod(numel, n)
+    return [base + (1 if c < extra else 0) for c in range(n)]
+
+
+def _ring_bytes(numel: int, machines: List[int], itemsize: int,
+                bounds=None) -> Tuple[int, int]:
+    """(total, cross-machine) transcript bytes of one dense ring.
+
+    Replays the index arithmetic of ``comm.allreduce.ring_allreduce``:
+    reduce-scatter sends chunk ``(i - s) % n`` from worker ``i`` to its
+    successor at step ``s``; allgather sends chunk ``(i + 1 - s) % n``.
+    """
+    n = len(machines)
+    if n <= 1:
+        return 0, 0
+    sizes = _chunk_sizes(numel, n, bounds)
+    total = network = 0
+    for phase_shift in (0, 1):
+        for step in range(n - 1):
+            for i in range(n):
+                chunk = (i + phase_shift - step) % n
+                nbytes = sizes[chunk] * itemsize
+                total += nbytes
+                if machines[i] != machines[(i + 1) % n]:
+                    network += nbytes
+    return total, network
+
+
+def _exchange_bytes(payload_nbytes: int, machines: List[int],
+                    ) -> Tuple[int, int]:
+    """(total, cross-machine) bytes of one all-to-all payload exchange,
+    replaying ``comm.compression.exchange_payloads`` (every payload the
+    same static size)."""
+    n = len(machines)
+    if n <= 1:
+        return 0, 0
+    total = network = 0
+    for _step in range(n - 1):
+        for i in range(n):
+            total += payload_nbytes
+            if machines[i] != machines[(i + 1) % n]:
+                network += payload_nbytes
+    return total, network
+
+
+def _numel(shape) -> int:
+    count = 1
+    for dim in shape:
+        count *= int(dim)
+    return count
+
+
+def _codec_of(op):
+    """(codec, ratio) from the producing grad_compress ops, or None."""
+    for tensor in op.inputs:
+        if tensor.op.op_type == "grad_compress":
+            return (tensor.op.attrs.get("codec"),
+                    float(tensor.op.attrs.get("ratio", 1.0)))
+    return None
+
+
+def analyze_accounting(transformed, fetch_ops, order=None,
+                       ) -> Tuple[List[Finding], Dict[str, object]]:
+    from repro.comm.compression import parse_spec, wire_fraction
+
+    findings: List[Finding] = []
+    graph = transformed.graph
+    if order is None:
+        order = plan_order(graph, fetch_ops)
+
+    # ---- registry completeness ----------------------------------------
+    from repro.core.backend import _COLLECTIVES as backend_set
+    from repro.core.runner import _SELF_ACCOUNTING as runner_set
+
+    groups: Dict[Tuple[str, str], object] = {}
+    for op in order:
+        if op.op_type not in _KNOWN:
+            continue
+        groups.setdefault((op.op_type, op.attrs.get("group")), op)
+    seen_types = {op_type for op_type, _ in groups}
+    for op_type in sorted(seen_types - runner_set):
+        findings.append(Finding(
+            ANALYSIS,
+            f"collective op type {op_type!r} is missing from the "
+            "runner's _SELF_ACCOUNTING set -- its transfers would be "
+            "double-counted by static edge accounting",
+        ))
+    for op_type in sorted(seen_types - backend_set):
+        findings.append(Finding(
+            ANALYSIS,
+            f"collective op type {op_type!r} is missing from the "
+            "backend's _COLLECTIVES set -- non-canonical replicas would "
+            "record duplicate transcript entries under multiproc",
+        ))
+
+    # ---- per-group static pricing -------------------------------------
+    per_group: List[Dict[str, object]] = []
+    collected_elements = 0
+    raw_bytes = 0.0
+    wire_bytes = 0.0
+    static_total = 0
+    static_network = 0
+    dynamic_groups = 0
+    for (op_type, group), op in sorted(groups.items()):
+        machines = [int(m) for m in op.attrs.get("machines", ())]
+        n = len(machines)
+        numel = _numel(op.output.spec.shape)
+        segments = op.attrs.get("segments")
+        if segments is not None:
+            seg_total = sum(int(size) for _name, size in segments)
+            if seg_total != numel:
+                findings.append(Finding(
+                    ANALYSIS,
+                    f"bucket layout of {op_type}/{group} does not "
+                    f"conserve elements: segments sum to {seg_total} "
+                    f"but the collective payload holds {numel}",
+                    trace=(f"segments: {list(segments)}",),
+                ))
+        entry: Dict[str, object] = {
+            "op_type": op_type,
+            "group": group,
+            "tag": f"allreduce/{group}" if op_type in _DENSE_RING
+                   else f"{op_type}/{group}",
+            "workers": n,
+            "numel": numel,
+        }
+        codec = _codec_of(op)
+        if op_type in _DENSE_RING:
+            collected_elements += numel
+            raw_bytes += numel * _RING_ITEMSIZE
+            wire_bytes += numel * _RING_ITEMSIZE
+            total, network = _ring_bytes(
+                numel, machines, _RING_ITEMSIZE,
+                bounds=op.attrs.get("bounds"))
+            entry.update(static=True, total_bytes=total,
+                         network_bytes=network)
+            static_total += total
+            static_network += network
+        elif op_type == "compressed_allreduce":
+            collected_elements += numel
+            spec, ratio = codec if codec is not None else (None, 1.0)
+            group_raw = numel * _RING_ITEMSIZE
+            raw_bytes += group_raw
+            wire_bytes += (group_raw * wire_fraction(spec, ratio)
+                           if spec is not None else group_raw)
+            codecs = parse_spec(spec) if spec is not None else set()
+            if "topk" in codecs:
+                # Flat top-k payloads have a static keep count; every
+                # replica ships k values plus k int32 coordinates,
+                # all-to-all (a sum of top-k sets is not top-k).
+                k = max(1, int(round(ratio * numel)))
+                value_itemsize = 2 if "fp16" in codecs else 4
+                payload = k * (value_itemsize + _INDEX_ITEMSIZE)
+                total, network = _exchange_bytes(payload, machines)
+                entry.update(static=True, total_bytes=total,
+                             network_bytes=network, keep_count=k)
+                static_total += total
+                static_network += network
+            else:
+                # Quantized-only payloads stay dense and ride the ring
+                # at the codec's wire itemsize.
+                itemsize = 2 if "fp16" in codecs else _RING_ITEMSIZE
+                total, network = _ring_bytes(numel, machines, itemsize)
+                entry.update(static=True, total_bytes=total,
+                             network_bytes=network)
+                static_total += total
+                static_network += network
+        else:
+            # AllGatherv payloads (and top-k over sparse rows) depend on
+            # the rows the batch touched -- no static byte claim.
+            entry.update(static=False)
+            dynamic_groups += 1
+        if codec is not None:
+            entry["codec"] = codec[0]
+            entry["ratio"] = codec[1]
+        per_group.append(entry)
+
+    # ---- conservation against the plan's variable inventory -----------
+    plan = transformed.plan
+    expected_elements = 0
+    gatherv_vars = 0
+    for var_name, method in plan.methods.items():
+        if method.name == "PS":
+            continue
+        replica_names = transformed.replica_variables.get(var_name)
+        if not replica_names:
+            findings.append(Finding(
+                ANALYSIS,
+                f"plan assigns a collective method to {var_name!r} but "
+                "the transform produced no replica variables for it",
+            ))
+            continue
+        variable = graph.variables[replica_names[0]]
+        is_gatherv = any(
+            op_type in ("allgatherv", "compressed_allgatherv")
+            and group == var_name
+            for op_type, group in groups
+        )
+        if is_gatherv:
+            gatherv_vars += 1
+        else:
+            expected_elements += int(variable.num_elements)
+    if expected_elements != collected_elements:
+        findings.append(Finding(
+            ANALYSIS,
+            "collective element conservation violated: the plan "
+            f"synchronizes {expected_elements} dense elements but the "
+            f"graph's collective groups carry {collected_elements}",
+            trace=tuple(
+                f"{e['op_type']}/{e['group']}: {e['numel']} elements"
+                for e in per_group
+            ),
+        ))
+    gatherv_groups = sum(
+        1 for op_type, _group in groups
+        if op_type in ("allgatherv", "compressed_allgatherv")
+    )
+    if gatherv_groups != gatherv_vars:
+        findings.append(Finding(
+            ANALYSIS,
+            f"AllGatherv group count {gatherv_groups} does not match "
+            f"the plan's sparse collective variable count {gatherv_vars}",
+        ))
+
+    stats = {
+        "groups": len(groups),
+        "dynamic_groups": dynamic_groups,
+        "per_group": per_group,
+        "collective_raw_bytes": raw_bytes,
+        "collective_wire_bytes": wire_bytes,
+        "static_transcript_bytes": static_total,
+        "static_network_bytes": static_network,
+    }
+    return findings, stats

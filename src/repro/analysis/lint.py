@@ -1,0 +1,294 @@
+"""Repo-invariant lint: AST checks for rules no unit test can pin down.
+
+Four rules, each guarding an implicit contract between distant layers:
+
+1. **mutating kernels vs the buffer arena** -- a forward kernel
+   registered with ``@register_forward`` that mutates one of its input
+   arrays (in-place ufunc ``.at`` calls, subscript stores, ``out=``
+   aliasing an input) must NOT be listed arena-safe in
+   ``repro.graph.bufferplan``'s guard tables: the arena recycles input
+   storage based on those tables, and an unregistered mutator silently
+   corrupts whatever value shares the buffer.
+2. **collective registries stay congruent** -- the runner's
+   ``_SELF_ACCOUNTING`` set, the backend's ``_COLLECTIVES`` set and the
+   executor's overlap-hoist set must agree, and every collective op
+   type constructed anywhere in the source must be in them; a missing
+   entry double-counts transcript bytes or breaks worker muting.
+3. **seeded randomness only** -- ``np.random`` access outside the
+   seeded-generator API (``default_rng``/``Generator``/``SeedSequence``)
+   reaches process-global state and breaks the bit-identical-loss
+   contracts the suite asserts.
+4. **no lambdas in graph-attached objects** -- ``add_op(...)``
+   arguments (attrs included) must stay picklable for the multiprocess
+   backend's graph shipping; lambdas are not.
+
+Run as ``python -m repro.analysis.lint [paths...]`` (defaults to the
+repo's ``src`` and ``tests``); exits 1 on any finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import List, Optional, Set
+
+from repro.analysis.report import Finding
+
+ANALYSIS = "lint"
+
+#: np.random attributes that go through explicitly seeded generators.
+_ALLOWED_RANDOM = frozenset({"default_rng", "Generator", "SeedSequence",
+                             "BitGenerator"})
+
+#: op-type literals that look like collectives (see rule 2).
+_COLLECTIVE_NAME = re.compile(r"(^|_)(allreduce|allgatherv)$")
+
+
+def _arena_safe_types() -> frozenset:
+    """Op types the buffer planner treats as safe for arena recycling --
+    loaded from the live guard tables so the lint tracks them."""
+    from repro.graph import bufferplan as bp
+
+    return frozenset(bp.ARENA_FWD | bp.VIEW_FWD | bp.KNOWN_SAFE
+                     | bp.SPARSE_PASSTHROUGH)
+
+
+def _registered_collectives() -> frozenset:
+    from repro.core.runner import _SELF_ACCOUNTING
+
+    return frozenset(_SELF_ACCOUNTING)
+
+
+# ---- rule 1: mutating kernels ------------------------------------------
+def _forward_op_type(node: ast.FunctionDef) -> Optional[str]:
+    """The literal op type of an ``@register_forward("x")`` decorator."""
+    for deco in node.decorator_list:
+        if (isinstance(deco, ast.Call)
+                and isinstance(deco.func, ast.Name)
+                and deco.func.id == "register_forward"
+                and deco.args
+                and isinstance(deco.args[0], ast.Constant)
+                and isinstance(deco.args[0].value, str)):
+            return deco.args[0].value
+    return None
+
+
+def _base_name(node: ast.AST) -> Optional[str]:
+    """The root Name of a (possibly nested) subscript/attribute chain."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _kernel_mutations(fn: ast.FunctionDef, inputs_param: str) -> List[str]:
+    """Descriptions of every statement mutating an input-aliased array."""
+    aliases: Set[str] = {inputs_param}
+
+    def is_input_expr(node: ast.AST) -> bool:
+        return _base_name(node) in aliases
+
+    # First pass: names bound (directly or by unpacking) to input values.
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and is_input_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    aliases.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            aliases.add(elt.id)
+
+    mutations: List[str] = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and \
+                        is_input_expr(target):
+                    mutations.append(
+                        f"line {node.lineno}: subscript store into "
+                        f"input alias {_base_name(target)!r}")
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Subscript) and \
+                    is_input_expr(node.target):
+                mutations.append(
+                    f"line {node.lineno}: augmented store into input "
+                    f"alias {_base_name(node.target)!r}")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            # np.<ufunc>.at(target, ...) mutates its first argument.
+            if (isinstance(func, ast.Attribute) and func.attr == "at"
+                    and node.args and is_input_expr(node.args[0])):
+                mutations.append(
+                    f"line {node.lineno}: in-place ufunc .at() on input "
+                    f"alias {_base_name(node.args[0])!r}")
+            for kw in node.keywords:
+                if kw.arg == "out" and is_input_expr(kw.value):
+                    mutations.append(
+                        f"line {node.lineno}: out= targets input alias "
+                        f"{_base_name(kw.value)!r}")
+    return mutations
+
+
+def _check_kernels(tree: ast.AST, path: str,
+                   arena_safe: frozenset) -> List[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        op_type = _forward_op_type(node)
+        if op_type is None or not node.args.args:
+            continue
+        params = [a.arg for a in node.args.args]
+        inputs_param = params[1] if len(params) > 1 else params[0]
+        mutations = _kernel_mutations(node, inputs_param)
+        if mutations and op_type in arena_safe:
+            findings.append(Finding(
+                ANALYSIS,
+                f"{path}:{node.lineno}: forward kernel for {op_type!r} "
+                "mutates its inputs but the op type is listed arena-safe "
+                "in repro.graph.bufferplan's guard tables -- the arena "
+                "would recycle storage this kernel scribbles on",
+                trace=tuple(mutations),
+            ))
+    return findings
+
+
+# ---- rule 2: collective registry congruence ----------------------------
+def _check_registries() -> List[Finding]:
+    from repro.core.backend import _COLLECTIVES
+    from repro.core.runner import _SELF_ACCOUNTING
+    from repro.graph.executor import COLLECTIVE_OPS
+
+    findings = []
+    if _SELF_ACCOUNTING != _COLLECTIVES:
+        findings.append(Finding(
+            ANALYSIS,
+            "runner._SELF_ACCOUNTING and backend._COLLECTIVES disagree: "
+            f"{sorted(_SELF_ACCOUNTING ^ _COLLECTIVES)} -- transcript "
+            "muting and edge accounting price different op sets",
+        ))
+    extra = COLLECTIVE_OPS - _SELF_ACCOUNTING
+    if extra:
+        findings.append(Finding(
+            ANALYSIS,
+            "executor.COLLECTIVE_OPS hoists op types the accounting "
+            f"registries do not know: {sorted(extra)}",
+        ))
+    return findings
+
+
+def _check_collective_literals(tree: ast.AST, path: str,
+                               registered: frozenset) -> List[Finding]:
+    """Every op-type literal that *names* a collective must be known to
+    the accounting registries (catches a new collective added to the
+    transform but not to runner/backend sets)."""
+    findings = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_op"):
+            continue
+        first = node.args[0] if node.args else None
+        for kw in node.keywords:
+            if kw.arg == "op_type":
+                first = kw.value
+        if not (isinstance(first, ast.Constant)
+                and isinstance(first.value, str)):
+            continue
+        op_type = first.value
+        if _COLLECTIVE_NAME.search(op_type) and op_type not in registered:
+            findings.append(Finding(
+                ANALYSIS,
+                f"{path}:{node.lineno}: add_op creates collective op "
+                f"type {op_type!r} which is not registered in "
+                "runner._SELF_ACCOUNTING / backend._COLLECTIVES",
+            ))
+    return findings
+
+
+# ---- rule 3: seeded randomness only ------------------------------------
+def _check_np_random(tree: ast.AST, path: str) -> List[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        # matches <anything>.random.<attr> where the root is np/numpy
+        inner = node.value
+        if not (isinstance(inner, ast.Attribute) and inner.attr == "random"
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id in ("np", "numpy")):
+            continue
+        if node.attr not in _ALLOWED_RANDOM:
+            findings.append(Finding(
+                ANALYSIS,
+                f"{path}:{node.lineno}: np.random.{node.attr} uses "
+                "process-global random state; use a seeded "
+                "np.random.default_rng(...) generator instead",
+            ))
+    return findings
+
+
+# ---- rule 4: no lambdas attached to graphs -----------------------------
+def _check_graph_lambdas(tree: ast.AST, path: str) -> List[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_op"):
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Lambda):
+                    findings.append(Finding(
+                        ANALYSIS,
+                        f"{path}:{sub.lineno}: lambda passed into "
+                        "add_op(...); graph-attached objects must be "
+                        "picklable for the multiprocess backend",
+                    ))
+    return findings
+
+
+# ---- driver ------------------------------------------------------------
+def lint_paths(paths) -> List[Finding]:
+    arena_safe = _arena_safe_types()
+    registered = _registered_collectives()
+    findings = _check_registries()
+    for root in paths:
+        root = Path(root)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            rel = str(file)
+            try:
+                tree = ast.parse(file.read_text(), filename=rel)
+            except SyntaxError as exc:
+                findings.append(Finding(
+                    ANALYSIS, f"{rel}: syntax error: {exc}"))
+                continue
+            findings.extend(_check_kernels(tree, rel, arena_safe))
+            findings.extend(
+                _check_collective_literals(tree, rel, registered))
+            findings.extend(_check_np_random(tree, rel))
+            findings.extend(_check_graph_lambdas(tree, rel))
+    return findings
+
+
+def _default_paths() -> List[Path]:
+    repo = Path(__file__).resolve().parents[3]
+    return [p for p in (repo / "src", repo / "tests") if p.exists()]
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    paths = [Path(p) for p in argv] or _default_paths()
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.render())
+    print(f"lint: {len(findings)} finding(s) over "
+          f"{', '.join(str(p) for p in paths)}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Compose the four static analyses into one plan verification pass.
+
+:func:`verify_plan` is the single entry point: it takes a
+:class:`~repro.core.transform.transform.TransformedGraph`, derives the
+fetch set the runner would use (replica losses plus the train op),
+compiles a throwaway :class:`~repro.graph.executor.CompiledPlan` for the
+alias audit (topological orders are memoized on the graph, so this is
+cheap), and runs deadlock, congruence, alias and accounting checks --
+each individually timed so the verifier's own cost can be budgeted
+against compile time in the benchmark history.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.analysis.accounting import analyze_accounting
+from repro.analysis.alias import audit_buffer_plan
+from repro.analysis.congruence import analyze_congruence
+from repro.analysis.deadlock import analyze_deadlock
+from repro.analysis.report import AnalysisReport, Finding
+
+
+def default_fetch_ops(transformed) -> List:
+    """The step fetch set the runner executes: every replica loss plus
+    the (sync) train op or each replica's (async) train op."""
+    fetches = [t.op for t in transformed.replica_losses]
+    if transformed.replica_train_ops is not None:
+        fetches.extend(t.op for t in transformed.replica_train_ops)
+    else:
+        fetches.append(transformed.train_op.op)
+    return fetches
+
+
+def verify_plan(transformed, fetch_ops=None, plan=None,
+                analyses: Optional[List[str]] = None) -> AnalysisReport:
+    """Statically verify one transformed graph's compiled schedule.
+
+    Returns an :class:`AnalysisReport`; ``report.ok`` is True when no
+    analysis produced a finding.  *analyses* restricts the pass to a
+    subset of ``{"deadlock", "congruence", "alias", "accounting"}``.
+    *plan* reuses an already-compiled :class:`CompiledPlan` for the same
+    fetch set (callers that just compiled one avoid paying for the
+    schedule twice); its schedule also provides the shared global order
+    every analysis walks.
+    """
+    from repro.graph.executor import CompiledPlan
+
+    if fetch_ops is None:
+        fetch_ops = default_fetch_ops(transformed)
+    if plan is None:
+        plan = CompiledPlan(transformed.graph, fetch_ops)
+    elif (plan.graph is not transformed.graph
+          or plan.fetch_names != tuple(op.name for op in fetch_ops)):
+        raise ValueError(
+            "verify_plan: the supplied CompiledPlan was compiled for a "
+            "different graph or fetch set than the one under verification"
+        )
+    order = [entry[0] for entry in plan.schedule]
+    report = AnalysisReport()
+    selected = (set(analyses) if analyses is not None
+                else {"deadlock", "congruence", "alias", "accounting"})
+
+    def run(name, thunk):
+        start = time.perf_counter()
+        try:
+            findings, stats = thunk()
+        except Exception as exc:  # an analysis crash is itself a finding
+            findings = [Finding(
+                name,
+                f"analysis crashed: {type(exc).__name__}: {exc}",
+            )]
+            stats = {}
+        report.timings[name] = time.perf_counter() - start
+        report.findings.extend(findings)
+        report.stats[name] = stats
+
+    if "deadlock" in selected:
+        run("deadlock",
+            lambda: analyze_deadlock(transformed, fetch_ops, order=order))
+    if "congruence" in selected:
+        run("congruence",
+            lambda: analyze_congruence(transformed, fetch_ops, order=order))
+    if "alias" in selected:
+        run("alias", lambda: audit_buffer_plan(plan))
+    if "accounting" in selected:
+        run("accounting",
+            lambda: analyze_accounting(transformed, fetch_ops, order=order))
+    return report

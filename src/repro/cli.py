@@ -1018,6 +1018,8 @@ _CHECK_CONTRACT_KEYS = (
     "topk_within_tolerance",
     "fp16_within_tolerance",
     "fp16_roundtrip_bit_exact",
+    "verify_all_plans_clean",
+    "verify_within_compile_budget",
 )
 
 # Allowed steps/sec drop vs the history reference before --check fails.
@@ -1097,6 +1099,108 @@ def bench_check(pattern: str = "BENCH_*.json") -> int:
     return 0
 
 
+def cli_verify(cluster: ClusterSpec, seed: int = 0,
+               output: str = "BENCH_verify.json") -> int:
+    """Statically verify every arch x plan x backend combo's schedule.
+
+    Runs the plan verifier (:mod:`repro.analysis`) over the full bench
+    matrix -- four evaluation archs, three plan families -- for both
+    execution backends: the in-process engine gets the single-schedule
+    analyses (congruence, alias, accounting), the multiprocess backend
+    additionally gets the deadlock/matching analysis over its
+    partitioned per-rank schedules.  Prints one report per combo and
+    fails (exit 1) on any finding.
+
+    Timings land in ``BENCH_verify.json`` so ``bench --check`` gates the
+    verifier itself: ``verify_steps_per_sec`` (plans verified per
+    second) rides the generic 25% throughput gate, and
+    ``verify_within_compile_budget`` asserts verification stays under
+    10% of compile time (transform + plan compilation + code
+    generation) summed over the matrix.
+    """
+    from repro.analysis import verify_plan
+    from repro.analysis.verifier import default_fetch_ops
+    from repro.core.transform.transform import transform_graph
+    from repro.graph.executor import CompiledPlan
+
+    # Which analyses bear on each backend: the single-schedule analyses
+    # apply to both; the deadlock/matching analysis checks the
+    # multiprocess backend's partitioned per-rank schedules.  The plan
+    # is verified once and the per-backend rows read the relevant slice.
+    backend_analyses = {
+        "inproc": ("congruence", "alias", "accounting"),
+        "multiproc": ("deadlock", "congruence", "alias", "accounting"),
+    }
+    combos = []
+    findings_total = 0
+    verify_seconds = 0.0
+    compile_seconds = 0.0
+    for model_key, model_builder in _bench_matrix_models().items():
+        for plan_key, plan_builder in _bench_plan_builders().items():
+            model = model_builder()
+            start = time.perf_counter()
+            transformed = transform_graph(
+                model.graph, model.loss, cluster,
+                plan_builder(model.graph), verify=False)
+            fetch_ops = default_fetch_ops(transformed)
+            plan = CompiledPlan(transformed.graph, fetch_ops)
+            plan._generate()
+            compile_s = time.perf_counter() - start
+            compile_seconds += compile_s
+            start = time.perf_counter()
+            report = verify_plan(transformed, fetch_ops, plan=plan)
+            elapsed = time.perf_counter() - start
+            verify_seconds += elapsed
+            findings_total += len(report.findings)
+            for backend, analyses in backend_analyses.items():
+                findings = [f for f in report.findings
+                            if f.analysis in analyses]
+                status = ("ok" if not findings
+                          else f"{len(findings)} finding(s)")
+                backend_ms = sum(report.timings.get(a, 0.0)
+                                 for a in analyses) * 1e3
+                print(f"verify {model_key}/{plan_key}/{backend}: {status} "
+                      f"({backend_ms:.1f}ms verify, "
+                      f"{compile_s * 1e3:.1f}ms compile)")
+                for finding in findings:
+                    print(finding.render())
+                combos.append({
+                    "model": model_key, "plan": plan_key,
+                    "backend": backend,
+                    "findings": len(findings),
+                    "analysis_ms": {name: report.timings[name] * 1e3
+                                    for name in analyses
+                                    if name in report.timings},
+                    "stats": {
+                        name: {k: v for k, v in report.stats[name].items()
+                               if isinstance(v, (int, float, str))}
+                        for name in analyses if name in report.stats
+                    },
+                })
+
+    fraction = verify_seconds / compile_seconds if compile_seconds else 0.0
+    result = {
+        "benchmark": "verify",
+        "cluster": {"machines": cluster.num_machines,
+                    "gpus_per_machine": cluster.gpus_per_machine},
+        "combos": combos,
+        "plans_verified": len(combos),
+        "findings_total": findings_total,
+        "verify_all_plans_clean": findings_total == 0,
+        "verify_seconds_total": verify_seconds,
+        "compile_seconds_total": compile_seconds,
+        "verify_compile_fraction": fraction,
+        "verify_within_compile_budget": fraction < 0.10,
+        "verify_steps_per_sec": (len(combos) / verify_seconds
+                                 if verify_seconds else 0.0),
+    }
+    _write_report(output, result)
+    print(f"\nverify: {len(combos)} combos, {findings_total} finding(s), "
+          f"verification at {fraction:.1%} of compile time "
+          f"(report: {output})")
+    return 1 if findings_total else 0
+
+
 def bench_all(cluster: ClusterSpec, iters: int, warmup: int,
               seed: int) -> int:
     """Run every bench family, merging into the per-family reports.
@@ -1119,6 +1223,7 @@ def bench_all(cluster: ClusterSpec, iters: int, warmup: int,
         ("compression", lambda: bench_compression(cluster, iters=iters,
                                                   warmup=warmup,
                                                   seed=seed)),
+        ("verify", lambda: cli_verify(cluster, seed=seed)),
     )
     failures = []
     for name, run in families:
@@ -1142,9 +1247,12 @@ def main(argv=None) -> int:
         description="Regenerate Parallax (EuroSys '19) experiments.",
     )
     parser.add_argument("experiment",
-                        choices=sorted(COMMANDS) + ["all", "bench"],
-                        help="which table/figure to regenerate, or 'bench' "
-                             "for the execution-engine benchmark")
+                        choices=sorted(COMMANDS) + ["all", "bench",
+                                                    "verify"],
+                        help="which table/figure to regenerate, 'bench' "
+                             "for the execution-engine benchmark, or "
+                             "'verify' to statically verify every "
+                             "arch x plan x backend schedule")
     # Analytic tables default to the paper's cluster; the functional bench
     # defaults to a small one (it really executes every replica).
     parser.add_argument("--machines", type=int, default=None)
@@ -1192,12 +1300,15 @@ def main(argv=None) -> int:
                              "ignored by --all, which writes every "
                              "family's file)")
     args = parser.parse_args(argv)
-    default_machines, default_gpus = ((2, 2) if args.experiment == "bench"
-                                      else (8, 6))
+    default_machines, default_gpus = (
+        (2, 2) if args.experiment in ("bench", "verify") else (8, 6))
     cluster = ClusterSpec(
         default_machines if args.machines is None else args.machines,
         default_gpus if args.gpus is None else args.gpus,
     )
+    if args.experiment == "verify":
+        return cli_verify(cluster, seed=args.seed,
+                          output=args.bench_output or "BENCH_verify.json")
     if args.experiment == "bench":
         chosen = [name for name, flag in (
             ("--fusion", args.fusion), ("--elastic", args.elastic),

@@ -61,16 +61,37 @@ class NicDegradation:
 
 
 class WorkerFailureError(RuntimeError):
-    """Raised by the runner when a scheduled worker kill fires."""
+    """Raised when a worker fails -- a scheduled fault-plan kill, or a
+    real worker process dying under the multiprocess backend.
 
-    def __init__(self, iteration: int, worker: int, machine: int):
+    Real failures carry execution context so the error names exactly
+    where the worker was in its schedule: ``schedule_index`` is the
+    position in the rank's partitioned step schedule and ``op_name`` the
+    op whose kernel (or receive) was in flight.  ``detail`` holds the
+    remote traceback when one was recovered.
+    """
+
+    def __init__(self, iteration: int, worker: int, machine: int, *,
+                 schedule_index: Optional[int] = None,
+                 op_name: Optional[str] = None,
+                 detail: Optional[str] = None):
         self.iteration = iteration
         self.worker = worker
         self.machine = machine
-        super().__init__(
+        self.schedule_index = schedule_index
+        self.op_name = op_name
+        self.detail = detail
+        message = (
             f"worker {worker} (machine {machine}) failed at iteration "
             f"{iteration}"
         )
+        if schedule_index is not None:
+            message += f" at schedule position {schedule_index}"
+        if op_name is not None:
+            message += f" while executing {op_name!r}"
+        if detail:
+            message += f"\n{detail}"
+        super().__init__(message)
 
 
 @dataclass(frozen=True)

@@ -103,6 +103,13 @@ class ParallaxConfig:
             always samples in-process.
         plan_cache_size: LRU cap on compiled plans per session (distinct
             fetch signatures beyond this recompile on next use).
+        verify_plans: run the static plan verifier
+            (:mod:`repro.analysis`) on the transformed graph and refuse
+            to train on a plan with a deadlock, collective-congruence,
+            alias-soundness, or byte-accounting finding.  Off by default
+            in production (verification costs a few percent of compile
+            time); the test suite turns it on globally via the
+            ``REPRO_VERIFY_PLANS`` environment variable.
         save_path: if set, ``runner.save()`` writes variables here by
             default (the config's "file path to save trained variables").
         seed: variable-initialization seed.
@@ -128,6 +135,7 @@ class ParallaxConfig:
     fault_plan: Optional[FaultPlan] = None
     backend: str = "inproc"
     plan_cache_size: int = 32
+    verify_plans: bool = False
     save_path: Optional[str] = None
     seed: int = 0
 
@@ -436,11 +444,14 @@ def get_runner(
             seed=cfg.seed,
             backend=cfg.backend,
             plan_cache_size=cfg.plan_cache_size,
+            verify_plans=True if cfg.verify_plans else None,
         )
     else:
-        runner = DistributedRunner(final_model, cluster, plan,
-                                   seed=cfg.seed, backend=cfg.backend,
-                                   plan_cache_size=cfg.plan_cache_size)
+        runner = DistributedRunner(
+            final_model, cluster, plan,
+            seed=cfg.seed, backend=cfg.backend,
+            plan_cache_size=cfg.plan_cache_size,
+            verify_plans=True if cfg.verify_plans else None)
     runner.partition_search = search_result
     runner.config = cfg
     if cfg.save_path:

@@ -82,24 +82,34 @@ def op_owner(op: Operation, cluster) -> Optional[int]:
     return op.device.machine * cluster.gpus_per_machine
 
 
-def build_worker_entries(transformed, fetch_ops: Sequence[Operation],
-                         rank: int) -> List[tuple]:
-    """Rank *rank*'s slice of the global step schedule.
+def build_all_worker_entries(transformed, fetch_ops: Sequence[Operation],
+                             order: Optional[Sequence[Operation]] = None,
+                             ) -> Dict[int, List[tuple]]:
+    """Every rank's slice of the global step schedule, in one pass.
 
-    Returns entries in global :func:`~repro.graph.executor.plan_order`
-    order -- the same order every other rank (and the in-process engine)
+    Entries appear in global :func:`~repro.graph.executor.plan_order`
+    order -- the same order every rank (and the in-process engine)
     derives independently, which is what makes the partitioned execution
     deadlock-free: a rank blocked waiting for a remote value only ever
-    waits on schedule positions strictly before its own.
+    waits on schedule positions strictly before its own.  The plan
+    verifier checks that theorem over these concrete entries instead of
+    assuming it (see :mod:`repro.analysis.deadlock`).
 
     Entry shapes:
       ``("exec", op, send_to)`` -- run *op* here, then send its value to
       each rank in *send_to* (they consume it remotely);
       ``("recv", name, src)`` -- block until rank *src* sends the value
       of op *name*.
+
+    Ownership/consumer maps are computed once and shared across ranks --
+    callers that need several ranks' slices (worker spawn, the deadlock
+    analysis) should use this instead of calling
+    :func:`build_worker_entries` per rank.
     """
     cluster = transformed.cluster
-    order = plan_order(transformed.graph, fetch_ops)
+    num_ranks = cluster.total_gpus
+    if order is None:
+        order = plan_order(transformed.graph, fetch_ops)
     owner: Dict[str, Optional[int]] = {}
     for op in order:
         if op.op_type == "group":
@@ -123,17 +133,26 @@ def build_worker_entries(transformed, fetch_ops: Sequence[Operation],
             consumer_ranks.setdefault(tensor.op.name,
                                       set()).add(owner[op.name])
 
-    entries: List[tuple] = []
+    entries: Dict[int, List[tuple]] = {r: [] for r in range(num_ranks)}
     for op in order:
         own = owner[op.name]
         if own is None:
             continue
-        remote = sorted(consumer_ranks.get(op.name, set()) - {own})
-        if own == rank:
-            entries.append(("exec", op, tuple(remote)))
-        elif rank in remote:
-            entries.append(("recv", op.name, own))
+        remote = tuple(sorted(consumer_ranks.get(op.name, set()) - {own}))
+        entries[own].append(("exec", op, remote))
+        for rank in remote:
+            entries[rank].append(("recv", op.name, own))
     return entries
+
+
+def build_worker_entries(transformed, fetch_ops: Sequence[Operation],
+                         rank: int) -> List[tuple]:
+    """Rank *rank*'s slice of the global step schedule.
+
+    See :func:`build_all_worker_entries` for the entry shapes and the
+    ordering guarantee.
+    """
+    return build_all_worker_entries(transformed, fetch_ops).get(rank, [])
 
 
 class _MutedCollectiveRuntime:
@@ -232,28 +251,44 @@ class _WorkerPlan:
         seen = session._seen_edges
         record = session.transcript.record
         rank = self.rank
-        for kind, op, extra, kernel, input_names, edges in self.steps:
-            if kind == "recv":
-                values[op] = transport.recv(rank, extra, ("v", op),
-                                            timeout=self.recv_timeout)
-                continue
-            name = op.name
-            value = values.get(name)
-            if value is None and name not in values:
-                inputs = [values[n] for n in input_names]
-                session._current_op = op
-                if edges is not None:
-                    for pos, key, tag, src_m, dst_m in edges:
-                        v = inputs[pos]
-                        if v is None or key in seen:
-                            continue
-                        seen.add(key)
-                        record(tag=tag, src_machine=src_m,
-                               dst_machine=dst_m, nbytes=nbytes_of(v))
-                value = kernel(op, inputs, session)
-                values[name] = value
-            for dst in extra:
-                transport.send(rank, dst, ("v", name), value)
+        position = -1
+        try:
+            for position, (kind, op, extra, kernel, input_names,
+                           edges) in enumerate(self.steps):
+                if kind == "recv":
+                    values[op] = transport.recv(rank, extra, ("v", op),
+                                                timeout=self.recv_timeout)
+                    continue
+                name = op.name
+                value = values.get(name)
+                if value is None and name not in values:
+                    inputs = [values[n] for n in input_names]
+                    session._current_op = op
+                    if edges is not None:
+                        for pos, key, tag, src_m, dst_m in edges:
+                            v = inputs[pos]
+                            if v is None or key in seen:
+                                continue
+                            seen.add(key)
+                            record(tag=tag, src_machine=src_m,
+                                   dst_machine=dst_m, nbytes=nbytes_of(v))
+                    value = kernel(op, inputs, session)
+                    values[name] = value
+                for dst in extra:
+                    transport.send(rank, dst, ("v", name), value)
+        except BaseException as exc:
+            # Name exactly where this rank was in its schedule; the
+            # controller folds this into the WorkerFailureError it
+            # raises (see MultiprocBackend._result).
+            step = self.steps[position] if position >= 0 else None
+            exc._worker_context = {
+                "rank": rank,
+                "schedule_index": position if position >= 0 else None,
+                "op_name": (None if step is None
+                            else step[1] if step[0] == "recv"
+                            else step[1].name),
+            }
+            raise
         session._current_op = None
         return values
 
@@ -331,9 +366,13 @@ def _run_worker(spec: dict, transport: Transport, rank: int) -> None:
                 return
             else:
                 raise ValueError(f"unknown worker command {cmd[0]!r}")
-        except BaseException:
+        except BaseException as exc:
+            context = getattr(exc, "_worker_context", None)
+            if cmd[0] == "step":
+                context = dict(context or {"rank": rank},
+                               iteration=cmd[1])
             transport.send(rank, CONTROLLER, ("res",),
-                           ("err", traceback.format_exc(), None))
+                           ("err", traceback.format_exc(), context))
 
 
 class ExecutionBackend:
@@ -584,6 +623,17 @@ class MultiprocBackend(ExecutionBackend):
                 continue
             if payload[0] == "err":
                 self.shutdown(force=True)
+                context = payload[2] if len(payload) > 2 else None
+                if isinstance(context, dict):
+                    from repro.cluster.faults import WorkerFailureError
+
+                    gpm = self.runner.cluster.gpus_per_machine
+                    raise WorkerFailureError(
+                        context.get("iteration", -1), rank, rank // gpm,
+                        schedule_index=context.get("schedule_index"),
+                        op_name=context.get("op_name"),
+                        detail=payload[1],
+                    )
                 raise RuntimeError(
                     f"worker {rank} failed:\n{payload[1]}"
                 )

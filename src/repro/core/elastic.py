@@ -239,6 +239,7 @@ class ElasticRunner(DistributedRunner):
         engine: str = "compiled",
         backend: str = "inproc",
         plan_cache_size: int = 32,
+        verify_plans: Optional[bool] = None,
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -250,7 +251,8 @@ class ElasticRunner(DistributedRunner):
         super().__init__(model, cluster, plan, seed=seed,
                          transcript=transcript, engine=engine,
                          fault_plan=fault_plan, backend=backend,
-                         plan_cache_size=plan_cache_size)
+                         plan_cache_size=plan_cache_size,
+                         verify_plans=verify_plans)
         self.model_builder = model_builder
         self.plan_builder = plan_builder
         self.checkpoint_every = checkpoint_every

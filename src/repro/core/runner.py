@@ -217,6 +217,7 @@ class DistributedRunner:
         fault_plan: Optional[FaultPlan] = None,
         backend: str = "inproc",
         plan_cache_size: int = 32,
+        verify_plans: Optional[bool] = None,
     ):
         if engine not in ("compiled", "interpreted"):
             raise ValueError(
@@ -232,11 +233,12 @@ class DistributedRunner:
         self.backend = make_backend(backend)
         self.backend_name = self.backend.name
         self.plan_cache_size = plan_cache_size
+        self.verify_plans = verify_plans
         # Events fire once each; the set survives a rescale's re-__init__
         # so a replayed iteration does not re-kill the same worker.
         self._faults_fired = getattr(self, "_faults_fired", set())
         self.transformed = transform_graph(model.graph, model.loss, cluster,
-                                           plan)
+                                           plan, verify=verify_plans)
         self.session = DistributedSession(self.transformed, seed=seed,
                                           transcript=transcript,
                                           plan_cache_size=plan_cache_size)

@@ -25,6 +25,7 @@ by tests.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -295,6 +296,7 @@ def transform_graph(
     cluster: ClusterSpec,
     plan: GraphSyncPlan,
     optimizer: Optional[Optimizer] = None,
+    verify: Optional[bool] = None,
 ) -> TransformedGraph:
     """Rewrite *single_graph* into a distributed graph for *cluster*.
 
@@ -305,6 +307,13 @@ def transform_graph(
         cluster: machines/GPUs to distribute over.
         plan: per-variable synchronization methods plus optimizations.
         optimizer: defaults to the optimizer recorded in the graph.
+        verify: run the static plan verifier (:mod:`repro.analysis`)
+            over the result and raise
+            :class:`~repro.analysis.report.PlanVerificationError` on any
+            finding.  ``None`` (the default) defers to the
+            ``REPRO_VERIFY_PLANS`` environment variable, which the test
+            suite sets -- production transforms skip the pass unless
+            opted in (see ``ParallaxConfig.verify_plans``).
     """
     if loss.graph is not single_graph:
         raise ValueError("loss does not belong to the given graph")
@@ -440,7 +449,7 @@ def transform_graph(
         for base, entries in residual_variables.items()
     }
 
-    return TransformedGraph(
+    transformed = TransformedGraph(
         graph=new_graph,
         cluster=cluster,
         plan=plan,
@@ -452,6 +461,18 @@ def transform_graph(
         replica_train_ops=replica_train_ops,
         residual_variables=residual_variables,
     )
+
+    if verify is None:
+        verify = os.environ.get("REPRO_VERIFY_PLANS", "") not in ("", "0")
+    if verify:
+        # Imported lazily: the analysis package depends on the executor
+        # and backend layers, which in turn import this module.
+        from repro.analysis import PlanVerificationError, verify_plan
+
+        report = verify_plan(transformed)
+        if not report.ok:
+            raise PlanVerificationError(report)
+    return transformed
 
 
 def _strip_replica(name: str, replica: int) -> str:

@@ -1,0 +1,12 @@
+"""Suite-wide defaults.
+
+Every ``transform_graph`` call in the test suite runs the static plan
+verifier (deadlock / congruence / alias / accounting) unless a test
+opts out explicitly with ``verify=False`` -- the whole suite doubles as
+the verifier's regression matrix.  Production keeps the pass opt-in via
+``ParallaxConfig.verify_plans``.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_VERIFY_PLANS", "1")

@@ -1,0 +1,618 @@
+"""Static plan verifier: mutation regressions, matrix coverage, lint.
+
+The analyses must hold two properties at once: *zero false positives*
+on every plan the transform actually emits (the matrix tests), and
+*guaranteed detection* of the bug classes they claim to catch (the
+mutation tests, which corrupt a real schedule or buffer plan and assert
+the specific diagnostic -- naming ranks and schedule positions -- comes
+back).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import AnalysisReport, Finding, PlanVerificationError, verify_plan
+from repro.analysis.accounting import analyze_accounting
+from repro.analysis.alias import audit_buffer_plan
+from repro.analysis.congruence import COLLECTIVE_TYPES, analyze_congruence
+from repro.analysis.deadlock import analyze_deadlock, check_entries
+from repro.analysis.lint import lint_paths
+from repro.analysis.lint import main as lint_main
+from repro.analysis.verifier import default_fetch_ops
+from repro.cli import _bench_matrix_models, _bench_plan_builders
+from repro.cluster.faults import WorkerFailureError
+from repro.cluster.spec import ClusterSpec
+from repro.comm.compression import wire_fraction
+from repro.core.backend import MultiprocBackend, build_all_worker_entries
+from repro.core.runner import DistributedRunner
+from repro.core.transform.plan import ar_graph_plan, hybrid_graph_plan
+from repro.core.transform.transform import transform_graph
+from repro.graph.executor import CompiledPlan
+from repro.graph.gradients import gradients
+from repro.nn.models import build_lm
+from repro.nn.optimizers import GradientDescentOptimizer
+
+C2x1 = ClusterSpec(num_machines=2, gpus_per_machine=1)
+C2x2 = ClusterSpec(num_machines=2, gpus_per_machine=2)
+
+
+def make_model():
+    model = build_lm(batch_size=4, vocab_size=40, seq_len=3, emb_dim=8,
+                     hidden=10, num_partitions=3, seed=0)
+    with model.graph.as_default():
+        GradientDescentOptimizer(0.4).update(gradients(model.loss))
+    return model
+
+
+def make_transformed(plan_builder=None, cluster=C2x2):
+    model = make_model()
+    plan = (plan_builder or (lambda g: hybrid_graph_plan(g, fusion=True)))(
+        model.graph)
+    transformed = transform_graph(model.graph, model.loss, cluster, plan,
+                                  verify=False)
+    return transformed, default_fetch_ops(transformed)
+
+
+def collective_ops(transformed, fetch_ops):
+    from repro.graph.executor import plan_order
+
+    return [op for op in plan_order(transformed.graph, fetch_ops)
+            if op.op_type in COLLECTIVE_TYPES]
+
+
+# ======================================================================
+# Deadlock / matching analysis: mutation regressions
+# ======================================================================
+class TestDeadlockMutations:
+    @pytest.fixture()
+    def entries(self):
+        transformed, fetch_ops = make_transformed()
+        return build_all_worker_entries(transformed, fetch_ops)
+
+    def test_clean_partition_passes(self, entries):
+        findings, stats = check_entries(entries)
+        assert findings == []
+        assert stats["ranks"] == 4
+        assert stats["messages"] > 0
+
+    def _first_recv(self, entries):
+        for rank in sorted(entries):
+            for idx, entry in enumerate(entries[rank]):
+                if entry[0] == "recv":
+                    return rank, idx, entry
+        pytest.fail("partition has no recv entries")
+
+    def test_dropped_recv_is_reported_as_unmatched_send(self, entries):
+        rank, idx, (_, name, src) = self._first_recv(entries)
+        entries[rank] = (entries[rank][:idx] + entries[rank][idx + 1:])
+        findings, _ = check_entries(entries)
+        messages = [f.message for f in findings]
+        assert any(
+            "unmatched send" in m and f"rank {src} sends {name!r}" in m
+            and f"rank {rank}" in m for m in messages
+        ), messages
+        # The counterexample trace names the sender's schedule position.
+        finding = next(f for f in findings
+                       if "unmatched send" in f.message)
+        assert any(f"rank {src} pos " in line for line in finding.trace)
+
+    def test_dropped_send_names_the_hanging_receiver(self, entries):
+        rank, idx, (_, name, src) = self._first_recv(entries)
+        src_entries = []
+        for entry in entries[src]:
+            if entry[0] == "exec" and entry[1].name == name:
+                sends = tuple(d for d in entry[2] if d != rank)
+                entry = (entry[0], entry[1], sends)
+            src_entries.append(entry)
+        entries[src] = src_entries
+        findings, _ = check_entries(entries)
+        hang = [f for f in findings if "unmatched recv" in f.message]
+        assert hang, [f.message for f in findings]
+        assert (f"rank {rank} hangs at schedule position {idx}"
+                in hang[0].message)
+
+    def test_swapped_sends_are_detected(self, entries):
+        # Swap the send sets of the first two sending execs on one rank:
+        # values are misrouted, so matching and/or channel order breaks.
+        for rank in sorted(entries):
+            sending = [i for i, e in enumerate(entries[rank])
+                       if e[0] == "exec" and e[2]]
+            if len(sending) >= 2:
+                i, j = sending[0], sending[1]
+                a, b = entries[rank][i], entries[rank][j]
+                entries[rank][i] = (a[0], a[1], b[2])
+                entries[rank][j] = (b[0], b[1], a[2])
+                break
+        else:
+            pytest.fail("no rank with two sending execs")
+        findings, _ = check_entries(entries)
+        assert findings
+        assert any(f"rank {rank}" in f.message for f in findings)
+
+    def test_double_recv_is_rejected(self, entries):
+        rank, idx, entry = self._first_recv(entries)
+        entries[rank] = (entries[rank][:idx + 1] + [entry]
+                         + entries[rank][idx + 1:])
+        findings, _ = check_entries(entries)
+        assert any("blocks forever" in f.message
+                   and f"rank {rank} receives" in f.message
+                   for f in findings)
+
+    def test_missing_producer_at_rank_is_reported(self, entries):
+        rank, idx, (_, name, src) = self._first_recv(entries)
+        entries[rank] = (entries[rank][:idx] + entries[rank][idx + 1:])
+        findings, _ = check_entries(entries)
+        avail = [f for f in findings if "before its input" in f.message]
+        assert avail and f"{name!r}" in avail[0].message
+
+    def test_cross_rank_cycle_is_a_counterexample_trace(self):
+        class FakeOp:
+            def __init__(self, name, inputs=()):
+                self.name = name
+                self.inputs = inputs
+
+        # rank 0 waits for 'b' before sending 'a'; rank 1 waits for 'a'
+        # before sending 'b' -- the classic two-party deadlock.
+        entries = {
+            0: [("recv", "b", 1), ("exec", FakeOp("a"), (1,))],
+            1: [("recv", "a", 0), ("exec", FakeOp("b"), (0,))],
+        }
+        findings, _ = check_entries(entries)
+        dead = [f for f in findings if f.message.startswith("deadlock")]
+        assert dead, [f.message for f in findings]
+        trace = " ".join(dead[0].trace)
+        assert "rank 0" in trace and "rank 1" in trace
+        # The cycle closes: the first node is repeated at the end.
+        assert dead[0].trace[0].split("waits")[0] in dead[0].trace[-1]
+
+    def test_async_plans_pass_vacuously(self):
+        from repro.core.transform.plan import ps_graph_plan
+
+        transformed, fetch_ops = make_transformed(
+            lambda g: ps_graph_plan(g, asynchronous=True), cluster=C2x1)
+        findings, stats = analyze_deadlock(transformed, fetch_ops)
+        assert findings == []
+        assert stats["skipped"] == "asynchronous plan"
+
+
+# ======================================================================
+# Collective congruence: replica-skew mutations
+# ======================================================================
+class TestCongruenceMutations:
+    def _replica_collective(self, transformed, fetch_ops, replica=1,
+                            op_type="fused_allreduce"):
+        for op in collective_ops(transformed, fetch_ops):
+            if (op.op_type == op_type
+                    and op.attrs.get("replica") == replica):
+                return op
+        pytest.fail(f"no {op_type} collective for replica {replica}")
+
+    def test_clean_plan_is_congruent(self):
+        transformed, fetch_ops = make_transformed()
+        findings, stats = analyze_congruence(transformed, fetch_ops)
+        assert findings == []
+        assert stats["collectives"] == stats["per_replica"] * 4
+
+    def test_skewed_bucket_layout_names_replica_and_position(self):
+        transformed, fetch_ops = make_transformed()
+        op = self._replica_collective(transformed, fetch_ops)
+        segments = [list(seg) for seg in op.attrs["segments"]]
+        segments[0][1] += 1  # one replica believes the bucket is bigger
+        op.attrs["segments"] = [tuple(seg) for seg in segments]
+        findings, _ = analyze_congruence(transformed, fetch_ops)
+        assert findings
+        skew = findings[0]
+        assert "replica 1 diverges from replica 0" in skew.message
+        assert "segments" in skew.message
+        assert "at collective position" in skew.message
+        assert any("segments" in line for line in skew.trace)
+
+    def test_skewed_average_flag_is_detected(self):
+        transformed, fetch_ops = make_transformed()
+        op = self._replica_collective(transformed, fetch_ops)
+        op.attrs["average"] = not op.attrs.get("average", False)
+        findings, _ = analyze_congruence(transformed, fetch_ops)
+        assert any("mismatched average" in f.message for f in findings)
+
+    def test_replica_missing_from_group_is_detected(self):
+        transformed, fetch_ops = make_transformed()
+        op = self._replica_collective(transformed, fetch_ops, replica=3)
+        op.attrs["replica"] = 0  # group now has replicas [0, 0, 1, 2]
+        findings, _ = analyze_congruence(transformed, fetch_ops)
+        assert any("expected one per replica" in f.message
+                   for f in findings)
+
+    def test_skewed_codec_on_one_replica_is_detected(self):
+        transformed, fetch_ops = make_transformed(
+            lambda g: ar_graph_plan(g, compression="topk+fp16",
+                                    compression_ratio=0.2))
+        op = self._replica_collective(transformed, fetch_ops,
+                                      op_type="compressed_allreduce")
+        producer = next(t.op for t in op.inputs
+                        if t.op.op_type == "grad_compress")
+        producer.attrs["ratio"] = 0.5
+        findings, _ = analyze_congruence(transformed, fetch_ops)
+        assert any("mixes payload codecs" in f.message for f in findings)
+
+
+# ======================================================================
+# Alias audit: corrupted buffer plans must be rejected
+# ======================================================================
+class TestAliasAudit:
+    @pytest.fixture()
+    def plan(self):
+        transformed, fetch_ops = make_transformed(cluster=C2x1)
+        plan = CompiledPlan(transformed.graph, fetch_ops)
+        plan._ensure_buffer_plan()
+        return plan
+
+    def test_real_buffer_plan_is_sound(self, plan):
+        findings, stats = audit_buffer_plan(plan)
+        assert findings == []
+        assert stats["arena_slots"] > 0
+
+    def test_forced_buffer_sharing_is_an_overlap(self, plan):
+        bplan = plan._ensure_buffer_plan()
+        assert len(bplan.assignment) >= 2
+        # Collapse every arena slot onto buffer 0: two slots whose
+        # lifetimes overlap now share storage.
+        corrupted = dataclasses.replace(
+            bplan, assignment={s: 0 for s in bplan.assignment})
+        findings, stats = audit_buffer_plan(plan, bplan=corrupted)
+        assert stats["overlap_errors"] > 0
+        overlap = next(f for f in findings if "still live" in f.message)
+        assert "rewritten at schedule position" in overlap.message
+        assert any("overwrite happens at position" in line
+                   for line in overlap.trace)
+
+    def test_fetched_slot_in_arena_is_rejected(self, plan):
+        bplan = plan._ensure_buffer_plan()
+        target = sorted(plan.target_slots)[0]
+        corrupted = dataclasses.replace(
+            bplan, assignment={**bplan.assignment, target: 0})
+        findings, stats = audit_buffer_plan(plan, bplan=corrupted)
+        assert stats["pinned_errors"] > 0
+        assert any("must outlive the step" in f.message for f in findings)
+
+    def test_liveness_disagreement_is_reported(self, plan):
+        bplan = plan._ensure_buffer_plan()
+        slot = max(bplan.slot_last_use)
+        corrupted = dataclasses.replace(
+            bplan, slot_last_use={**bplan.slot_last_use, slot: 0})
+        findings, _ = audit_buffer_plan(plan, bplan=corrupted)
+        assert any("disagrees with the audit" in f.message
+                   for f in findings)
+
+
+# ======================================================================
+# Accounting conservation
+# ======================================================================
+class TestAccounting:
+    def test_static_bytes_equal_measured_transcript_dense(self):
+        model = make_model()
+        runner = DistributedRunner(
+            model, C2x1, hybrid_graph_plan(model.graph, fusion=True),
+            seed=3)
+        runner.step(0)
+        fetch_ops = default_fetch_ops(runner.transformed)
+        findings, stats = analyze_accounting(runner.transformed, fetch_ops)
+        assert findings == []
+        checked = 0
+        for entry in stats["per_group"]:
+            if not entry.get("static"):
+                continue
+            transfers = runner.transcript.filter(entry["tag"])
+            assert entry["total_bytes"] == sum(t.nbytes for t in transfers)
+            assert entry["network_bytes"] == sum(
+                t.nbytes for t in transfers if t.is_network)
+            checked += 1
+        assert checked > 0
+
+    def test_static_bytes_equal_measured_transcript_compressed(self):
+        model = make_model()
+        runner = DistributedRunner(
+            model, C2x1,
+            ar_graph_plan(model.graph, compression="topk+fp16",
+                          compression_ratio=0.2),
+            seed=3)
+        runner.step(0)
+        fetch_ops = default_fetch_ops(runner.transformed)
+        findings, stats = analyze_accounting(runner.transformed, fetch_ops)
+        assert findings == []
+        statics = [e for e in stats["per_group"] if e.get("static")]
+        assert statics and all(e["op_type"] == "compressed_allreduce"
+                               for e in statics)
+        for entry in statics:
+            transfers = runner.transcript.filter(entry["tag"])
+            assert entry["total_bytes"] == sum(t.nbytes for t in transfers)
+        # Worker-view wire bytes follow the simulator's pricing formula.
+        assert stats["collective_wire_bytes"] == pytest.approx(
+            stats["collective_raw_bytes"]
+            * wire_fraction("topk+fp16", 0.2))
+
+    def test_skewed_segments_break_conservation(self):
+        transformed, fetch_ops = make_transformed()
+        fused = next(op for op in collective_ops(transformed, fetch_ops)
+                     if op.op_type == "fused_allreduce")
+        segments = [list(seg) for seg in fused.attrs["segments"]]
+        segments[0][1] += 7
+        fused.attrs["segments"] = [tuple(seg) for seg in segments]
+        findings, _ = analyze_accounting(transformed, fetch_ops)
+        assert any("does not conserve elements" in f.message
+                   for f in findings)
+
+    def test_dropped_plan_variable_breaks_element_conservation(self):
+        transformed, fetch_ops = make_transformed()
+        name = next(n for n, m in transformed.plan.methods.items()
+                    if m.name != "PS")
+        del transformed.plan.methods[name]
+        findings, _ = analyze_accounting(transformed, fetch_ops)
+        assert any("element conservation violated" in f.message
+                   for f in findings)
+
+    def test_unregistered_collective_is_reported(self, monkeypatch):
+        import repro.core.runner as runner_mod
+
+        transformed, fetch_ops = make_transformed()
+        monkeypatch.setattr(
+            runner_mod, "_SELF_ACCOUNTING",
+            frozenset(runner_mod._SELF_ACCOUNTING - {"fused_allreduce"}))
+        findings, _ = analyze_accounting(transformed, fetch_ops)
+        assert any("_SELF_ACCOUNTING" in f.message for f in findings)
+
+
+# ======================================================================
+# verify_plan: matrix coverage and runtime wiring
+# ======================================================================
+class TestVerifyPlanMatrix:
+    @pytest.mark.parametrize("model_key", sorted(_bench_matrix_models()))
+    @pytest.mark.parametrize("plan_key", sorted(_bench_plan_builders()))
+    def test_matrix_is_clean(self, model_key, plan_key):
+        model = _bench_matrix_models()[model_key]()
+        transformed = transform_graph(
+            model.graph, model.loss, C2x2,
+            _bench_plan_builders()[plan_key](model.graph), verify=False)
+        report = verify_plan(transformed)
+        assert report.ok, report.render()
+        assert set(report.timings) == {"deadlock", "congruence", "alias",
+                                       "accounting"}
+
+    @pytest.mark.parametrize("plan_builder", [
+        lambda g: hybrid_graph_plan(g, fusion=False),
+        lambda g: ar_graph_plan(g, fusion=True),
+        lambda g: ar_graph_plan(g, compression="topk+fp16",
+                                compression_ratio=0.05),
+        lambda g: ar_graph_plan(g, compression="fp16"),
+    ])
+    def test_fusion_and_compression_variants_are_clean(self, plan_builder):
+        transformed, fetch_ops = make_transformed(plan_builder)
+        report = verify_plan(transformed, fetch_ops)
+        assert report.ok, report.render()
+
+    def test_supplied_plan_is_reused_and_guarded(self):
+        transformed, fetch_ops = make_transformed(cluster=C2x1)
+        plan = CompiledPlan(transformed.graph, fetch_ops)
+        report = verify_plan(transformed, fetch_ops, plan=plan)
+        assert report.ok
+        other, other_fetch = make_transformed(cluster=C2x1)
+        with pytest.raises(ValueError, match="different graph"):
+            verify_plan(other, other_fetch, plan=plan)
+
+    def test_transform_raises_on_findings(self, monkeypatch):
+        import repro.analysis as analysis
+
+        bad = AnalysisReport(findings=[Finding("deadlock", "injected")])
+        monkeypatch.setattr(analysis, "verify_plan",
+                            lambda *a, **k: bad)
+        model = make_model()
+        with pytest.raises(PlanVerificationError, match="injected"):
+            transform_graph(model.graph, model.loss, C2x1,
+                            hybrid_graph_plan(model.graph), verify=True)
+
+    def test_env_gate_controls_default(self, monkeypatch):
+        import repro.analysis as analysis
+
+        calls = []
+
+        def spy(*args, **kwargs):
+            calls.append(args)
+            return AnalysisReport()
+
+        monkeypatch.setattr(analysis, "verify_plan", spy)
+        model = make_model()
+        monkeypatch.setenv("REPRO_VERIFY_PLANS", "0")
+        transform_graph(model.graph, model.loss, C2x1,
+                        hybrid_graph_plan(model.graph))
+        assert calls == []
+        model = make_model()
+        monkeypatch.setenv("REPRO_VERIFY_PLANS", "1")
+        transform_graph(model.graph, model.loss, C2x1,
+                        hybrid_graph_plan(model.graph))
+        assert len(calls) == 1
+
+    def test_config_opt_in_wires_through_get_runner(self):
+        from repro.core.api import ParallaxConfig, get_runner
+
+        cfg = ParallaxConfig(search_partitions=False,
+                             alpha_measure_batches=0, verify_plans=True)
+        runner = get_runner(make_model, C2x1, cfg)
+        assert runner.verify_plans is True
+
+
+# ======================================================================
+# Transport invariance (satellite: shm rings vs pickle fallback)
+# ======================================================================
+class TestTransportInvariance:
+    def _report_key(self, report):
+        scalar_stats = {
+            name: {k: v for k, v in stats.items()
+                   if isinstance(v, (int, float, str))}
+            for name, stats in report.stats.items()
+        }
+        return ([f.render() for f in report.findings], scalar_stats)
+
+    @pytest.mark.parametrize("transport", MultiprocBackend.TRANSPORTS)
+    def test_verification_is_transport_agnostic(self, transport):
+        model = make_model()
+        runner = DistributedRunner(
+            model, C2x1, hybrid_graph_plan(model.graph, fusion=True),
+            seed=3, backend=MultiprocBackend(transport=transport))
+        try:
+            result = runner.step(0)
+            assert len(result.replica_losses) == 2
+            report = verify_plan(runner.transformed)
+            assert report.ok, report.render()
+            key = self._report_key(report)
+        finally:
+            runner.close()
+        if not hasattr(type(self), "_first_key"):
+            type(self)._first_key = key
+        else:
+            assert key == type(self)._first_key
+
+
+# ======================================================================
+# Worker failure context (satellite: rank/position/op attribution)
+# ======================================================================
+class TestWorkerFailureContext:
+    def test_mid_step_failure_names_rank_position_and_op(self, monkeypatch):
+        from repro.graph import ops as graph_ops
+
+        def exploding_tanh(op, inputs, runtime):
+            raise RuntimeError("injected kernel failure")
+
+        # Patch before the runner forks its workers: the children inherit
+        # the poisoned kernel table and die mid-execute on the first step.
+        monkeypatch.setitem(graph_ops.FORWARD, "tanh", exploding_tanh)
+        model = make_model()
+        runner = DistributedRunner(
+            model, C2x1, hybrid_graph_plan(model.graph, fusion=True),
+            seed=3, backend="multiproc")
+        try:
+            with pytest.raises(WorkerFailureError) as excinfo:
+                runner.step(0)
+        finally:
+            runner.close()
+        err = excinfo.value
+        assert err.iteration == 0
+        assert err.worker in (0, 1)
+        assert err.machine == err.worker  # C2x1: one worker per machine
+        assert err.schedule_index is not None and err.schedule_index >= 0
+        assert err.op_name
+        failed_op = runner.transformed.graph.get_op(err.op_name)
+        assert failed_op.op_type == "tanh"
+        assert "injected kernel failure" in str(err)
+        assert f"at schedule position {err.schedule_index}" in str(err)
+
+    def test_message_formats_context(self):
+        err = WorkerFailureError(3, 1, 0, schedule_index=17,
+                                 op_name="rep1/tanh", detail="boom")
+        assert str(err) == ("worker 1 (machine 0) failed at iteration 3 "
+                            "at schedule position 17 while executing "
+                            "'rep1/tanh'\nboom")
+        legacy = WorkerFailureError(2, 0, 0)
+        assert str(legacy) == "worker 0 (machine 0) failed at iteration 2"
+
+
+# ======================================================================
+# Repo lint
+# ======================================================================
+class TestLint:
+    def test_repo_is_clean(self):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[1]
+        findings = lint_paths([repo / "src"])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_mutating_arena_safe_kernel_is_flagged(self, tmp_path):
+        bad = tmp_path / "bad_kernel.py"
+        bad.write_text(
+            "@register_forward(\"add\")\n"
+            "def _add_fwd(op, inputs, runtime):\n"
+            "    a = inputs[0]\n"
+            "    a[0] = 1.0\n"
+            "    return a\n"
+        )
+        findings = lint_paths([bad])
+        assert any("mutates its inputs" in f.message for f in findings)
+        assert any("subscript store" in line
+                   for f in findings for line in f.trace)
+
+    def test_mutating_unlisted_kernel_is_allowed(self, tmp_path):
+        ok = tmp_path / "custom_kernel.py"
+        ok.write_text(
+            "@register_forward(\"my_scatter_apply\")\n"
+            "def _fwd(op, inputs, runtime):\n"
+            "    inputs[0][0] = 1.0\n"
+            "    return inputs[0]\n"
+        )
+        assert lint_paths([ok]) == []
+
+    def test_global_np_random_is_flagged(self, tmp_path):
+        bad = tmp_path / "bad_random.py"
+        bad.write_text(
+            "import numpy as np\n"
+            "x = np.random.rand(3)\n"
+            "rng = np.random.default_rng(0)\n"
+        )
+        findings = lint_paths([bad])
+        assert len(findings) == 1
+        assert "np.random.rand" in findings[0].message
+
+    def test_lambda_in_add_op_is_flagged(self, tmp_path):
+        bad = tmp_path / "bad_lambda.py"
+        bad.write_text(
+            "op = g.add_op(\"scale\", inputs, attrs={\n"
+            "    \"fn\": lambda x: x * 2})\n"
+        )
+        findings = lint_paths([bad])
+        assert any("lambda passed into" in f.message for f in findings)
+
+    def test_unregistered_collective_literal_is_flagged(self, tmp_path):
+        bad = tmp_path / "bad_collective.py"
+        bad.write_text(
+            "op = g.add_op(\"hierarchical_allreduce\", inputs)\n"
+        )
+        findings = lint_paths([bad])
+        assert any("hierarchical_allreduce" in f.message for f in findings)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand()\n")
+        assert lint_main([str(bad)]) == 1
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_main([str(clean)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+
+# ======================================================================
+# Report plumbing
+# ======================================================================
+class TestReport:
+    def test_render_and_error(self):
+        report = AnalysisReport(
+            findings=[Finding("deadlock", "it hangs",
+                              trace=("rank 0 pos 1: recv",))])
+        assert not report.ok
+        text = report.render()
+        assert "deadlock" in text and "rank 0 pos 1" in text
+        err = PlanVerificationError(report)
+        assert err.report is report
+        assert "it hangs" in str(err)
+
+    def test_crashing_analysis_becomes_a_finding(self, monkeypatch):
+        import repro.analysis.verifier as verifier_mod
+
+        def boom(*args, **kwargs):
+            raise ValueError("analysis bug")
+
+        monkeypatch.setattr(verifier_mod, "analyze_congruence", boom)
+        transformed, fetch_ops = make_transformed(cluster=C2x1)
+        report = verify_plan(transformed, fetch_ops,
+                             analyses=["congruence"])
+        assert not report.ok
+        assert "analysis crashed" in report.findings[0].message
