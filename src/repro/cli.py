@@ -673,7 +673,7 @@ def _parallel_timing_runner(cluster: ClusterSpec, seed: int, backend: str):
 
 
 def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
-                   seed: int = 0,
+                   seed: int = 0, transport: str = "shm",
                    output: str = "BENCH_parallel.json") -> int:
     """Multiprocess backend vs the in-process engine.
 
@@ -687,9 +687,17 @@ def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
     must reach at least 1.5x the in-process throughput (on smaller
     hosts -- CI runners -- the speedup is reported informationally,
     since there is no hardware parallelism to win).
+
+    *transport* picks the multiprocess message plane (``shm``,
+    ``queue``, or ``tcp`` on loopback -- the CI ``tcp-loopback`` job
+    runs the full matrix over sockets).  The speedup and
+    prediction gates are enforced for the shm transport only; other
+    planes report their numbers informationally, since their constants
+    are not what the headline goodput model calibrates.
     """
     import os
 
+    from repro.core.backend import MultiprocBackend
     from repro.core.runner import DistributedRunner
 
     _validate_bench_args(iters, warmup)
@@ -705,7 +713,8 @@ def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
                 model = model_builder()
                 runner = DistributedRunner(
                     model, cluster, plan_builder(model.graph), seed=seed,
-                    backend=backend)
+                    backend=(backend if backend == "inproc"
+                             else MultiprocBackend(transport=transport)))
                 losses[backend] = [runner.step(i).replica_losses
                                    for i in range(matrix_iters)]
                 runner.close()
@@ -715,8 +724,9 @@ def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
                            "losses_bit_identical": identical})
 
     runners = {
-        backend: _parallel_timing_runner(cluster, seed, backend)
-        for backend in ("inproc", "multiproc")
+        "inproc": _parallel_timing_runner(cluster, seed, "inproc"),
+        "multiproc": _parallel_timing_runner(
+            cluster, seed, MultiprocBackend(transport=transport)),
     }
     times, losses = _interleaved_measure(runners, iters, warmup)
     steps_per_sec = {name: 1.0 / min(times[name]) for name in runners}
@@ -728,7 +738,7 @@ def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
     num_workers = mp_backend.transport.num_workers
     serialization = dict(mp_backend.serialization_totals)
     runners["multiproc"].close()
-    speedup_required = cpu_count >= 4
+    speedup_required = cpu_count >= 4 and transport == "shm"
     speedup_ok = (not speedup_required) or speedup >= 1.5
 
     # Calibrate the cost model's host-transport constants from the run's
@@ -743,10 +753,13 @@ def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
 
     measured_steps = max(1, warmup + iters)
     fitted = fit_transport_constants([serialization])
+    bulk_wire = max(0.0, (serialization.get("wire_bytes", 0)
+                          - serialization.get("pickle_bytes", 0)))
     predicted = predict_multiproc_goodput(
         steps_per_sec["inproc"], num_workers, cpu_count,
         serialization.get("pickle_bytes", 0) / measured_steps,
         serialization.get("shm_bytes", 0) / measured_steps,
+        bulk_wire / measured_steps,
         fitted,
     )
     measured = steps_per_sec["multiproc"]
@@ -776,6 +789,7 @@ def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
         "serialization": serialization,
         "fitted_c_serialize": fitted.c_serialize,
         "fitted_shm_bw": fitted.shm_bw,
+        "fitted_tcp_bw": fitted.tcp_bw,
         "predicted_multiproc_steps_per_sec": predicted,
         "prediction_error": prediction_error,
         "prediction_enforced": prediction_enforced,
@@ -795,6 +809,7 @@ def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
           "arch x plan combinations identical")
     print(f"transport: {transport_kind} — "
           f"shm {serialization.get('shm_bytes', 0):,.0f} B / "
+          f"wire {serialization.get('wire_bytes', 0):,.0f} B / "
           f"pickle {serialization.get('pickle_bytes', 0):,.0f} B, "
           f"{serialization.get('fallbacks', 0):.0f} ring fallbacks")
     if prediction_error is not None:
@@ -812,6 +827,181 @@ def bench_parallel(cluster: ClusterSpec, iters: int = 20, warmup: int = 3,
     if not prediction_ok:
         print("ERROR: calibrated cost model tracks measured multiproc "
               "goodput worse than 20% on a >= 4-core machine")
+        return 1
+    return 0
+
+
+def bench_network(iters: int = 50, payload_mb: float = 4.0,
+                  transfers: int = 8,
+                  output: str = "BENCH_network.json") -> int:
+    """Link microbench: measure the TcpTransport's loopback constants.
+
+    Two measurements through one real socket pair (controller endpoint
+    <-> worker-0 endpoint of a :class:`~repro.comm.tcp.TcpTransport`):
+
+    * **latency** -- *iters* small ping/pong round trips; the one-way
+      frame latency is half the mean round trip.
+    * **bandwidth** -- *transfers* payloads of *payload_mb* MB pushed
+      one way and received; bytes moved over elapsed wall clock,
+      including the freeze copy, so it prices exactly what a training
+      step pays per byte.
+
+    The measurements feed :func:`~repro.cluster.costmodel.
+    fit_network_constants`, turning the cost model's assumed ``tcp_bw``
+    / ``tcp_latency`` into measured ones -- the calibration loop the
+    ROADMAP asks for.  Run on a real NIC (not loopback) the same
+    numbers calibrate a cross-host deployment.
+    """
+    import numpy as np
+
+    from repro.cluster.costmodel import fit_network_constants
+    from repro.comm.tcp import TcpTransport
+    from repro.comm.transport import CONTROLLER
+
+    if iters < 1 or transfers < 1 or payload_mb <= 0:
+        raise SystemExit("bench --network: iters/transfers/payload must "
+                         "be positive")
+    transport = TcpTransport(1)
+    try:
+        # Warm both endpoints (connection setup, thread spin-up).
+        for _ in range(3):
+            transport.send(CONTROLLER, 0, ("ping",), 0)
+            transport.recv(0, CONTROLLER, ("ping",), timeout=30.0)
+            transport.send(0, CONTROLLER, ("pong",), 0)
+            transport.recv(CONTROLLER, 0, ("pong",), timeout=30.0)
+
+        start = time.perf_counter()
+        for i in range(iters):
+            transport.send(CONTROLLER, 0, ("ping",), i)
+            transport.recv(0, CONTROLLER, ("ping",), timeout=30.0)
+            transport.send(0, CONTROLLER, ("pong",), i)
+            transport.recv(CONTROLLER, 0, ("pong",), timeout=30.0)
+        latency = (time.perf_counter() - start) / iters / 2.0
+
+        payload = np.zeros(int(payload_mb * (1 << 20) // 8),
+                           dtype=np.float64)
+        nbytes = int(payload.nbytes)
+        start = time.perf_counter()
+        for i in range(transfers):
+            transport.send(CONTROLLER, 0, ("bulk", i), payload)
+            got = transport.recv(0, CONTROLLER, ("bulk", i), timeout=60.0)
+        elapsed = time.perf_counter() - start
+        bandwidth = transfers * nbytes / elapsed
+        assert got.nbytes == nbytes
+        counters = dict(transport.counters)
+    finally:
+        transport.close()
+
+    measurement = {
+        "measured_latency_s": latency,
+        "measured_bandwidth_bytes_per_s": bandwidth,
+    }
+    fitted = fit_network_constants(measurement)
+    report = {
+        "workload": "network_loopback",
+        "roundtrips": iters,
+        "transfers": transfers,
+        "payload_bytes": nbytes,
+        **measurement,
+        "fitted_tcp_latency": fitted.tcp_latency,
+        "fitted_tcp_bw": fitted.tcp_bw,
+        "wire_bytes": counters.get("wire_bytes", 0),
+        "wire_msgs": counters.get("wire_msgs", 0),
+    }
+    _write_report(output, report)
+
+    print(f"\nNetwork bench — {iters} round trips, "
+          f"{transfers} x {payload_mb:.0f} MB transfers")
+    print(f"latency:   {latency * 1e6:,.1f} us one-way")
+    print(f"bandwidth: {bandwidth / 1e9:.2f} GB/s "
+          f"({bandwidth * 8 / 1e9:.1f} Gb/s)")
+    from repro.cluster.costmodel import DEFAULT_COST_MODEL
+
+    print(f"cost model: tcp_latency {fitted.tcp_latency * 1e6:,.1f} us, "
+          f"tcp_bw {fitted.tcp_bw / 1e9:.2f} GB/s (assumed defaults: "
+          f"{DEFAULT_COST_MODEL.tcp_latency * 1e6:,.1f} us, "
+          f"{DEFAULT_COST_MODEL.tcp_bw / 1e9:.2f} GB/s)")
+    print(f"wrote {output}")
+    return 0
+
+
+def cli_launch(args, cluster: ClusterSpec) -> int:
+    """``repro.cli launch``: one process of a rendezvous-bootstrapped
+    TCP fleet.
+
+    ``--rank R`` (R >= 0) runs worker rank R: bind a listener, join the
+    ``--rendezvous tcp://host:port`` bootstrap, then serve the standard
+    command loop until the controller's shutdown.  ``--rank -1`` runs
+    the controller: start the rendezvous server at that address, wait
+    for ``--world-size`` workers to join and barrier, then train the
+    quickstart workload on the remote fleet for ``--iters`` steps.
+    ``--check-identity`` additionally trains the same workload in
+    process and asserts the per-step losses match bit for bit.
+    """
+    if args.rendezvous is None or args.rank is None \
+            or args.world_size is None:
+        raise SystemExit("launch: --rendezvous, --rank and --world-size "
+                         "are required")
+    if args.world_size < 1:
+        raise SystemExit("launch: --world-size must be >= 1")
+    if args.rank >= args.world_size:
+        raise SystemExit("launch: --rank must be < --world-size")
+
+    if args.rank >= 0:
+        from repro.core.backend import run_remote_worker
+
+        run_remote_worker(args.rendezvous, args.rank, args.world_size,
+                          listen_host=args.listen_host,
+                          join_timeout=args.join_timeout)
+        return 0
+
+    # Controller role.  The cluster shape must hand every replica to
+    # one launched worker.
+    if cluster.total_gpus != args.world_size:
+        raise SystemExit(
+            f"launch: cluster has {cluster.total_gpus} replicas but "
+            f"--world-size is {args.world_size}; pass matching "
+            f"--machines/--gpus")
+    from repro.core.backend import RemoteWorkerBackend
+    from repro.core.runner import DistributedRunner
+    from repro.core.transform.plan import hybrid_graph_plan
+
+    iters = args.iters
+    reference = None
+    if args.check_identity:
+        runner = _quickstart_runner(cluster, args.seed)
+        reference = [runner.step(i).replica_losses for i in range(iters)]
+        runner.close()
+
+    model = _quickstart_model()
+    plan = hybrid_graph_plan(model.graph)
+    backend = RemoteWorkerBackend(args.rendezvous,
+                                  start_timeout=args.join_timeout,
+                                  listen_host=args.listen_host)
+    runner = DistributedRunner(model, cluster, plan, seed=args.seed,
+                               backend=backend)
+    try:
+        remote_losses = [runner.step(i).replica_losses
+                         for i in range(iters)]
+        counters = dict(backend.serialization_totals)
+    finally:
+        runner.close()
+
+    identical = (reference == remote_losses
+                 if reference is not None else None)
+    report = {
+        "workload": "launch_quickstart",
+        "world_size": args.world_size,
+        "iterations": iters,
+        "final_mean_loss": (sum(remote_losses[-1])
+                            / len(remote_losses[-1])),
+        "losses_bit_identical": identical,
+        "wire_bytes": counters.get("wire_bytes", 0),
+        "wire_msgs": counters.get("wire_msgs", 0),
+    }
+    print(json.dumps(report, indent=2))
+    if identical is False:
+        print("ERROR: remote fleet losses diverged from inproc")
         return 1
     return 0
 
@@ -1248,11 +1438,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment",
                         choices=sorted(COMMANDS) + ["all", "bench",
-                                                    "verify"],
+                                                    "launch", "verify"],
                         help="which table/figure to regenerate, 'bench' "
-                             "for the execution-engine benchmark, or "
-                             "'verify' to statically verify every "
-                             "arch x plan x backend schedule")
+                             "for the execution-engine benchmark, "
+                             "'launch' for one process of a rendezvous-"
+                             "bootstrapped TCP fleet, or 'verify' to "
+                             "statically verify every arch x plan x "
+                             "backend schedule")
     # Analytic tables default to the paper's cluster; the functional bench
     # defaults to a small one (it really executes every replica).
     parser.add_argument("--machines", type=int, default=None)
@@ -1280,6 +1472,34 @@ def main(argv=None) -> int:
                              "the convergence contract")
     parser.add_argument("--ratio", type=float, default=0.1,
                         help="bench --compression: top-k keep fraction")
+    parser.add_argument("--network", action="store_true",
+                        help="bench: TCP link microbench -- measure "
+                             "loopback latency/bandwidth through one "
+                             "TcpTransport socket pair and calibrate "
+                             "the cost model's tcp_bw / tcp_latency")
+    parser.add_argument("--transport", default="shm",
+                        choices=("shm", "queue", "tcp"),
+                        help="bench --parallel: multiprocess transport "
+                             "kind (tcp runs the fleet over loopback "
+                             "sockets)")
+    parser.add_argument("--rendezvous", default=None, metavar="URL",
+                        help="launch: tcp://host:port bootstrap address "
+                             "(the controller binds it; workers join it)")
+    parser.add_argument("--rank", type=int, default=None,
+                        help="launch: worker rank in [0, world-size), "
+                             "or -1 for the controller")
+    parser.add_argument("--world-size", type=int, default=None,
+                        help="launch: total number of worker replicas")
+    parser.add_argument("--listen-host", default="127.0.0.1",
+                        help="launch: address this process' transport "
+                             "listener binds")
+    parser.add_argument("--join-timeout", type=float, default=60.0,
+                        help="launch: seconds to wait for the rendezvous "
+                             "to assemble")
+    parser.add_argument("--check-identity", action="store_true",
+                        help="launch controller: also train in process "
+                             "and assert the remote fleet's losses are "
+                             "bit-identical")
     parser.add_argument("--all", action="store_true", dest="all_families",
                         help="bench: run every bench family (engine, "
                              "fusion, elastic, parallel, compression), "
@@ -1309,11 +1529,19 @@ def main(argv=None) -> int:
     if args.experiment == "verify":
         return cli_verify(cluster, seed=args.seed,
                           output=args.bench_output or "BENCH_verify.json")
+    if args.experiment == "launch":
+        # Default the cluster to one machine per worker when the shape
+        # was not given explicitly.
+        if args.machines is None and args.gpus is None \
+                and args.world_size is not None:
+            cluster = ClusterSpec(args.world_size, 1)
+        return cli_launch(args, cluster)
     if args.experiment == "bench":
         chosen = [name for name, flag in (
             ("--fusion", args.fusion), ("--elastic", args.elastic),
             ("--parallel", args.parallel), ("--all", args.all_families),
             ("--compression", args.compression), ("--check", args.check),
+            ("--network", args.network),
         ) if flag]
         if len(chosen) > 1:
             raise SystemExit(f"bench: choose one of {' / '.join(chosen)}")
@@ -1322,6 +1550,10 @@ def main(argv=None) -> int:
         if args.all_families:
             return bench_all(cluster, iters=args.iters, warmup=args.warmup,
                              seed=args.seed)
+        if args.network:
+            return bench_network(
+                iters=max(10, args.iters),
+                output=args.bench_output or "BENCH_network.json")
         if args.compression:
             return bench_compression(
                 cluster, iters=args.iters, warmup=args.warmup,
@@ -1330,7 +1562,7 @@ def main(argv=None) -> int:
         if args.parallel:
             return bench_parallel(
                 cluster, iters=args.iters, warmup=args.warmup,
-                seed=args.seed,
+                seed=args.seed, transport=args.transport,
                 output=args.bench_output or "BENCH_parallel.json")
         if args.elastic:
             return bench_elastic(

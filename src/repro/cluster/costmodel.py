@@ -114,6 +114,12 @@ class CostModel:
     # Bytes/sec the shared-memory ring moves bulk payloads at (one copy
     # in, one copy out of /dev/shm).
     shm_bw: float = 8.0e9
+    # Bytes/sec one TcpTransport connection sustains (loopback or NIC;
+    # `bench --network` measures it and `fit_network_constants` writes
+    # it here) and the per-message frame latency of that link.  The
+    # defaults model loopback so pre-calibration predictions stay sane.
+    tcp_bw: float = 3.0e9
+    tcp_latency: float = 5.0e-5
 
     # ---- elastic runtime (recovery and rescale downtime pricing) -------
     # Bandwidth at which one machine serializes/deserializes logical state
@@ -130,11 +136,12 @@ class CostModel:
     def __post_init__(self):
         for name in ("nccl_bw", "intra_bw", "mpi_bw", "ps_nic_bw",
                      "worker_stream_bw", "ckpt_bw", "compress_throughput",
-                     "shm_bw"):
+                     "shm_bw", "tcp_bw"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         for name in ("c_failure_detect", "c_worker_respawn",
-                     "c_plan_compile", "c_compress_launch", "c_serialize"):
+                     "c_plan_compile", "c_compress_launch", "c_serialize",
+                     "tcp_latency"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
         if not 0.0 <= self.dense_ps_overlap <= 1.0:
@@ -188,52 +195,86 @@ def union_alpha(alpha: float, k: int, zipf_overlap: float) -> float:
 
 
 def fit_transport_constants(samples, base: "CostModel" = None) -> "CostModel":
-    """Calibrate ``c_serialize`` / ``shm_bw`` from transport telemetry.
+    """Calibrate ``c_serialize`` / ``shm_bw`` / ``tcp_bw`` from telemetry.
 
     *samples* is an iterable of per-step counter dicts as produced by the
     multiprocess backend's ``transport/step`` transcript notes (and
     accumulated in ``MultiprocBackend.serialization_totals``): the keys
-    used are ``pickle_bytes`` / ``serialize_s`` for the pickle path and
+    used are ``pickle_bytes`` / ``serialize_s`` for the pickle path,
     ``shm_bytes`` / ``deserialize_s`` + ``serialize_s`` for the ring
-    path.  Measurements that would produce degenerate constants (no
-    bytes moved, or zero measured time) leave the corresponding default
-    untouched.
+    path, and the bulk (non-pickle) share of ``wire_bytes`` for the TCP
+    frame path.  On the TCP transport every frame counts ``wire_bytes``
+    and pickle-path frames *also* count ``pickle_bytes``, so the bulk
+    wire traffic is their difference.  Measurements that would produce
+    degenerate constants (no bytes moved, or zero measured time) leave
+    the corresponding default untouched.
     """
     base = base if base is not None else DEFAULT_COST_MODEL
     pickle_bytes = pickle_s = shm_bytes = shm_s = 0.0
+    wire_bytes = wire_s = 0.0
     for counters in samples:
         pb = float(counters.get("pickle_bytes", 0))
         sb = float(counters.get("shm_bytes", 0))
+        wb = max(0.0, float(counters.get("wire_bytes", 0)) - pb)
         wall = (float(counters.get("serialize_s", 0.0))
                 + float(counters.get("deserialize_s", 0.0)))
-        total = pb + sb
+        total = pb + sb + wb
         if total <= 0 or wall <= 0:
             continue
-        # Wall time is attributed to the two paths by bytes moved; on
-        # homogeneous steps (all-shm or all-pickle) this is exact.
+        # Wall time is attributed to the paths by bytes moved; on
+        # homogeneous steps (all one path) this is exact.
         pickle_bytes += pb
         shm_bytes += sb
+        wire_bytes += wb
         pickle_s += wall * (pb / total)
         shm_s += wall * (sb / total)
+        wire_s += wall * (wb / total)
     overrides = {}
     if pickle_bytes > 0 and pickle_s > 0:
         overrides["c_serialize"] = pickle_s / pickle_bytes
     if shm_bytes > 0 and shm_s > 0:
         overrides["shm_bw"] = shm_bytes / shm_s
+    if wire_bytes > 0 and wire_s > 0:
+        overrides["tcp_bw"] = wire_bytes / wire_s
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def fit_network_constants(measurement, base: "CostModel" = None,
+                          ) -> "CostModel":
+    """Calibrate ``tcp_bw`` / ``tcp_latency`` from a link microbench.
+
+    *measurement* is the dict ``bench --network`` produces: the keys
+    used are ``measured_bandwidth_bytes_per_s`` (large-payload transfer
+    rate through one TcpTransport connection) and ``measured_latency_s``
+    (small-frame round trip / 2).  Unlike :func:`fit_transport_constants`
+    this calibrates the *physical link*, not serialization cost -- it is
+    what turns the model's assumed link constants into measured ones.
+    Non-positive measurements leave the defaults untouched.
+    """
+    base = base if base is not None else DEFAULT_COST_MODEL
+    overrides = {}
+    bw = float(measurement.get("measured_bandwidth_bytes_per_s", 0.0))
+    lat = float(measurement.get("measured_latency_s", 0.0))
+    if bw > 0:
+        overrides["tcp_bw"] = bw
+    if lat > 0:
+        overrides["tcp_latency"] = lat
     return base.with_overrides(**overrides) if overrides else base
 
 
 def predict_multiproc_goodput(inproc_steps_per_sec: float, num_workers: int,
                               cpu_count: int, pickle_bytes_per_step: float,
                               shm_bytes_per_step: float,
+                              wire_bytes_per_step: float = 0.0,
                               cost: "CostModel" = None) -> float:
     """Predicted multiprocess steps/sec from the in-process rate.
 
     Replicas run concurrently up to the host's core count, so compute
     time shrinks by ``min(num_workers, cpu_count)``; the per-step
     transport bill (pickled control bytes at ``c_serialize`` sec/byte,
-    ring payload bytes at ``shm_bw``) is paid on the controller's
-    critical path and does not parallelize.
+    ring payload bytes at ``shm_bw``, bulk socket-frame bytes at
+    ``tcp_bw``) is paid on the controller's critical path and does not
+    parallelize.
     """
     if inproc_steps_per_sec <= 0 or num_workers < 1:
         return 0.0
@@ -241,7 +282,8 @@ def predict_multiproc_goodput(inproc_steps_per_sec: float, num_workers: int,
     parallelism = max(1, min(num_workers, cpu_count))
     compute_s = 1.0 / inproc_steps_per_sec / parallelism
     transport_s = (pickle_bytes_per_step * cost.c_serialize
-                   + shm_bytes_per_step / cost.shm_bw)
+                   + shm_bytes_per_step / cost.shm_bw
+                   + wire_bytes_per_step / cost.tcp_bw)
     return 1.0 / (compute_s + transport_s)
 
 

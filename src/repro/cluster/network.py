@@ -47,8 +47,12 @@ def maxmin_rates(
 
     Progressive filling: repeatedly find the bottleneck resource (smallest
     equal-share), freeze its flows at that rate, subtract, and continue.
+    Capacities clamp at zero on entry and after every subtraction:
+    explicit zero-capacity resources (a dead NIC) yield zero-rate flows,
+    and float drift from repeated subtraction can never push a residual
+    negative (which would hand later flows a negative share).
     """
-    remaining = dict(capacity)
+    remaining = {r: max(0.0, float(c)) for r, c in capacity.items()}
     rates: List[Optional[float]] = [None] * len(flows)
     active = set(range(len(flows)))
 
@@ -70,7 +74,7 @@ def maxmin_rates(
             rates[i] = rate
             active.remove(i)
             for r in flows[i].resources():
-                remaining[r] -= rate
+                remaining[r] = max(0.0, remaining[r] - rate)
     return [r if r is not None else 0.0 for r in rates]
 
 
@@ -125,12 +129,36 @@ def simulate_flows(
         while active:
             sub_flows = [stage_flows[i] for i in active]
             rates = maxmin_rates(sub_flows, caps)
+            # A flow only counts as progressing if it finishes in
+            # finite time: rate 0, and denormal rates whose
+            # ``remaining / rate`` overflows to inf, are both stalls.
+            times = [
+                t for t in (
+                    remaining[i] / r
+                    for i, r in zip(active, rates)
+                    if r > 0
+                )
+                if t < float("inf")
+            ]
+            if not times:
+                # Every active flow is stalled (a zero- or effectively
+                # zero-capacity resource on its path): the fluid model
+                # would spin forever.  Name the stalled transfers
+                # instead of the bare ``min() arg is an empty
+                # sequence``.
+                stalled = ", ".join(
+                    f"{stage_flows[i].src}->{stage_flows[i].dst}"
+                    f" ({stage_flows[i].tag or 'untagged'},"
+                    f" {remaining[i]:.0f}B left)"
+                    for i in active
+                )
+                raise ValueError(
+                    f"stage {stage} stalled: no active flow can "
+                    f"finish in finite time -- every path crosses a "
+                    f"zero-capacity resource; stalled flows: {stalled}"
+                )
             # Time until the first of the active flows completes.
-            dt = min(
-                remaining[i] / r
-                for i, r in zip(active, rates)
-                if r > 0
-            )
+            dt = min(times)
             elapsed += dt
             still_active = []
             for i, r in zip(active, rates):

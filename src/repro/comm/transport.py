@@ -8,7 +8,7 @@ result traffic.  Execution backends (:mod:`repro.core.backend`) never
 talk to pipes or queues directly -- they address peers by *rank* and let
 the transport move the bytes.
 
-Two implementations ship:
+Four implementations ship (see :func:`transport_registry`):
 
 * :class:`InMemoryTransport` -- a thread-safe mailbox for same-process
   use (tests, the in-process backend's plumbing checks).  Messages are
@@ -19,6 +19,22 @@ Two implementations ship:
   *eagerly* in ``send`` -- the queue's background feeder would otherwise
   serialize a live numpy buffer that an in-place update kernel may
   already have mutated.
+* :class:`ShmTransport` -- bulk arrays ride shared-memory rings, only
+  headers travel through the queues.
+* :class:`~repro.comm.tcp.TcpTransport` -- length-prefixed frames over
+  sockets, the cross-host plane (``repro.cli launch`` bootstraps it via
+  a ``tcp://host:port`` rendezvous).
+
+:class:`SimulatedLatencyTransport` wraps any of them with a
+deterministic, seeded per-message delay schedule -- wall-clock changes,
+values and ordering do not, so the differential/bit-identity suites
+stay exact under injected latency.
+
+Timeout contract (shared by every implementation): ``recv(timeout=T)``
+computes one ``time.monotonic()`` deadline on entry and waits only on
+the *remainder* after every wakeup -- unrelated arrivals (other keys,
+other senders) never restart the clock, so a recv gives up within ``T``
+of the call no matter how much background traffic the endpoint sees.
 
 Both record every send into a :class:`~repro.comm.transcript.Transcript`
 (tag ``transport/<kind>``), the same recording plane the logical byte
@@ -60,14 +76,17 @@ def _freeze(value) -> bytes:
 
 
 # Serialization-cost counters every transport endpoint tracks.
-# ``pickle_bytes``/``shm_bytes`` split payload bytes by path,
-# ``copy_count`` counts bulk memcpys (one per shm side per message),
-# and the ``*_s`` entries are serialize/deserialize wall time.
+# ``pickle_bytes``/``shm_bytes``/``wire_bytes`` split payload bytes by
+# path (pickle, shared-memory ring, raw socket frame), ``copy_count``
+# counts bulk memcpys (one per shm side per message), and the ``*_s``
+# entries are serialize/deserialize wall time.
 _COUNTER_ZERO = {
     "pickle_bytes": 0,
     "pickle_msgs": 0,
     "shm_bytes": 0,
     "shm_msgs": 0,
+    "wire_bytes": 0,
+    "wire_msgs": 0,
     "copy_count": 0,
     "fallbacks": 0,
     "serialize_s": 0.0,
@@ -79,6 +98,41 @@ def counter_delta(now: Dict[str, float],
                   before: Dict[str, float]) -> Dict[str, float]:
     """``now - before`` per key (counters are monotonic accumulators)."""
     return {k: now.get(k, 0) - before.get(k, 0) for k in _COUNTER_ZERO}
+
+
+def wire_parts(value):
+    """``(kind, arrays, extra)`` for bulk-eligible values, else None.
+
+    The eligibility rule shared by every bulk payload path (shm rings,
+    raw TCP frames): plain native-dtype ``ndarray`` payloads move as one
+    buffer (kind ``"a"``), :class:`~repro.tensor.sparse.IndexedSlices`
+    as a values/indices pair plus its dense shape (kind ``"s"``);
+    everything else (commands, results, state dicts, scalars) takes the
+    transport's pickle path.
+    """
+    import numpy as np
+
+    from repro.tensor.sparse import IndexedSlices
+
+    if type(value) is np.ndarray:
+        if value.dtype.hasobject or not value.dtype.isnative:
+            return None
+        return "a", [value], None
+    if isinstance(value, IndexedSlices):
+        vals, idx = value.values, value.indices
+        if (type(vals) is not np.ndarray or type(idx) is not np.ndarray
+                or vals.dtype.hasobject or not vals.dtype.isnative
+                or idx.dtype.hasobject or not idx.dtype.isnative):
+            return None
+        return "s", [vals, idx], value.dense_shape
+    return None
+
+
+def _remaining(deadline: Optional[float]) -> Optional[float]:
+    """Seconds left until *deadline* (None = wait forever)."""
+    if deadline is None:
+        return None
+    return deadline - time.monotonic()
 
 
 def merge_counters(total: Dict[str, float],
@@ -171,8 +225,11 @@ class InMemoryTransport(Transport):
         super().__init__(num_workers)
         self._lock = threading.Condition()
         self._boxes: Dict[Tuple[int, int, Tuple], deque] = {}
+        self._closed = False
 
     def send(self, src: int, dst: int, key: Tuple, value) -> None:
+        if self._closed:
+            raise TransportError("transport is closed")
         self._check_rank(src, "source")
         self._check_rank(dst, "destination")
         frozen = _freeze(value)
@@ -186,16 +243,36 @@ class InMemoryTransport(Transport):
         self._check_rank(src, "source")
         self._check_rank(dst, "destination")
         box_key = (src, dst, key)
+        # One deadline for the whole call: every notify_all (any arrival
+        # on any channel) wakes this waiter, so waiting the full timeout
+        # again after each wakeup would never expire under steady
+        # unrelated traffic.  Wait only on the remainder.
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         with self._lock:
             while True:
                 box = self._boxes.get(box_key)
                 if box:
                     return pickle.loads(box.popleft())
-                if not self._lock.wait(timeout=timeout):
+                remaining = _remaining(deadline)
+                if remaining is not None and remaining <= 0:
                     raise TransportTimeout(
                         f"no message {src}->{dst} {key!r} within "
                         f"{timeout}s"
                     )
+                self._lock.wait(timeout=remaining)
+
+    def drain(self, dst: int) -> int:
+        """Discard every buffered message addressed to *dst*."""
+        with self._lock:
+            mine = [k for k in self._boxes if k[1] == dst]
+            dropped = sum(len(self._boxes[k]) for k in mine)
+            for k in mine:
+                del self._boxes[k]
+        return dropped
+
+    def close(self) -> None:
+        self._closed = True
 
 
 class MultiprocTransport(Transport):
@@ -256,9 +333,19 @@ class MultiprocTransport(Transport):
         if box:
             return self._thaw(box.popleft())
         inbox = self._inbox(dst)
+        # One deadline for the whole call: buffering a non-matching
+        # arrival must not restart the clock, so each queue wait gets
+        # only the remaining slice of the original timeout.
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         while True:
+            remaining = _remaining(deadline)
+            if remaining is not None and remaining <= 0:
+                raise TransportTimeout(
+                    f"no message {src}->{dst} {key!r} within {timeout}s"
+                )
             try:
-                got_src, got_key, frozen = inbox.get(timeout=timeout)
+                got_src, got_key, frozen = inbox.get(timeout=remaining)
             except queue_mod.Empty:
                 raise TransportTimeout(
                     f"no message {src}->{dst} {key!r} within {timeout}s"
@@ -349,22 +436,7 @@ class ShmTransport(MultiprocTransport):
     # -- encode / decode -------------------------------------------------
     def _shm_parts(self, value):
         """``(kind, arrays, extra)`` for shm-eligible values, else None."""
-        import numpy as np
-
-        from repro.tensor.sparse import IndexedSlices
-
-        if type(value) is np.ndarray:
-            if value.dtype.hasobject or not value.dtype.isnative:
-                return None
-            return "a", [value], None
-        if isinstance(value, IndexedSlices):
-            vals, idx = value.values, value.indices
-            if (type(vals) is not np.ndarray or type(idx) is not np.ndarray
-                    or vals.dtype.hasobject or not vals.dtype.isnative
-                    or idx.dtype.hasobject or not idx.dtype.isnative):
-                return None
-            return "s", [vals, idx], value.dense_shape
-        return None
+        return wire_parts(value)
 
     def send(self, src: int, dst: int, key: Tuple, value) -> None:
         if self._closed:
@@ -430,9 +502,18 @@ class ShmTransport(MultiprocTransport):
         if box:
             return box.popleft()  # already decoded at dequeue time
         inbox = self._inbox(dst)
+        # Same deadline semantics as the queue transport: buffered
+        # non-matching arrivals consume the timeout, never restart it.
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         while True:
+            remaining = _remaining(deadline)
+            if remaining is not None and remaining <= 0:
+                raise TransportTimeout(
+                    f"no message {src}->{dst} {key!r} within {timeout}s"
+                )
             try:
-                got_src, got_key, payload = inbox.get(timeout=timeout)
+                got_src, got_key, payload = inbox.get(timeout=remaining)
             except queue_mod.Empty:
                 raise TransportTimeout(
                     f"no message {src}->{dst} {key!r} within {timeout}s"
@@ -470,3 +551,83 @@ class ShmTransport(MultiprocTransport):
     def segment_names(self) -> Tuple[str, ...]:
         """The /dev/shm segment names this transport owns (hygiene tests)."""
         return tuple(sorted(r.name for r in self._rings.values()))
+
+
+class SimulatedLatencyTransport:
+    """Deterministic per-message delay wrapper around any transport.
+
+    ``send`` sleeps a delay drawn from a seeded schedule -- a pure
+    function of ``(seed, src, dst, per-channel message index)`` -- then
+    delegates to the wrapped transport.  Per-channel FIFO order is
+    preserved (the delay happens before enqueue, in send order), values
+    are untouched, and every other attribute (``recv``, ``counters``,
+    ``transcript``, ``close``, ...) proxies straight through.  Wall
+    clock changes; bits do not -- which is what lets the differential
+    and bit-identity suites run under injected latency and stay exact.
+    """
+
+    name = "simlat"
+
+    def __init__(self, inner: Transport, delay_s: float = 1e-3,
+                 jitter_s: float = 0.0, seed: int = 0):
+        if delay_s < 0 or jitter_s < 0:
+            raise ValueError("latency delays must be >= 0")
+        self.inner = inner
+        self.delay_s = float(delay_s)
+        self.jitter_s = float(jitter_s)
+        self.seed = int(seed)
+        self._counts: Dict[Tuple[int, int], int] = {}
+
+    def delay_for(self, src: int, dst: int, index: int) -> float:
+        """The schedule: delay of channel ``src->dst``'s *index*-th send.
+
+        Pure and replayable -- two wrappers with the same seed produce
+        identical schedules, which is what makes latency-injected runs
+        reproducible.
+        """
+        if self.jitter_s <= 0:
+            return self.delay_s
+        import random
+
+        r = random.Random(f"{self.seed}:{src}:{dst}:{index}").random()
+        return self.delay_s + r * self.jitter_s
+
+    def send(self, src: int, dst: int, key: Tuple, value) -> None:
+        index = self._counts.get((src, dst), 0)
+        self._counts[(src, dst)] = index + 1
+        delay = self.delay_for(src, dst, index)
+        if delay > 0:
+            time.sleep(delay)
+        self.inner.send(src, dst, key, value)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def transport_registry() -> Dict[str, type]:
+    """Every registered transport kind, name -> class.
+
+    ``tcp`` is imported lazily: :mod:`repro.comm.tcp` imports this
+    module, so eager registration would be a cycle.
+    """
+    from repro.comm.tcp import TcpTransport
+
+    return {
+        InMemoryTransport.name: InMemoryTransport,
+        MultiprocTransport.name: MultiprocTransport,
+        ShmTransport.name: ShmTransport,
+        TcpTransport.name: TcpTransport,
+    }
+
+
+def make_transport(kind: str, num_workers: int, **kwargs) -> Transport:
+    """Construct a registered transport by name."""
+    registry = transport_registry()
+    try:
+        cls = registry[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown transport {kind!r}; expected one of "
+            f"{sorted(registry)}"
+        ) from None
+    return cls(num_workers, **kwargs)

@@ -101,6 +101,10 @@ class ParallaxConfig:
             a :class:`~repro.comm.transport.Transport`; bit-identical
             losses, real wall-clock parallelism).  The partition search
             always samples in-process.
+        transport: message plane of the multiproc backend -- "shm"
+            (default), "queue", or "tcp" (loopback sockets; the
+            cross-host plane exercised in one process).  Requires
+            ``backend="multiproc"``.
         plan_cache_size: LRU cap on compiled plans per session (distinct
             fetch signatures beyond this recompile on next use).
         verify_plans: run the static plan verifier
@@ -134,6 +138,7 @@ class ParallaxConfig:
     checkpoint_every: int = 1
     fault_plan: Optional[FaultPlan] = None
     backend: str = "inproc"
+    transport: Optional[str] = None
     plan_cache_size: int = 32
     verify_plans: bool = False
     save_path: Optional[str] = None
@@ -178,6 +183,19 @@ class ParallaxConfig:
                 f"unknown backend {self.backend!r}; expected one of "
                 f"{sorted(BACKENDS)}"
             )
+        if self.transport is not None:
+            from repro.core.backend import MultiprocBackend
+
+            if self.backend != "multiproc":
+                raise ValueError(
+                    "transport selection requires backend='multiproc' "
+                    "(the inproc engine has no message plane)"
+                )
+            if self.transport not in MultiprocBackend.TRANSPORTS:
+                raise ValueError(
+                    f"unknown transport {self.transport!r}; expected "
+                    f"one of {MultiprocBackend.TRANSPORTS}"
+                )
         if self.fault_plan is not None and not self.elastic:
             raise ValueError(
                 "fault_plan requires elastic=True: a plain runner cannot "
@@ -433,6 +451,14 @@ def get_runner(
                    else build(best_partitions))
     plan = _make_plan(final_model.graph, cfg,
                       overrides_for(final_model.graph))
+    backend = cfg.backend
+    if cfg.transport is not None:
+        from repro.core.backend import MultiprocBackend
+
+        # A configured instance; make_backend passes it through and
+        # elastic rescales clone it with .fresh(), so the transport
+        # choice survives every migration.
+        backend = MultiprocBackend(transport=cfg.transport)
     if cfg.elastic:
         runner: DistributedRunner = ElasticRunner(
             final_model, cluster, plan,
@@ -442,14 +468,14 @@ def get_runner(
             checkpoint_every=cfg.checkpoint_every,
             fault_plan=cfg.fault_plan,
             seed=cfg.seed,
-            backend=cfg.backend,
+            backend=backend,
             plan_cache_size=cfg.plan_cache_size,
             verify_plans=True if cfg.verify_plans else None,
         )
     else:
         runner = DistributedRunner(
             final_model, cluster, plan,
-            seed=cfg.seed, backend=cfg.backend,
+            seed=cfg.seed, backend=backend,
             plan_cache_size=cfg.plan_cache_size,
             verify_plans=True if cfg.verify_plans else None)
     runner.partition_search = search_result

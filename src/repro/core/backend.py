@@ -39,6 +39,7 @@ old one down).  After that:
 
 from __future__ import annotations
 
+import time
 import traceback
 from typing import Dict, List, Optional, Sequence
 
@@ -48,6 +49,7 @@ from repro.comm.transport import (
     CONTROLLER,
     MultiprocTransport,
     ShmTransport,
+    SimulatedLatencyTransport,
     Transport,
     TransportTimeout,
     counter_delta,
@@ -489,11 +491,14 @@ class MultiprocBackend(ExecutionBackend):
     name = "multiproc"
 
     #: transport kinds accepted by the ``transport`` constructor arg.
-    TRANSPORTS = ("shm", "queue")
+    TRANSPORTS = ("shm", "queue", "tcp")
 
     def __init__(self, start_timeout: float = 120.0,
                  step_timeout: float = 600.0,
-                 transport: str = "shm"):
+                 transport: str = "shm",
+                 simulated_latency: float = 0.0,
+                 latency_jitter: float = 0.0,
+                 latency_seed: int = 0):
         super().__init__()
         if transport not in self.TRANSPORTS:
             raise ValueError(
@@ -503,7 +508,13 @@ class MultiprocBackend(ExecutionBackend):
         self.start_timeout = start_timeout
         self.step_timeout = step_timeout
         self.transport_kind = transport
-        self.transport: Optional[MultiprocTransport] = None
+        # Deterministic injected latency (seconds) applied to every
+        # transport send; keeps losses bit-identical while stretching
+        # wall clock -- see SimulatedLatencyTransport.
+        self.simulated_latency = simulated_latency
+        self.latency_jitter = latency_jitter
+        self.latency_seed = latency_seed
+        self.transport: Optional[Transport] = None
         self.processes: list = []
         self._var_owner: Dict[str, int] = {}
         # Serialization-cost totals across every step this backend ran
@@ -514,7 +525,33 @@ class MultiprocBackend(ExecutionBackend):
     def fresh(self) -> "MultiprocBackend":
         return type(self)(start_timeout=self.start_timeout,
                           step_timeout=self.step_timeout,
-                          transport=self.transport_kind)
+                          transport=self.transport_kind,
+                          simulated_latency=self.simulated_latency,
+                          latency_jitter=self.latency_jitter,
+                          latency_seed=self.latency_seed)
+
+    def _make_transport(self, num_workers: int, context) -> Transport:
+        """The configured transport, latency-wrapped when requested."""
+        if self.transport_kind == "shm":
+            # Rings must exist before the fork: workers inherit the
+            # mappings, so there is no attach/name-lookup path.
+            transport: Transport = ShmTransport(num_workers,
+                                                context=context)
+        elif self.transport_kind == "tcp":
+            from repro.comm.tcp import TcpTransport
+
+            # Listeners bind before the fork: children inherit the
+            # bound sockets, so every address exists before any
+            # process connects.
+            transport = TcpTransport(num_workers)
+        else:
+            transport = MultiprocTransport(num_workers, context=context)
+        if self.simulated_latency > 0 or self.latency_jitter > 0:
+            transport = SimulatedLatencyTransport(
+                transport, delay_s=self.simulated_latency,
+                jitter_s=self.latency_jitter, seed=self.latency_seed,
+            )
+        return transport
 
     # -- lifecycle -------------------------------------------------------
     def start(self, runner) -> None:
@@ -531,12 +568,7 @@ class MultiprocBackend(ExecutionBackend):
         except ValueError:  # pragma: no cover - platform without fork
             context = mp.get_context()
         n = runner.num_replicas
-        if self.transport_kind == "shm":
-            # Rings must exist before the fork below: workers inherit
-            # the mappings, so there is no attach/name-lookup path.
-            self.transport = ShmTransport(n, context=context)
-        else:
-            self.transport = MultiprocTransport(n, context=context)
+        self.transport = self._make_transport(n, context)
         self._var_owner = self._variable_owner_map(runner.transformed)
         fetch_names = [t.op.name for t in runner._step_fetches[0]]
         self.processes = []
@@ -600,22 +632,34 @@ class MultiprocBackend(ExecutionBackend):
 
     # -- controller-side protocol ---------------------------------------
     def _result(self, rank: int, timeout: float) -> tuple:
-        """Next result from *rank*, with liveness checks while waiting."""
-        deadline = timeout
+        """Next result from *rank*, with liveness checks while waiting.
+
+        One monotonic deadline bounds the whole wait; recv runs in
+        <= 1s slices purely so a dead worker is noticed promptly.
+        Decrementing a budget by a fixed 1.0 per timeout slice (the
+        old scheme) drifts: a recv that returns early under-charges
+        and scheduling delay over-charges, so the stated timeout was
+        only nominal.
+        """
+        deadline = time.monotonic() + timeout
         while True:
+            remaining = deadline - time.monotonic()
             try:
-                payload = self.transport.recv(CONTROLLER, rank, ("res",),
-                                              timeout=min(deadline, 1.0))
+                payload = self.transport.recv(
+                    CONTROLLER, rank, ("res",),
+                    timeout=min(max(remaining, 0.0), 1.0))
             except TransportTimeout:
-                deadline -= 1.0
-                process = self.processes[rank]
-                if not process.is_alive():
+                # Externally-launched fleets (RemoteWorkerBackend) have
+                # no local process handles to poll.
+                process = (self.processes[rank]
+                           if rank < len(self.processes) else None)
+                if process is not None and not process.is_alive():
                     self.shutdown(force=True)
                     raise RuntimeError(
                         f"worker {rank} died (exit code "
                         f"{process.exitcode})"
                     ) from None
-                if deadline <= 0:
+                if time.monotonic() >= deadline:
                     self.shutdown(force=True)
                     raise RuntimeError(
                         f"worker {rank} did not answer within {timeout}s"
@@ -710,6 +754,110 @@ class MultiprocBackend(ExecutionBackend):
                 process.terminate()
                 process.join(timeout=5.0)
         self.processes = []
+        transport.close()
+
+
+class RemoteWorkerBackend(MultiprocBackend):
+    """Controller half of a rendezvous-launched cross-host TCP fleet.
+
+    Where :class:`MultiprocBackend` forks its workers and hands them
+    their spec as a constructor argument, this backend expects the
+    workers to be launched *externally* (``repro.cli launch
+    --rendezvous tcp://... --rank R --world-size N``, one process per
+    replica, any machine).  :meth:`start` runs the rendezvous server at
+    the configured ``tcp://host:port``, waits for every worker to join
+    and barrier, then ships each worker its spec as a ``("spec",)``
+    message over the resulting :class:`~repro.comm.tcp.TcpTransport` --
+    after which the command/response protocol is exactly the forked
+    backend's, so steps, reads, loads, and shutdown are inherited
+    unchanged.  Liveness polling degrades gracefully: there are no
+    local process handles, so only the timeout (not exit-code
+    detection) catches a dead remote worker.
+    """
+
+    name = "remote"
+
+    def __init__(self, rendezvous: str,
+                 start_timeout: float = 120.0,
+                 step_timeout: float = 600.0,
+                 listen_host: str = "127.0.0.1"):
+        super().__init__(start_timeout=start_timeout,
+                         step_timeout=step_timeout, transport="tcp")
+        self.rendezvous = rendezvous
+        self.listen_host = listen_host
+
+    def fresh(self) -> "MultiprocBackend":
+        raise RuntimeError(
+            "a rendezvous-launched fleet cannot be rescaled in place; "
+            "relaunch the workers with the new world size"
+        )
+
+    def start(self, runner) -> None:
+        if runner.transformed.replica_train_ops is not None:
+            raise ValueError(
+                "the remote backend supports synchronous plans only: "
+                "asynchronous PS training is serial by definition"
+            )
+        ExecutionBackend.start(self, runner)
+        from repro.comm.tcp import (
+            RendezvousServer,
+            TcpTransport,
+            bind_listener,
+            parse_rendezvous,
+        )
+
+        n = runner.num_replicas
+        host, port = parse_rendezvous(self.rendezvous)
+        listener = bind_listener(self.listen_host)
+        server = RendezvousServer(
+            n, listener.getsockname(), host=host, port=port,
+        ).start()
+        addr_map = server.wait(timeout=self.start_timeout)
+        self.transport = TcpTransport.for_rank(
+            n, CONTROLLER, addr_map, listener,
+        )
+        self._var_owner = self._variable_owner_map(runner.transformed)
+        fetch_names = [t.op.name for t in runner._step_fetches[0]]
+        self.processes = []
+        for rank in range(n):
+            spec = {
+                "transformed": runner.transformed,
+                "seed": runner.seed,
+                "fetch_names": fetch_names,
+                "shard": runner.shards[rank],
+                "batch_size": runner.model.batch_size,
+                "feed_names": runner._feed_names[rank],
+                "recv_timeout": self.step_timeout,
+            }
+            self.transport.send(CONTROLLER, rank, ("spec",), spec)
+        for rank in range(n):
+            tag, _, _ = self._result(rank, self.start_timeout)
+            if tag != "ready":  # pragma: no cover - startup failure
+                raise RuntimeError(f"worker {rank} failed to start")
+
+
+def run_remote_worker(rendezvous: str, rank: int, world_size: int,
+                      listen_host: str = "127.0.0.1",
+                      join_timeout: float = 60.0) -> None:
+    """One externally-launched TCP worker, start to shutdown.
+
+    Binds a listener, joins the rendezvous, builds the transport from
+    the returned address map, receives its spec from the controller,
+    and serves the standard command loop until the shutdown command.
+    This is what ``repro.cli launch`` runs per rank.
+    """
+    from repro.comm.tcp import TcpTransport, bind_listener, rendezvous_join
+
+    listener = bind_listener(listen_host)
+    addr_map = rendezvous_join(rendezvous, rank, listener.getsockname(),
+                               timeout=join_timeout)
+    transport = TcpTransport.for_rank(world_size, rank, addr_map,
+                                      listener)
+    try:
+        spec = transport.recv(rank, CONTROLLER, ("spec",),
+                              timeout=join_timeout)
+        _run_worker(spec, transport, rank)
+    finally:
         transport.close()
 
 

@@ -7,6 +7,8 @@ the suite stays fast on hosted runners; the heavier 4-replica
 comparisons live in ``repro.cli bench --parallel``.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -517,3 +519,72 @@ class TestMultiprocSmoke:
         multiproc.close()
         assert all(not p.is_alive() for p in processes)
         multiproc.close()  # idempotent
+
+
+class _SlicingStubTransport:
+    """Transport whose recv always times out after a short real sleep.
+
+    Models the pathological case for the liveness loop: the transport
+    returns from each <=1s slice *early* (here after 0.1s).  The old
+    budget scheme charged a full 1.0s per slice regardless, so a 2s
+    step timeout expired after ~0.2s of wall clock."""
+
+    num_workers = 1
+
+    def recv(self, dst, src, key, timeout=None):
+        time.sleep(min(timeout if timeout else 0.1, 0.1))
+        raise TransportTimeout("stub: nothing ever arrives")
+
+    def close(self):
+        pass
+
+
+class _AliveStubProcess:
+    exitcode = None
+
+    def is_alive(self):
+        return True
+
+    def join(self, timeout=None):
+        pass
+
+    def terminate(self):
+        pass
+
+
+class TestResultDeadline:
+    def test_timeout_measures_wall_clock_not_slices(self):
+        """Regression: ``_result`` must honour the stated timeout as
+        wall-clock time.  With early-returning recv slices, the old
+        fixed-1.0-per-slice budget declared a live worker dead after a
+        fraction of the timeout."""
+        backend = MultiprocBackend()
+        backend.transport = _SlicingStubTransport()
+        backend.processes = [_AliveStubProcess()]
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match="did not answer within"):
+            backend._result(0, 2.0)
+        elapsed = time.monotonic() - t0
+        assert elapsed >= 1.8, (
+            f"_result(timeout=2.0) gave up after {elapsed:.2f}s -- the "
+            f"liveness budget is counting slices, not elapsed time"
+        )
+        assert elapsed < 10.0
+
+    def test_dead_worker_detected_before_deadline(self):
+        """The per-slice liveness poll still notices a dead worker long
+        before the full step timeout."""
+
+        class _DeadProcess(_AliveStubProcess):
+            exitcode = -9
+
+            def is_alive(self):
+                return False
+
+        backend = MultiprocBackend()
+        backend.transport = _SlicingStubTransport()
+        backend.processes = [_DeadProcess()]
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match="worker 0 died"):
+            backend._result(0, 60.0)
+        assert time.monotonic() - t0 < 5.0

@@ -47,6 +47,37 @@ class TestMaxminRates:
         with pytest.raises(KeyError):
             maxmin_rates([Flow(0, 9, 10)], caps([0]))
 
+    def test_zero_capacity_yields_zero_rates(self):
+        """A dead NIC (explicit zero capacity) starves its flows without
+        corrupting anyone else's share."""
+        capacity = caps([0, 1, 2])
+        capacity[("out", 0)] = 0.0
+        rates = maxmin_rates([Flow(0, 1, 100), Flow(2, 1, 100)], capacity)
+        assert rates[0] == 0.0
+        # The frozen zero-rate flow consumes nothing, so the healthy
+        # flow keeps the full ingress capacity at machine 1.
+        assert rates[1] == pytest.approx(BW)
+
+    def test_negative_capacity_clamped(self):
+        """Float drift (or a hostile capacity map) below zero must not
+        produce negative shares."""
+        capacity = caps([0, 1])
+        capacity[("out", 0)] = -1e-9
+        rates = maxmin_rates([Flow(0, 1, 100)], capacity)
+        assert rates == [0.0]
+
+    def test_no_negative_residuals_under_drift(self):
+        """Repeated subtraction of irrational shares stays clamped: every
+        returned rate is non-negative and no resource is oversubscribed."""
+        capacity = caps(range(6), bw=1.0 / 3.0)
+        flows = [Flow(s, d, 10.0) for s in range(6) for d in range(6)
+                 if s != d]
+        rates = maxmin_rates(flows, capacity)
+        assert all(r >= 0.0 for r in rates)
+        for m in range(6):
+            egress = sum(r for f, r in zip(flows, rates) if f.src == m)
+            assert egress <= 1.0 / 3.0 + 1e-9
+
 
 class TestSimulateFlows:
     def test_single_flow_time(self):
@@ -103,6 +134,76 @@ class TestSimulateFlows:
         capacity = caps([0, 1], bw=50.0)
         t = simulate_flows([Flow(0, 1, 100)], BW, capacity=capacity)
         assert t == pytest.approx(2.0)
+
+
+class TestStalledFlows:
+    """Regression: a zero-capacity path used to surface as the bare
+    ``ValueError: min() arg is an empty sequence`` from deep inside the
+    event loop.  The diagnostic must name the stalled transfers."""
+
+    def test_stalled_flow_names_transfers(self):
+        capacity = caps([0, 1, 2])
+        capacity[("out", 0)] = 0.0
+        flows = [Flow(0, 1, 100, tag="grad"), Flow(0, 2, 50)]
+        with pytest.raises(ValueError) as err:
+            simulate_flows(flows, BW, capacity=capacity)
+        msg = str(err.value)
+        assert "stalled" in msg
+        assert "0->1" in msg and "0->2" in msg
+        assert "grad" in msg and "untagged" in msg
+        assert "min() arg" not in msg
+
+    def test_healthy_flows_finish_before_stall_detected(self):
+        """Flows that avoid the dead NIC complete; the stall names only
+        the survivors that cross it."""
+        capacity = caps([0, 1, 2])
+        capacity[("in", 2)] = 0.0
+        flows = [Flow(0, 1, 100), Flow(0, 2, 100, tag="dead")]
+        with pytest.raises(ValueError) as err:
+            simulate_flows(flows, BW, capacity=capacity)
+        msg = str(err.value)
+        assert "0->2" in msg and "dead" in msg
+        assert "0->1" not in msg
+
+    def test_stall_in_later_stage_reports_stage(self):
+        capacity = caps([0, 1])
+        capacity[("in", 1)] = 0.0
+        flows = [Flow(0, 0, 10, stage=0), Flow(0, 1, 10, stage=3)]
+        with pytest.raises(ValueError, match="stage 3 stalled"):
+            simulate_flows(flows, BW, capacity=capacity)
+
+    def test_termination_property(self):
+        """Random flow sets either finish in finite non-negative time or
+        raise the stalled-flow diagnostic -- never hang, never return a
+        negative or infinite completion time."""
+        hypothesis = pytest.importorskip("hypothesis")
+        st = pytest.importorskip("hypothesis.strategies")
+        given, settings = hypothesis.given, hypothesis.settings
+
+        flow_st = st.builds(
+            Flow,
+            src=st.integers(0, 4),
+            dst=st.integers(0, 4),
+            nbytes=st.floats(0.0, 1e6, allow_nan=False),
+            stage=st.integers(0, 2),
+        )
+        cap_st = st.fixed_dictionaries({
+            (kind, m): st.floats(0.0, 1e3, allow_nan=False)
+            for kind in ("out", "in") for m in range(5)
+        })
+
+        @settings(max_examples=60, deadline=None)
+        @given(flows=st.lists(flow_st, max_size=8), capacity=cap_st)
+        def check(flows, capacity):
+            try:
+                t = simulate_flows(flows, BW, capacity=capacity)
+            except ValueError as err:
+                assert "stalled" in str(err)
+            else:
+                assert t >= 0.0
+                assert t != float("inf")
+
+        check()
 
 
 class TestFlowsFromMatrix:
