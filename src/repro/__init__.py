@@ -22,21 +22,24 @@ Quick start (the paper's Figure 3 shape)::
 """
 
 from repro.cluster.faults import FaultPlan, NicDegradation, WorkerFailure
-from repro.core.api import ParallaxConfig, get_runner, shard
+from repro.core.api import ParallaxConfig, get_runner, make_server, shard
 from repro.core.elastic import ElasticRunner
 from repro.core.partition_context import partitioner
 from repro.core.runner import DistributedRunner
 from repro.cluster.spec import ClusterSpec
+from repro.serve import InferenceServer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ParallaxConfig",
     "get_runner",
+    "make_server",
     "shard",
     "partitioner",
     "DistributedRunner",
     "ElasticRunner",
+    "InferenceServer",
     "FaultPlan",
     "WorkerFailure",
     "NicDegradation",

@@ -28,11 +28,15 @@ from repro.analysis.report import (  # noqa: F401
     Finding,
     PlanVerificationError,
 )
-from repro.analysis.verifier import verify_plan  # noqa: F401
+from repro.analysis.verifier import (  # noqa: F401
+    forward_fetch_ops,
+    verify_plan,
+)
 
 __all__ = [
     "AnalysisReport",
     "Finding",
     "PlanVerificationError",
+    "forward_fetch_ops",
     "verify_plan",
 ]

@@ -231,54 +231,66 @@ def analyze_accounting(transformed, fetch_ops, order=None,
         per_group.append(entry)
 
     # ---- conservation against the plan's variable inventory -----------
+    # A fetch set that schedules no collectives and no update ops is a
+    # forward-only (serving/inference) plan: it never executes the
+    # synchronization subgraph the plan inventory describes, so there is
+    # nothing to conserve.  Every training fetch set reaches its update
+    # ops, so gating on their presence keeps the conservation checks
+    # live exactly where the inventory applies -- without it, a grad-free
+    # plan over a collective plan would be reported as "losing" every
+    # dense element the plan assigns a collective method to.
+    has_updates = any(op.attrs.get("is_update") for op in order)
+    forward_only = not groups and not has_updates
     plan = transformed.plan
     expected_elements = 0
     gatherv_vars = 0
-    for var_name, method in plan.methods.items():
-        if method.name == "PS":
-            continue
-        replica_names = transformed.replica_variables.get(var_name)
-        if not replica_names:
+    if not forward_only:
+        for var_name, method in plan.methods.items():
+            if method.name == "PS":
+                continue
+            replica_names = transformed.replica_variables.get(var_name)
+            if not replica_names:
+                findings.append(Finding(
+                    ANALYSIS,
+                    f"plan assigns a collective method to {var_name!r} but "
+                    "the transform produced no replica variables for it",
+                ))
+                continue
+            variable = graph.variables[replica_names[0]]
+            is_gatherv = any(
+                op_type in ("allgatherv", "compressed_allgatherv")
+                and group == var_name
+                for op_type, group in groups
+            )
+            if is_gatherv:
+                gatherv_vars += 1
+            else:
+                expected_elements += int(variable.num_elements)
+        if expected_elements != collected_elements:
             findings.append(Finding(
                 ANALYSIS,
-                f"plan assigns a collective method to {var_name!r} but "
-                "the transform produced no replica variables for it",
+                "collective element conservation violated: the plan "
+                f"synchronizes {expected_elements} dense elements but the "
+                f"graph's collective groups carry {collected_elements}",
+                trace=tuple(
+                    f"{e['op_type']}/{e['group']}: {e['numel']} elements"
+                    for e in per_group
+                ),
             ))
-            continue
-        variable = graph.variables[replica_names[0]]
-        is_gatherv = any(
-            op_type in ("allgatherv", "compressed_allgatherv")
-            and group == var_name
-            for op_type, group in groups
+        gatherv_groups = sum(
+            1 for op_type, _group in groups
+            if op_type in ("allgatherv", "compressed_allgatherv")
         )
-        if is_gatherv:
-            gatherv_vars += 1
-        else:
-            expected_elements += int(variable.num_elements)
-    if expected_elements != collected_elements:
-        findings.append(Finding(
-            ANALYSIS,
-            "collective element conservation violated: the plan "
-            f"synchronizes {expected_elements} dense elements but the "
-            f"graph's collective groups carry {collected_elements}",
-            trace=tuple(
-                f"{e['op_type']}/{e['group']}: {e['numel']} elements"
-                for e in per_group
-            ),
-        ))
-    gatherv_groups = sum(
-        1 for op_type, _group in groups
-        if op_type in ("allgatherv", "compressed_allgatherv")
-    )
-    if gatherv_groups != gatherv_vars:
-        findings.append(Finding(
-            ANALYSIS,
-            f"AllGatherv group count {gatherv_groups} does not match "
-            f"the plan's sparse collective variable count {gatherv_vars}",
-        ))
+        if gatherv_groups != gatherv_vars:
+            findings.append(Finding(
+                ANALYSIS,
+                f"AllGatherv group count {gatherv_groups} does not match "
+                f"the plan's sparse collective variable count {gatherv_vars}",
+            ))
 
     stats = {
         "groups": len(groups),
+        "forward_only": forward_only,
         "dynamic_groups": dynamic_groups,
         "per_group": per_group,
         "collective_raw_bytes": raw_bytes,

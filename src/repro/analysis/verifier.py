@@ -33,6 +33,14 @@ def default_fetch_ops(transformed) -> List:
     return fetches
 
 
+def forward_fetch_ops(transformed) -> List:
+    """A forward-only fetch set: every replica's loss with no train op --
+    the shape of a serving/inference plan over a transformed graph.  The
+    schedule it induces carries no collectives and no update ops, and
+    every analysis must stay sound on it."""
+    return [t.op for t in transformed.replica_losses]
+
+
 def verify_plan(transformed, fetch_ops=None, plan=None,
                 analyses: Optional[List[str]] = None) -> AnalysisReport:
     """Statically verify one transformed graph's compiled schedule.

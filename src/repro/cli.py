@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli all               # everything
     python -m repro.cli table2 --machines 4 --gpus 4   # custom cluster
     python -m repro.cli bench             # engine steps/sec benchmark
+    python -m repro.cli bench --serve     # serving-plane QPS/latency bench
 """
 
 from __future__ import annotations
@@ -1197,6 +1198,177 @@ def bench_compression(cluster: ClusterSpec, iters: int = 40,
     return 1 if failures else 0
 
 
+def bench_serve(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
+                seed: int = 0, output: str = "BENCH_serve.json") -> int:
+    """The serving plane: batched QPS, request latency, hot reload.
+
+    Trains the quickstart LM briefly under an ElasticRunner, snapshots
+    it into an :class:`~repro.serve.InferenceServer`, and measures the
+    batch-size/throughput curve by replaying the compiled forward plan
+    at batch sizes 1/2/4/8 (``batched_speedup`` is QPS at batch 8 over
+    batch 1 -- the payoff of coalescing requests into one replay).
+    Request latency (p50/p99) is measured through the real front end:
+    single-example submissions coalesced by the batcher under its
+    ``max_delay_ms`` window.  Two exactness contracts ride along:
+    batched rows must be bit-identical to per-example execution, and a
+    hot reload from a further-trained runner must leave the server
+    bit-identical to a cold server restored from the same state.  The
+    performance plane prices the same batch sweep on the paper's LM
+    inventory via :func:`~repro.cluster.simulator.simulate_serving`.
+
+    On hosts with >= 4 cores the speedup contract is enforced: batched
+    QPS at batch 8 must be at least 1.5x unbatched.  Smaller hosts
+    record ``batched_speedup_ok: null`` and skip the gate.
+    """
+    import functools
+    import os
+
+    import numpy as np
+
+    from repro.cluster.simulator import simulate_serving
+    from repro.nn.profiles import lm_profile
+    from repro.serve import InferenceServer
+
+    _validate_bench_args(iters, warmup)
+    model = _quickstart_model()
+    runner = _quickstart_elastic(cluster, seed, checkpoint_every=4)
+    for i in range(4):
+        runner.step(i)
+    server = InferenceServer.from_runner(model, runner, max_batch=8,
+                                         max_delay_ms=2.0)
+
+    # Throughput curve: the stacked-batch bypass path, one compiled plan
+    # per batch size through the session LRU.  Best-of-N timing, like
+    # every other family.
+    batch_sizes = (1, 2, 4, 8)
+    qps_by_batch = {}
+    for size in batch_sizes:
+        columns = model.dataset.batch(size, 0)
+        for _ in range(max(2, warmup)):
+            server.run_batch(columns)
+        best = float("inf")
+        for _ in range(iters):
+            start = time.perf_counter()
+            server.run_batch(columns)
+            best = min(best, time.perf_counter() - start)
+        qps_by_batch[size] = size / best
+    batched_speedup = qps_by_batch[8] / qps_by_batch[1]
+    cores = os.cpu_count() or 1
+    batched_speedup_ok = batched_speedup >= 1.5 if cores >= 4 else None
+
+    # Latency through the real front end: single-example submissions,
+    # coalesced by the batcher.  Completion times come from done
+    # callbacks, so waiting on one future cannot inflate another's
+    # measurement.
+    latencies = []
+
+    def _record(future, t0):
+        latencies.append(time.monotonic() - t0)
+
+    futures = []
+    for round_index in range(max(8, iters)):
+        for offset in range(8):
+            example = model.dataset.example(
+                (round_index * 8 + offset) % len(model.dataset))
+            t0 = time.monotonic()
+            future = server.submit(example)
+            future.add_done_callback(functools.partial(_record, t0=t0))
+            futures.append(future)
+    for future in futures:
+        future.result(timeout=60)
+    p50_ms = float(np.percentile(latencies, 50) * 1e3)
+    p99_ms = float(np.percentile(latencies, 99) * 1e3)
+
+    # Exactness: a batch of 8 must serve the same bits as 8 singles.
+    columns8 = model.dataset.batch(8, 0)
+    batched_rows = np.array(server.run_batch(columns8))
+    single_rows = np.stack([
+        np.array(server.run_batch(tuple(col[i:i + 1] for col in columns8)))[0]
+        for i in range(8)
+    ])
+    batched_bit_identical = bool(np.array_equal(batched_rows, single_rows))
+
+    # Hot reload: train further, publish the live state into the running
+    # server, and compare against a cold server restored from the same
+    # runner -- bit-for-bit.
+    for i in range(4, 8):
+        runner.step(i)
+    start = time.perf_counter()
+    runner.publish_to(server)
+    reload_ms = (time.perf_counter() - start) * 1e3
+    cold = InferenceServer.from_runner(model, runner)
+    hot_rows = np.array(server.run_batch(columns8))
+    cold_rows = np.array(cold.run_batch(columns8))
+    hot_reload_bit_identical = bool(np.array_equal(hot_rows, cold_rows))
+    stale = bool(np.array_equal(hot_rows, batched_rows))
+    cold.close()
+
+    batch_log = list(server.batcher.batch_log)
+    served = server.requests_served
+    server.close()
+
+    simulated = {}
+    profile = lm_profile()
+    for size in (1, 2, 4, 8, 16, 32):
+        b = simulate_serving(profile, cluster, size)
+        simulated[size] = {
+            "p50_latency_ms": b.p50_latency * 1e3,
+            "p99_latency_ms": b.p99_latency * 1e3,
+            "qps": b.qps,
+        }
+
+    report = {
+        "workload": "quickstart_hybrid_lm_serving",
+        "cluster": {"machines": cluster.num_machines,
+                    "gpus_per_machine": cluster.gpus_per_machine},
+        "iterations": iters,
+        "warmup": warmup,
+        "qps_by_batch": {str(k): v for k, v in qps_by_batch.items()},
+        "unbatched_steps_per_sec": qps_by_batch[1],
+        "batched_steps_per_sec": qps_by_batch[8] / 8,
+        "batched_speedup": batched_speedup,
+        "batched_speedup_ok": batched_speedup_ok,
+        "p50_latency_ms": p50_ms,
+        "p99_latency_ms": p99_ms,
+        "requests_served": served,
+        "mean_coalesced_batch": (float(np.mean([s for s, _ in batch_log]))
+                                 if batch_log else 0.0),
+        "batched_bit_identical": batched_bit_identical,
+        "hot_reload_bit_identical": hot_reload_bit_identical,
+        "hot_reload_changed_output": not stale,
+        "hot_reload_ms": reload_ms,
+        "simulated": {"model": profile.name, "by_batch": simulated},
+    }
+    _write_report(output, report)
+
+    print(f"\nServing bench — quickstart LM, compiled forward plan "
+          f"({iters} iterations)")
+    print(f"{'batch':>6}{'QPS':>12}")
+    for size in batch_sizes:
+        print(f"{size:>6}{qps_by_batch[size]:>12.1f}")
+    print(f"batched speedup (8 vs 1): {batched_speedup:.2f}x   "
+          f"p50 {p50_ms:.2f}ms   p99 {p99_ms:.2f}ms")
+    print(f"batched bit-identical: {batched_bit_identical}   "
+          f"hot reload bit-identical: {hot_reload_bit_identical} "
+          f"({reload_ms:.2f}ms)")
+    print(f"wrote {output}")
+
+    failures = []
+    if batched_speedup_ok is False:
+        failures.append(
+            f"batched QPS speedup {batched_speedup:.2f}x < 1.5x at batch 8 "
+            f"on a {cores}-core host")
+    if not batched_bit_identical:
+        failures.append("batched rows differ from per-example execution")
+    if not hot_reload_bit_identical:
+        failures.append("hot reload differs from a cold restore")
+    if stale:
+        failures.append("hot reload left the old weight generation live")
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    return 1 if failures else 0
+
+
 # Report keys whose False value marks a broken exactness/conservation
 # contract (not a performance number): any of these failing means the
 # bench itself detected wrong arithmetic, and ``bench --check`` treats
@@ -1210,6 +1382,9 @@ _CHECK_CONTRACT_KEYS = (
     "fp16_roundtrip_bit_exact",
     "verify_all_plans_clean",
     "verify_within_compile_budget",
+    "batched_bit_identical",
+    "hot_reload_bit_identical",
+    "batched_speedup_ok",
 )
 
 # Allowed steps/sec drop vs the history reference before --check fails.
@@ -1397,8 +1572,9 @@ def bench_all(cluster: ClusterSpec, iters: int, warmup: int,
 
     One command produces/extends ``BENCH_engine.json``,
     ``BENCH_fusion.json``, ``BENCH_elastic.json``,
-    ``BENCH_parallel.json`` and ``BENCH_compression.json`` (each keeps
-    its history of earlier runs) -- the aggregation step the bench
+    ``BENCH_parallel.json``, ``BENCH_compression.json``,
+    ``BENCH_verify.json`` and ``BENCH_serve.json`` (each keeps its
+    history of earlier runs) -- the aggregation step the bench
     trajectory was missing.
     """
     families = (
@@ -1414,6 +1590,8 @@ def bench_all(cluster: ClusterSpec, iters: int, warmup: int,
                                                   warmup=warmup,
                                                   seed=seed)),
         ("verify", lambda: cli_verify(cluster, seed=seed)),
+        ("serve", lambda: bench_serve(cluster, iters=iters, warmup=warmup,
+                                      seed=seed)),
     )
     failures = []
     for name, run in families:
@@ -1472,6 +1650,12 @@ def main(argv=None) -> int:
                              "the convergence contract")
     parser.add_argument("--ratio", type=float, default=0.1,
                         help="bench --compression: top-k keep fraction")
+    parser.add_argument("--serve", action="store_true",
+                        help="bench: serving plane -- batched QPS vs "
+                             "batch size through the compiled forward "
+                             "plan, p50/p99 request latency through the "
+                             "batcher, and the hot-reload/batched "
+                             "bit-identity contracts")
     parser.add_argument("--network", action="store_true",
                         help="bench: TCP link microbench -- measure "
                              "loopback latency/bandwidth through one "
@@ -1502,9 +1686,9 @@ def main(argv=None) -> int:
                              "bit-identical")
     parser.add_argument("--all", action="store_true", dest="all_families",
                         help="bench: run every bench family (engine, "
-                             "fusion, elastic, parallel, compression), "
-                             "merging results into the per-family "
-                             "BENCH_*.json files")
+                             "fusion, elastic, parallel, compression, "
+                             "verify, serve), merging results into the "
+                             "per-family BENCH_*.json files")
     parser.add_argument("--check", action="store_true",
                         help="bench: regression gate -- compare every "
                              "BENCH_*.json's current run against its "
@@ -1515,10 +1699,11 @@ def main(argv=None) -> int:
                         help="bench report path (default BENCH_engine.json, "
                              "BENCH_fusion.json with --fusion, "
                              "BENCH_elastic.json with --elastic, "
-                             "BENCH_parallel.json with --parallel, or "
-                             "BENCH_compression.json with --compression; "
-                             "ignored by --all, which writes every "
-                             "family's file)")
+                             "BENCH_parallel.json with --parallel, "
+                             "BENCH_compression.json with --compression, "
+                             "or BENCH_serve.json with --serve; ignored "
+                             "by --all, which writes every family's "
+                             "file)")
     args = parser.parse_args(argv)
     default_machines, default_gpus = (
         (2, 2) if args.experiment in ("bench", "verify") else (8, 6))
@@ -1541,7 +1726,7 @@ def main(argv=None) -> int:
             ("--fusion", args.fusion), ("--elastic", args.elastic),
             ("--parallel", args.parallel), ("--all", args.all_families),
             ("--compression", args.compression), ("--check", args.check),
-            ("--network", args.network),
+            ("--network", args.network), ("--serve", args.serve),
         ) if flag]
         if len(chosen) > 1:
             raise SystemExit(f"bench: choose one of {' / '.join(chosen)}")
@@ -1550,6 +1735,11 @@ def main(argv=None) -> int:
         if args.all_families:
             return bench_all(cluster, iters=args.iters, warmup=args.warmup,
                              seed=args.seed)
+        if args.serve:
+            return bench_serve(
+                cluster, iters=args.iters, warmup=args.warmup,
+                seed=args.seed,
+                output=args.bench_output or "BENCH_serve.json")
         if args.network:
             return bench_network(
                 iters=max(10, args.iters),

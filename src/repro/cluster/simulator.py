@@ -655,6 +655,94 @@ def throughput(
             / breakdown.iteration_time)
 
 
+# ----------------------------------------------------------------------
+# Serving plane
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServingBreakdown:
+    """Priced anatomy of one served batch (forward-only replay)."""
+
+    batch_size: int
+    queue_delay: float   # expected wait while the batcher coalesces
+    compute_time: float  # forward replay on the serving host
+    lookup_time: float   # routed sparse lookups to shard owners
+    launch_time: float   # per-batch dispatch overhead
+    max_delay: float     # the batcher's max_delay_ms bound, in seconds
+
+    @property
+    def service_time(self) -> float:
+        return self.compute_time + self.lookup_time + self.launch_time
+
+    @property
+    def p50_latency(self) -> float:
+        """Median request latency: typical queue wait plus service."""
+        return self.queue_delay + self.service_time
+
+    @property
+    def p99_latency(self) -> float:
+        """Tail latency: a first-in-batch request can wait the full
+        delay window before its batch launches."""
+        return self.max_delay + self.service_time
+
+    @property
+    def qps(self) -> float:
+        return self.batch_size / self.service_time
+
+
+# Fraction of a training iteration's GPU time a forward-only replay
+# costs: the backward pass runs roughly two matmuls per layer against
+# the forward's one, so inference pays about a third of fwd+bwd.
+SERVE_FORWARD_FRACTION = 1.0 / 3.0
+
+
+def simulate_serving(
+    profile: ModelProfile,
+    cluster: ClusterSpec,
+    batch_size: int,
+    max_delay_ms: float = 2.0,
+    sharded: bool = True,
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> ServingBreakdown:
+    """Price one served batch: the batch-size/latency tradeoff curve.
+
+    Compute scales with the batch while the per-batch dispatch overhead
+    does not, so QPS rises with batch size; the queue delay the batcher
+    spends coalescing rises alongside -- the knee ``bench --serve``
+    measures, priced here so capacity planning can sweep batch sizes
+    without hardware.  With *sharded* embeddings on a multi-machine
+    cluster, each sparse variable costs one routed lookup (the touched
+    rows over the PS NIC plus an RPC) instead of replicating the full
+    table into every serving process.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if max_delay_ms < 0:
+        raise ValueError("max_delay_ms must be >= 0")
+    scale = batch_size / profile.batch_per_gpu
+    compute = SERVE_FORWARD_FRACTION * profile.gpu_time_per_iter * scale
+    lookup = 0.0
+    if sharded and cluster.num_machines > 1:
+        for variable in profile.sparse_variables:
+            # A bigger request batch touches proportionally more rows
+            # (alpha is measured at the training batch), saturating at
+            # the full table.
+            touched = min(1.0, variable.alpha * scale)
+            lookup += (touched * variable.nbytes / cost.ps_nic_bw
+                       + cost.tcp_latency + cost.c_rpc_per_variable)
+    max_delay = max_delay_ms / 1000.0
+    # A lone request launches on its own; a coalesced batch's median
+    # request waited about half the delay window.
+    queue_delay = 0.0 if batch_size == 1 else max_delay / 2.0
+    return ServingBreakdown(
+        batch_size=int(batch_size),
+        queue_delay=queue_delay,
+        compute_time=compute,
+        lookup_time=lookup,
+        launch_time=cost.step_latency,
+        max_delay=max_delay,
+    )
+
+
 def plan_wire_bytes(breakdown: IterationBreakdown) -> float:
     """One worker-side view of a plan's per-iteration bytes on the wire:
     the compressed collective payload plus every PS flow.  This is the

@@ -117,6 +117,13 @@ class ParallaxConfig:
         save_path: if set, ``runner.save()`` writes variables here by
             default (the config's "file path to save trained variables").
         seed: variable-initialization seed.
+        serve_max_batch: serving plane -- most requests one batch
+            coalesces (:func:`make_server` hands it to the
+            :class:`~repro.serve.batcher.RequestBatcher`); a full batch
+            launches immediately.
+        serve_max_delay_ms: serving plane -- longest a waiting request
+            is held open for batch-mates before its (possibly partial)
+            batch launches.
     """
 
     architecture: str = "hybrid"
@@ -143,6 +150,8 @@ class ParallaxConfig:
     verify_plans: bool = False
     save_path: Optional[str] = None
     seed: int = 0
+    serve_max_batch: int = 8
+    serve_max_delay_ms: float = 2.0
 
     def __post_init__(self):
         if self.architecture not in ("hybrid", "ps", "opt_ps", "ar"):
@@ -176,6 +185,10 @@ class ParallaxConfig:
             raise ValueError("checkpoint_every must be >= 1")
         if self.plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
+        if self.serve_max_batch < 1:
+            raise ValueError("serve_max_batch must be >= 1")
+        if self.serve_max_delay_ms < 0:
+            raise ValueError("serve_max_delay_ms must be >= 0")
         from repro.core.backend import BACKENDS
 
         if self.backend not in BACKENDS:
@@ -483,3 +496,37 @@ def get_runner(
     if cfg.save_path:
         runner.default_save_path = cfg.save_path
     return runner
+
+
+def make_server(model, config: Optional[ParallaxConfig] = None, *,
+                runner=None, state=None, router=None, fetches=None):
+    """A ready :class:`~repro.serve.server.InferenceServer` for *model*
+    under *config*'s serving knobs.
+
+    Weights come from (in priority order) a live *runner*'s
+    ``logical_state()``, an explicit *state* mapping, or a fresh
+    seeded initialization from ``config.seed`` -- the same values a
+    ``Session(graph, seed)`` would start from.  Pass *router* to serve
+    row-partitioned embeddings from their owning workers instead of the
+    local table.
+    """
+    from repro.serve import (
+        InferenceServer,
+        seeded_weights,
+        weights_from_state,
+    )
+
+    cfg = config if config is not None else ParallaxConfig()
+    if runner is not None:
+        state = runner.logical_state()
+    weights = (weights_from_state(model.graph, state)
+               if state is not None
+               else seeded_weights(model.graph, cfg.seed))
+    return InferenceServer(
+        model, weights,
+        fetches=fetches,
+        max_batch=cfg.serve_max_batch,
+        max_delay_ms=cfg.serve_max_delay_ms,
+        router=router,
+        plan_cache_size=cfg.plan_cache_size,
+    )

@@ -260,6 +260,7 @@ class ElasticRunner(DistributedRunner):
         self.recovery_log: List[dict] = []
         self._progress = 0
         self._checkpoint_iteration = 0
+        self._servers: List = []
         self._checkpoint_state = self._snapshot()
 
     # -- checkpoint cadence ----------------------------------------------
@@ -271,6 +272,33 @@ class ElasticRunner(DistributedRunner):
         """Snapshot state as the recovery point for *next_iteration*."""
         self._checkpoint_iteration = int(next_iteration)
         self._checkpoint_state = self._snapshot()
+        # Train-and-serve: hand the freshly cut snapshot to every
+        # attached server.  The server swaps between batches, so a live
+        # serving fleet tracks training at checkpoint cadence while each
+        # batch still sees exactly one weight generation.
+        for server in self._servers:
+            server.reload(self._checkpoint_state)
+
+    # -- train-and-serve hot reload ---------------------------------------
+    def attach_server(self, server) -> None:
+        """Hot-reload *server* from every future checkpoint.
+
+        *server* is anything with ``reload(state)`` (an
+        :class:`~repro.serve.server.InferenceServer`); each
+        ``checkpoint()`` pushes the snapshot it just cut, which is
+        bit-exact against a cold server restored from the same state.
+        """
+        self._servers.append(server)
+
+    def detach_server(self, server) -> None:
+        self._servers.remove(server)
+
+    def publish_to(self, server) -> None:
+        """One-shot hot reload of *server* from the current live state
+        (not the last checkpoint) -- snapshot-consistent because the
+        snapshot is cut before the handoff and the server swaps between
+        batches."""
+        server.reload(self._snapshot())
 
     @property
     def last_checkpoint_iteration(self) -> int:

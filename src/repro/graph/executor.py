@@ -534,7 +534,12 @@ class CompiledPlan:
                         emit(f"{ind}buf[{i}] = g[{index}]")
                     continue
             if op.op_type == "constant" and i in self._specialized:
-                ns[f"C{i}"] = op.attrs["value"]
+                # Inline the specialized kernel's prebound value: the
+                # registry kernel returns attrs["value"] verbatim, but a
+                # session-level specialization may prebind a different
+                # constant (e.g. the serving engine resizes batch-shaped
+                # constants per request batch size).
+                ns[f"C{i}"] = kernel(op, (), None)
                 emit(f"{ind}buf[{i}] = C{i}")
                 continue
             if bplan is not None and i in bplan.out_fns:

@@ -152,27 +152,41 @@ class Session:
                       else [fetches])
         return self._plan_for([self._resolve(f) for f in fetch_list])
 
-    def _plan_for(self, targets: List[Operation]) -> CompiledPlan:
-        key = tuple(op.name for op in targets)
+    def cache_plan(self, key: Tuple[str, ...], build) -> CompiledPlan:
+        """Fetch-or-build a compiled plan through the session's LRU.
+
+        *key* is any hashable signature: ``_plan_for`` uses the fetch-name
+        tuple, and the serving plane appends the request batch size so
+        each batch size warms its own straight-line replay state.  A hit
+        is revalidated against the graph version and rebuilt through
+        *build* when stale; inserts evict least-recently-used plans past
+        ``plan_cache_size``.
+        """
         plan = self._plans.get(key)
         if plan is not None:
             self._plans.move_to_end(key)
             if plan.version == self.graph.version:
                 return plan
-        edge_fn = self._compile_edge_fn()
-        # A subclass with a _before_kernel override but no static edge
-        # table still gets its hook called on the compiled path.
-        call_hook = (edge_fn is None and
-                     type(self)._before_kernel is not Session._before_kernel)
-        plan = CompiledPlan(self.graph, targets, edge_fn=edge_fn,
-                            call_hook=call_hook,
-                            specialize_fn=self._specialize_kernel)
+        plan = build()
         self._plans[key] = plan
         self._plans.move_to_end(key)
         while len(self._plans) > self.plan_cache_size:
             self._plans.popitem(last=False)
             self.plan_evictions += 1
         return plan
+
+    def _plan_for(self, targets: List[Operation]) -> CompiledPlan:
+        def build() -> CompiledPlan:
+            edge_fn = self._compile_edge_fn()
+            # A subclass with a _before_kernel override but no static edge
+            # table still gets its hook called on the compiled path.
+            call_hook = (edge_fn is None and
+                         type(self)._before_kernel is not Session._before_kernel)
+            return CompiledPlan(self.graph, targets, edge_fn=edge_fn,
+                                call_hook=call_hook,
+                                specialize_fn=self._specialize_kernel)
+
+        return self.cache_plan(tuple(op.name for op in targets), build)
 
     def run_plan(self, plan: CompiledPlan, feed_dict: Optional[dict] = None):
         """Replay a compiled plan; returns one value per fetch.

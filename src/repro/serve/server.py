@@ -1,0 +1,137 @@
+"""The serving front end: one model, one engine, one batcher.
+
+:class:`InferenceServer` accepts single examples (placeholder-order
+tuples without the batch dimension), coalesces them through the
+:class:`~repro.serve.batcher.RequestBatcher`, stacks them into one
+batched feed, replays the compiled forward plan, and splits the fetched
+rows back per request.  Hot reload takes the same lock batch execution
+holds, so a weight swap is atomic *between* batches: every in-flight
+request completes on the old generation, every later batch runs fully
+on the new one -- bit-exact against a cold server restored from the
+same state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.models.common import BuiltModel
+from repro.serve.batcher import RequestBatcher
+from repro.serve.plan import InferenceEngine, weights_from_state
+from repro.serve.shard import ShardRouter
+
+
+class InferenceServer:
+    """Batched forward serving over a built model's graph.
+
+    The default fetch is ``model.logits``; pass ``fetches=`` to serve
+    other forward tensors.  ``submit`` never blocks on execution.  With
+    ``owns_router=True`` the server also stops the router's shard hosts
+    on ``close``.
+    """
+
+    def __init__(self, model: BuiltModel,
+                 weights: Mapping[str, np.ndarray], *,
+                 fetches=None, max_batch: int = 8,
+                 max_delay_ms: float = 2.0,
+                 router: Optional[ShardRouter] = None,
+                 owns_router: bool = False,
+                 plan_cache_size: int = 8):
+        if fetches is None:
+            if model.logits is None:
+                raise ValueError(
+                    f"model {model.name!r} has no logits tensor; pass "
+                    "fetches= explicitly")
+            fetches = [model.logits]
+        elif not isinstance(fetches, (list, tuple)):
+            fetches = [fetches]
+        self.model = model
+        self.engine = InferenceEngine(
+            model.graph, list(fetches), weights, router=router,
+            plan_cache_size=plan_cache_size)
+        self._placeholders = list(model.placeholders.values())
+        self._single = len(fetches) == 1
+        self._owns_router = owns_router
+        self._lock = threading.Lock()
+        self.requests_served = 0
+        self.batches_run = 0
+        self.reloads = 0
+        self.batcher = RequestBatcher(
+            self._run_examples, max_batch=max_batch,
+            max_delay_ms=max_delay_ms)
+
+    @classmethod
+    def from_runner(cls, model: BuiltModel, runner, **kwargs):
+        """A server snapshotting *runner*'s current logical state -- the
+        cold-restore construction hot reload is compared against."""
+        weights = weights_from_state(model.graph, runner.logical_state())
+        return cls(model, weights, **kwargs)
+
+    # -- request path ----------------------------------------------------
+    def submit(self, example: Sequence):
+        """Enqueue one example (a tuple matching the model's placeholder
+        order, without the batch dimension); returns its Future."""
+        example = tuple(example)
+        if len(example) != len(self._placeholders):
+            raise ValueError(
+                f"example has {len(example)} fields; model "
+                f"{self.model.name!r} feeds {len(self._placeholders)} "
+                "placeholders")
+        return self.batcher.submit(example)
+
+    def infer(self, example: Sequence, timeout: float = 30.0):
+        """Submit one example and wait for its result."""
+        return self.submit(example).result(timeout)
+
+    def run_batch(self, columns: Sequence[np.ndarray]):
+        """Execute one already-stacked batch (the bench/bypass path),
+        serialized against hot reload like every batch."""
+        feed = dict(zip(self._placeholders, columns))
+        shape = np.shape(columns[0])
+        batch = int(shape[0]) if shape else 1
+        with self._lock:
+            outs = self.engine.run(feed, batch_size=batch)
+            self.batches_run += 1
+        return outs[0] if self._single else outs
+
+    def _run_examples(self, examples: List[tuple]) -> List:
+        columns = tuple(np.stack(col) for col in zip(*examples))
+        outs = self.run_batch(columns)
+        fetched = [outs] if self._single else list(outs)
+        per_request = []
+        for i in range(len(examples)):
+            # Copies, not views: a request's result must outlive the
+            # arena-backed batch output it was sliced from.
+            row = tuple(np.array(values[i]) for values in fetched)
+            per_request.append(row[0] if self._single else row)
+        self.requests_served += len(examples)
+        return per_request
+
+    # -- hot reload ------------------------------------------------------
+    def reload(self, state: Mapping[str, np.ndarray]) -> int:
+        """Swap in new weights between batches; returns the generation.
+
+        *state* is ``logical_state()``-shaped (optimizer-slot extras are
+        ignored).  Routed shards are pushed to their owners under the
+        same lock, so remote and local partitions always serve the same
+        generation within a batch.
+        """
+        weights = weights_from_state(self.model.graph, dict(state))
+        with self._lock:
+            version = self.engine.reload(weights)
+        self.reloads += 1
+        return version
+
+    def reload_from(self, runner) -> int:
+        """Hot reload from a live runner's current logical state."""
+        return self.reload(runner.logical_state())
+
+    def close(self) -> None:
+        """Flush queued requests, stop the batcher (and any owned shard
+        hosts)."""
+        self.batcher.close()
+        if self._owns_router and self.engine.router is not None:
+            self.engine.router.stop()

@@ -1,0 +1,199 @@
+"""Replica sharding of partitioned embeddings over the transport planes.
+
+Large row-partitioned tables do not have to be replicated into every
+serving process.  Each shard lives with its owning worker -- a
+:class:`ShardHost` thread holding the rows -- and the engine's routed
+``part_gather`` kernel sends each shard-local row set there through the
+existing :class:`~repro.comm.transport.Transport` contract, so the same
+inmem/shm/tcp planes training uses carry serving lookups.  Row payloads
+ride the transports' bulk ndarray paths; request/response keys are the
+small hashable tuples the transport key discipline expects, and all
+traffic to one host flows over a single request key so loads order
+before subsequent lookups (a reload is visible to every later batch).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.comm.transport import CONTROLLER, Transport, TransportTimeout
+
+_REQ_KEY = ("serve_req",)
+
+
+class RemoteShard:
+    """Compile-time token standing in for a shard owned by another
+    worker: the routed ``part_gather`` kernel receives it in place of
+    the rows and routes that partition's lookups over the transport."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"RemoteShard({self.name!r})"
+
+
+class ShardHost:
+    """Owns one worker's shard rows and answers lookup/load requests.
+
+    A daemon thread polls ``recv`` with a short timeout so ``stop``
+    requests (or interpreter teardown) cannot strand it in a blocking
+    wait.  Requests are ``("lookup", seq, name, rows)``,
+    ``("load", seq, tables)``, and ``("stop", seq)``; lookups answer
+    with the raw row block, loads and stops with an ack.
+    """
+
+    def __init__(self, transport: Transport, rank: int,
+                 shards: Mapping[str, np.ndarray], poll_s: float = 0.05):
+        self.transport = transport
+        self.rank = int(rank)
+        self._shards = {name: np.asarray(rows)
+                        for name, rows in shards.items()}
+        self._poll_s = float(poll_s)
+        self._stop = False
+        self.lookups = 0
+        self.loads = 0
+        self._thread = threading.Thread(
+            target=self._serve, name=f"repro-shard-host-{rank}",
+            daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                request = self.transport.recv(
+                    self.rank, CONTROLLER, _REQ_KEY, timeout=self._poll_s)
+            except TransportTimeout:
+                if self._stop:
+                    return
+                continue
+            kind, seq = request[0], request[1]
+            if kind == "stop":
+                self._stop = True
+                self.transport.send(
+                    self.rank, CONTROLLER, ("serve_ack", seq), True)
+                return
+            if kind == "load":
+                self._shards.update({name: np.asarray(rows)
+                                     for name, rows in request[2].items()})
+                self.loads += 1
+                self.transport.send(
+                    self.rank, CONTROLLER, ("serve_ack", seq), True)
+                continue
+            # kind == "lookup": answer with the shard-local row block.
+            name, rows = request[2], request[3]
+            self.lookups += 1
+            self.transport.send(
+                self.rank, CONTROLLER, ("serve_rows", seq),
+                self._shards[name][rows])
+
+    def join(self, timeout: float = 5.0) -> None:
+        self._thread.join(timeout)
+
+
+class ShardRouter:
+    """Controller-side client: shard name -> owning rank, plus
+    synchronous lookup/load/stop calls over the transport."""
+
+    def __init__(self, transport: Transport, owners: Mapping[str, int],
+                 timeout: float = 30.0):
+        self.transport = transport
+        self.owners: Dict[str, int] = dict(owners)
+        self.timeout = float(timeout)
+        self._seq = itertools.count()
+        self.lookups = 0
+
+    def lookup(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Fetch ``shard[rows]`` from the shard's owning worker."""
+        seq = next(self._seq)
+        rank = self.owners[name]
+        self.transport.send(
+            CONTROLLER, rank, _REQ_KEY,
+            ("lookup", seq, name, np.asarray(rows, dtype=np.int64)))
+        self.lookups += 1
+        return self.transport.recv(
+            CONTROLLER, rank, ("serve_rows", seq), timeout=self.timeout)
+
+    def load(self, tables: Mapping[str, np.ndarray]) -> None:
+        """Push new shard rows to their owners; blocks until every owner
+        acknowledged -- a reload is not done until all shards swapped."""
+        by_rank: Dict[int, dict] = {}
+        for name, rows in tables.items():
+            by_rank.setdefault(self.owners[name], {})[name] = rows
+        pending = []
+        for rank, chunk in sorted(by_rank.items()):
+            seq = next(self._seq)
+            self.transport.send(
+                CONTROLLER, rank, _REQ_KEY, ("load", seq, chunk))
+            pending.append((rank, seq))
+        for rank, seq in pending:
+            self.transport.recv(
+                CONTROLLER, rank, ("serve_ack", seq), timeout=self.timeout)
+
+    def stop(self) -> None:
+        """Ask every distinct owning host to exit, awaiting acks."""
+        pending = []
+        for rank in sorted(set(self.owners.values())):
+            seq = next(self._seq)
+            self.transport.send(
+                CONTROLLER, rank, _REQ_KEY, ("stop", seq))
+            pending.append((rank, seq))
+        for rank, seq in pending:
+            try:
+                self.transport.recv(
+                    CONTROLLER, rank, ("serve_ack", seq),
+                    timeout=self.timeout)
+            except TransportTimeout:
+                pass  # host already gone; nothing to wait for
+
+
+def shard_hosts(transport: Transport, owners: Mapping[str, int],
+                tables: Mapping[str, np.ndarray],
+                poll_s: float = 0.05) -> List[ShardHost]:
+    """One :class:`ShardHost` per owning rank, each holding its subset
+    of *tables* -- the serving-side analogue of placing PS shards."""
+    by_rank: Dict[int, dict] = {}
+    for name, rank in owners.items():
+        by_rank.setdefault(rank, {})[name] = tables[name]
+    return [ShardHost(transport, rank, chunk, poll_s=poll_s)
+            for rank, chunk in sorted(by_rank.items())]
+
+
+def routed_gather_kernel(op, shard_names, router: ShardRouter):
+    """Forward kernel for ``part_gather`` with remote shards.
+
+    Owner routing is identical to the local kernel (``searchsorted``
+    over the partition boundaries); partitions whose shard compiled to a
+    :class:`RemoteShard` token fetch their shard-local row block from
+    the owning worker, local partitions gather in place -- so the result
+    is bit-identical to the unrouted kernel over the same table.
+    """
+    offsets = np.asarray(op.attrs["offsets"])
+    spec = op.inputs[0].spec
+    row_shape = tuple(spec.shape[1:])
+    dtype = np.dtype(spec.dtype)
+
+    def kernel(_op, inputs, _rt):
+        *shards, ids = inputs
+        ids_arr = np.asarray(ids)
+        flat = np.asarray(ids_arr, dtype=np.int64).reshape(-1)
+        owner = np.searchsorted(offsets, flat, side="right") - 1
+        rows = np.empty((flat.size,) + row_shape, dtype=dtype)
+        for p, shard in enumerate(shards):
+            mask = owner == p
+            if not mask.any():
+                continue
+            local = flat[mask] - offsets[p]
+            if isinstance(shard, RemoteShard):
+                rows[mask] = router.lookup(shard_names[p], local)
+            else:
+                rows[mask] = shard[local]
+        return rows.reshape(tuple(ids_arr.shape) + row_shape)
+
+    return kernel

@@ -94,6 +94,36 @@ def test_cli_bench_family_flags_mutually_exclusive():
         main(["bench", "--all", "--elastic"])
     with pytest.raises(SystemExit):
         main(["bench", "--parallel", "--iters", "0"])
+    with pytest.raises(SystemExit):
+        main(["bench", "--serve", "--fusion"])
+
+
+def test_cli_bench_serve_writes_report(tmp_path, capsys):
+    out = tmp_path / "BENCH_serve.json"
+    assert main(["bench", "--serve", "--machines", "2", "--gpus", "1",
+                 "--iters", "3", "--warmup", "1",
+                 "--bench-output", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "Serving bench" in printed
+    assert out.exists()
+
+    import json
+    report = json.loads(out.read_text())
+    assert report["batched_bit_identical"] is True
+    assert report["hot_reload_bit_identical"] is True
+    assert report["hot_reload_changed_output"] is True
+    assert set(report["qps_by_batch"]) == {"1", "2", "4", "8"}
+    assert report["p99_latency_ms"] >= report["p50_latency_ms"]
+    assert report["batched_speedup"] > 0
+    assert report["requests_served"] > 0
+    sim = report["simulated"]["by_batch"]
+    qps = [sim[k]["qps"] for k in sorted(sim, key=int)]
+    assert qps == sorted(qps)
+
+
+def test_cli_bench_serve_rejects_bad_iters():
+    with pytest.raises(SystemExit):
+        main(["bench", "--serve", "--iters", "0"])
 
 
 def test_bench_report_history_merging(tmp_path, monkeypatch):

@@ -1,0 +1,165 @@
+"""Property tests on the request batcher: under random arrival
+patterns, knobs, and submitter interleavings, no request is ever lost,
+duplicated, starved, or answered with another requester's result, and
+every executed batch respects ``max_batch``.
+
+The run_batch functions here are pure transforms tagging each input, so
+result-routing violations are observable as value mismatches rather
+than flaky shape errors.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import BatcherClosed, RequestBatcher
+
+
+def _tag(examples):
+    return [("seen", x) for x in examples]
+
+
+# ----------------------------------------------------------------------
+# Routing and conservation
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(st.integers(), min_size=0, max_size=40),
+       max_batch=st.integers(1, 9),
+       max_delay_ms=st.floats(0.0, 3.0))
+def test_every_request_answered_with_its_own_result(values, max_batch,
+                                                    max_delay_ms):
+    batcher = RequestBatcher(_tag, max_batch=max_batch,
+                             max_delay_ms=max_delay_ms)
+    try:
+        futures = [batcher.submit(v) for v in values]
+    finally:
+        batcher.close()
+    assert [f.result(timeout=30) for f in futures] == \
+        [("seen", v) for v in values]
+    assert sum(size for size, _ in batcher.batch_log) == len(values)
+    assert all(1 <= size <= max_batch for size, _ in batcher.batch_log)
+
+
+@settings(max_examples=20, deadline=None)
+@given(per_thread=st.lists(
+    st.lists(st.integers(), min_size=1, max_size=10),
+    min_size=2, max_size=4))
+def test_concurrent_submitters_never_cross_results(per_thread):
+    """Requests from racing threads each get their own tagged result."""
+    batcher = RequestBatcher(_tag, max_batch=4, max_delay_ms=1.0)
+    collected = {}
+
+    def submitter(tid, values):
+        futures = [batcher.submit((tid, v)) for v in values]
+        collected[tid] = [f.result(timeout=30) for f in futures]
+
+    threads = [threading.Thread(target=submitter, args=(tid, values))
+               for tid, values in enumerate(per_thread)]
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        batcher.close()
+    for tid, values in enumerate(per_thread):
+        assert collected[tid] == [("seen", (tid, v)) for v in values]
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 12), max_batch=st.integers(1, 4))
+def test_close_flushes_everything_queued(n, max_batch):
+    """close() answers every accepted request, in <= max_batch chunks."""
+    release = threading.Event()
+
+    def slow_tag(examples):
+        release.wait(timeout=30)
+        return _tag(examples)
+
+    batcher = RequestBatcher(slow_tag, max_batch=max_batch,
+                             max_delay_ms=0.0)
+    futures = [batcher.submit(i) for i in range(n)]
+    release.set()
+    batcher.close()
+    assert [f.result(timeout=30) for f in futures] == \
+        [("seen", i) for i in range(n)]
+    assert all(size <= max_batch for size, _ in batcher.batch_log)
+
+
+# ----------------------------------------------------------------------
+# Starvation and delay bounds
+# ----------------------------------------------------------------------
+def test_lone_request_is_not_starved():
+    """A single request launches once its delay window expires -- no
+    companion traffic needed."""
+    batcher = RequestBatcher(_tag, max_batch=64, max_delay_ms=5.0)
+    try:
+        start = time.monotonic()
+        result = batcher.submit("solo").result(timeout=30)
+        elapsed = time.monotonic() - start
+        assert result == ("seen", "solo")
+        assert elapsed < 5.0, "lone request waited far past the bound"
+    finally:
+        batcher.close()
+
+
+def test_full_batch_launches_before_the_delay_expires():
+    batcher = RequestBatcher(_tag, max_batch=2, max_delay_ms=10_000.0)
+    try:
+        futures = [batcher.submit(i) for i in range(2)]
+        start = time.monotonic()
+        assert [f.result(timeout=30) for f in futures] == \
+            [("seen", 0), ("seen", 1)]
+        assert time.monotonic() - start < 30.0
+        assert batcher.batch_log[0][0] == 2
+    finally:
+        batcher.close()
+
+
+# ----------------------------------------------------------------------
+# Failure semantics and lifecycle
+# ----------------------------------------------------------------------
+def test_execution_error_fans_out_to_every_future():
+    def broken(examples):
+        raise RuntimeError("kaboom")
+
+    batcher = RequestBatcher(broken, max_batch=4, max_delay_ms=1.0)
+    try:
+        futures = [batcher.submit(i) for i in range(3)]
+        for future in futures:
+            with pytest.raises(RuntimeError, match="kaboom"):
+                future.result(timeout=30)
+    finally:
+        batcher.close()
+
+
+def test_result_length_mismatch_is_an_error():
+    def short(examples):
+        return examples[:-1]
+
+    batcher = RequestBatcher(short, max_batch=2, max_delay_ms=0.0)
+    try:
+        futures = [batcher.submit(i) for i in range(2)]
+        for future in futures:
+            with pytest.raises(RuntimeError, match="results"):
+                future.result(timeout=30)
+    finally:
+        batcher.close()
+
+
+def test_submit_after_close_raises():
+    batcher = RequestBatcher(_tag)
+    batcher.close()
+    with pytest.raises(BatcherClosed):
+        batcher.submit(1)
+    batcher.close()  # idempotent
+
+
+def test_rejects_bad_knobs():
+    with pytest.raises(ValueError):
+        RequestBatcher(_tag, max_batch=0)
+    with pytest.raises(ValueError):
+        RequestBatcher(_tag, max_delay_ms=-1.0)
