@@ -2,10 +2,10 @@
 
 Mirrors the paper's Figure 3: build an ordinary single-GPU graph, mark
 the input data with ``parallax.shard``, wrap the embedding in
-``parallax.partitioner()``, and hand everything to ``parallax.get_runner``.
-Parallax classifies variable sparsity from gradient types, picks the
-hybrid architecture, searches the partition count, transforms the graph,
-and returns a runner.
+``parallax.partitioner()``, and hand everything to
+``parallax.auto_parallelize``.  Parallax classifies variable sparsity
+from gradient types, picks the hybrid architecture, searches the
+partition count, transforms the graph, and returns a runner handle.
 
 Usage::
 
@@ -75,7 +75,7 @@ def build_model() -> BuiltModel:
 
 def main():
     resource_info = {"machines": 2, "gpus_per_machine": 2}
-    runner = parallax.get_runner(                              # line 19
+    runner = parallax.auto_parallelize(                        # line 19
         build_model, resource_info,
         parallax.ParallaxConfig(sample_iterations=2, max_partitions=16),
     )

@@ -15,30 +15,56 @@ Quick start (the paper's Figure 3 shape)::
         model = build_my_model()          # single-GPU graph, uses
         return model                      # parallax.partitioner() inside
 
-    runner = parallax.get_runner(builder, {"machines": 2,
-                                           "gpus_per_machine": 2})
-    for i in range(num_iters):
-        result = runner.step(i)
+    runner = parallax.auto_parallelize(builder, {"machines": 2,
+                                                 "gpus_per_machine": 2})
+    runner.fit(num_iters)                 # or runner.step(i) per step
+
+Knobs group by plane -- :class:`CommConfig` (fusion, compression,
+backend, transport), :class:`ElasticConfig` (checkpointing, faults,
+NIC-degradation emulation), :class:`ServeConfig` (request batching),
+and :class:`AutopilotConfig` (online adaptive replanning) -- inside one
+:class:`ParallaxConfig`.
 """
 
+from repro.autopilot import AutopilotController
 from repro.cluster.faults import FaultPlan, NicDegradation, WorkerFailure
-from repro.core.api import ParallaxConfig, get_runner, make_server, shard
+from repro.cluster.spec import ClusterSpec
+from repro.core.api import (
+    Runner,
+    auto_parallelize,
+    get_runner,
+    make_server,
+    shard,
+)
+from repro.core.config import (
+    AutopilotConfig,
+    CommConfig,
+    ElasticConfig,
+    ParallaxConfig,
+    ServeConfig,
+)
 from repro.core.elastic import ElasticRunner
 from repro.core.partition_context import partitioner
 from repro.core.runner import DistributedRunner
-from repro.cluster.spec import ClusterSpec
 from repro.serve import InferenceServer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ParallaxConfig",
+    "CommConfig",
+    "ElasticConfig",
+    "ServeConfig",
+    "AutopilotConfig",
+    "auto_parallelize",
+    "Runner",
     "get_runner",
     "make_server",
     "shard",
     "partitioner",
     "DistributedRunner",
     "ElasticRunner",
+    "AutopilotController",
     "InferenceServer",
     "FaultPlan",
     "WorkerFailure",

@@ -21,6 +21,11 @@ Four rules, each guarding an implicit contract between distant layers:
 4. **no lambdas in graph-attached objects** -- ``add_op(...)``
    arguments (attrs included) must stay picklable for the multiprocess
    backend's graph shipping; lambdas are not.
+5. **the public API stays documented and closed** -- every name in
+   ``repro.__all__`` must resolve to a documented (non-module) object,
+   and every public non-module attribute of ``repro`` must be listed in
+   ``__all__``; an undocumented or unlisted symbol is an API the next
+   refactor breaks without noticing.
 
 Run as ``python -m repro.analysis.lint [paths...]`` (defaults to the
 repo's ``src`` and ``tests``); exits 1 on any finding.
@@ -250,11 +255,60 @@ def _check_graph_lambdas(tree: ast.AST, path: str) -> List[Finding]:
     return findings
 
 
+# ---- rule 5: public API audit ------------------------------------------
+def _check_public_api() -> List[Finding]:
+    """Every ``repro.__all__`` symbol resolves, is documented, and no
+    public attribute escapes the list."""
+    import types
+
+    import repro
+
+    findings = []
+    exported = getattr(repro, "__all__", [])
+    for name in exported:
+        if name == "__version__":
+            continue
+        obj = getattr(repro, name, None)
+        if obj is None:
+            findings.append(Finding(
+                ANALYSIS,
+                f"repro.__all__ lists {name!r} but the package has no "
+                "such attribute",
+            ))
+            continue
+        if isinstance(obj, types.ModuleType):
+            findings.append(Finding(
+                ANALYSIS,
+                f"repro.__all__ lists the module {name!r}; export the "
+                "symbols, not the module",
+            ))
+            continue
+        if not (getattr(obj, "__doc__", None) or "").strip():
+            findings.append(Finding(
+                ANALYSIS,
+                f"public symbol repro.{name} has no docstring; every "
+                "exported name must document itself",
+            ))
+    listed = set(exported)
+    for name in vars(repro):
+        if name.startswith("_") or name in listed:
+            continue
+        if isinstance(getattr(repro, name), types.ModuleType):
+            continue  # submodules imported as a side effect
+        findings.append(Finding(
+            ANALYSIS,
+            f"repro.{name} is public (no underscore) but missing from "
+            "repro.__all__; list it or rename it",
+        ))
+    return findings
+
+
 # ---- driver ------------------------------------------------------------
 def lint_paths(paths) -> List[Finding]:
     arena_safe = _arena_safe_types()
     registered = _registered_collectives()
     findings = _check_registries()
+    findings.extend(_check_public_api())
     for root in paths:
         root = Path(root)
         files = sorted(root.rglob("*.py")) if root.is_dir() else [root]

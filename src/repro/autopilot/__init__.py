@@ -1,0 +1,42 @@
+"""Online adaptive replanning: measure -> refit -> decide -> migrate.
+
+The autopilot closes the loop the paper's offline Equation-1 search
+leaves open: it meters the live run through Transcript deltas
+(:class:`TelemetryMonitor`), keeps the cost model and profile calibrated
+from clean telemetry windows, re-prices the candidate space every window
+(:class:`Planner`), and live-migrates the fleet through the atomic
+``ElasticRunner.rescale`` when a candidate's predicted goodput clears
+the hysteresis margin (:class:`AutopilotController`).
+"""
+
+from repro.autopilot.controller import (
+    AutopilotController,
+    Decision,
+    HysteresisGovernor,
+)
+from repro.autopilot.planner import (
+    PlanCandidate,
+    Planner,
+    Proposal,
+    derive_profile,
+)
+from repro.autopilot.telemetry import (
+    TelemetryMonitor,
+    TelemetryWindow,
+    plane_of,
+)
+from repro.core.config import AutopilotConfig
+
+__all__ = [
+    "AutopilotConfig",
+    "AutopilotController",
+    "Decision",
+    "HysteresisGovernor",
+    "PlanCandidate",
+    "Planner",
+    "Proposal",
+    "TelemetryMonitor",
+    "TelemetryWindow",
+    "derive_profile",
+    "plane_of",
+]

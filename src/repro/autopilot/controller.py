@@ -1,0 +1,457 @@
+"""The autopilot controller: measure -> refit -> decide -> migrate.
+
+:class:`AutopilotController` wraps an :class:`~repro.core.elastic
+.ElasticRunner` and closes the loop the static Equation-1 search leaves
+open.  Every ``window_steps`` steps it
+
+1. **measures** -- folds the steps' Transcript deltas into a
+   :class:`~repro.autopilot.telemetry.TelemetryWindow`;
+2. **refits** -- recalibrates the cost model
+   (:func:`~repro.cluster.costmodel.fit_from_telemetry`) and the
+   profile's compute term
+   (:func:`~repro.cluster.simulator.calibrate_gpu_time`) from *clean*
+   windows only;
+3. **decides** -- asks the :class:`~repro.autopilot.planner.Planner`
+   whether any candidate beats the incumbent by the hysteresis margin
+   under the currently-measured degradation state;
+4. **migrates** -- executes the proposal through the atomic
+   ``ElasticRunner.rescale`` (a failure rolls the fleet back and backs
+   the controller off).
+
+Every decision lands in ``decision_log`` *and* as an ``autopilot/*``
+Transcript note, so the byte-level record carries the control timeline
+that produced it.  The :class:`HysteresisGovernor` enforces the
+no-flapping contract: no migration during a cooldown, and no return to
+the plan just replaced for twice the cooldown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set
+
+from repro.autopilot.planner import (
+    PlanCandidate,
+    Planner,
+    Proposal,
+    derive_profile,
+)
+from repro.autopilot.telemetry import TelemetryMonitor, TelemetryWindow
+from repro.cluster.costmodel import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    fit_from_telemetry,
+)
+from repro.cluster.faults import WorkerFailureError
+from repro.cluster.simulator import calibrate_gpu_time
+from repro.core.config import (
+    AutopilotConfig,
+    CommConfig,
+    ElasticConfig,
+    ParallaxConfig,
+    graph_plan_builder,
+)
+from repro.core.runner import IterationResult
+
+#: GraphSyncPlan name -> config architecture.
+_PLAN_ARCHITECTURES = {"hybrid": "hybrid", "ps": "ps", "opt_ps": "opt_ps",
+                       "horovod": "ar"}
+
+
+@dataclass
+class Decision:
+    """One controller decision, as recorded in ``decision_log``."""
+
+    window: int
+    iteration: int
+    action: str  # "migrate" | "rollback" | "backoff" | "blocked" | "hold"
+    incumbent: str
+    candidate: Optional[str] = None
+    gain: Optional[float] = None
+    reason: str = ""
+    wall_time: float = 0.0
+
+
+class HysteresisGovernor:
+    """Cooldown/backoff state machine behind the no-flapping contract.
+
+    Windows are the clock.  After a migration at window *w* no further
+    migration is admitted before ``w + cooldown`` and the replaced plan
+    may not return before ``w + 2 * cooldown``; a failed or
+    non-improving migration grows the cooldown by ``backoff_factor``
+    (capped at ``max_backoff_windows``) and bans the offending candidate
+    for two grown cooldowns.  A later *successful* migration resets the
+    backoff.
+    """
+
+    def __init__(self, config: AutopilotConfig):
+        self.config = config
+        self._cooldown = float(config.cooldown_windows)
+        self._resume_at = 0
+        self._banned_until: Dict[str, int] = {}
+
+    @property
+    def current_cooldown(self) -> int:
+        return int(round(self._cooldown))
+
+    def in_cooldown(self, window: int) -> bool:
+        return window < self._resume_at
+
+    def banned(self, window: int) -> Set[str]:
+        return {label for label, until in self._banned_until.items()
+                if window < until}
+
+    def migrated(self, window: int, replaced_label: str) -> None:
+        self._cooldown = float(self.config.cooldown_windows)
+        cooldown = self.current_cooldown
+        self._resume_at = window + 1 + cooldown
+        self._banned_until[replaced_label] = window + 1 + 2 * cooldown
+
+    def failed(self, window: int, label: str) -> None:
+        self._cooldown = min(float(self.config.max_backoff_windows),
+                             max(1.0, self._cooldown)
+                             * self.config.backoff_factor)
+        cooldown = self.current_cooldown
+        self._banned_until[label] = window + 1 + 2 * cooldown
+        self._resume_at = window + 1 + cooldown
+
+
+class AutopilotController:
+    """Online adaptive replanning over a live elastic runner.
+
+    Drive training through :meth:`step` (or :meth:`run`, the
+    fault-recovering loop); the controller meters every step, refits its
+    models once per telemetry window, and live-migrates the fleet
+    through ``ElasticRunner.rescale`` when the planner predicts a
+    goodput win past the hysteresis margin.
+    """
+
+    def __init__(
+        self,
+        runner,
+        config: Optional[AutopilotConfig] = None,
+        *,
+        base_config: Optional[ParallaxConfig] = None,
+        cost: Optional[CostModel] = None,
+        alphas: Optional[Dict[str, float]] = None,
+    ):
+        from repro.core.elastic import ElasticRunner
+
+        if not isinstance(runner, ElasticRunner):
+            raise TypeError(
+                "autopilot requires an ElasticRunner: rescale is the "
+                "migration primitive"
+            )
+        self.runner = runner
+        runner_config = getattr(runner, "config", None)
+        if config is None:
+            config = (runner_config.autopilot if runner_config is not None
+                      else AutopilotConfig(enabled=True))
+        self.config = config
+        self.base_config = (base_config if base_config is not None
+                            else runner_config if runner_config is not None
+                            else self._infer_base_config())
+        self.base_cost = cost if cost is not None else DEFAULT_COST_MODEL
+        self.monitor = TelemetryMonitor(config.window_steps)
+        self.planner = Planner(
+            config, runner.cluster, self.base_cost,
+            sparse_as_dense_threshold=(
+                self.base_config.sparse_as_dense_threshold),
+        )
+        if alphas is None:
+            alphas = getattr(runner, "measured_alphas", None)
+        self.profile = derive_profile(runner.model, alphas=alphas)
+        self.incumbent = self._incumbent_from_plan()
+        self.governor = HysteresisGovernor(config)
+        self.decision_log: List[Decision] = []
+        self._overrides_for = getattr(runner, "plan_overrides_for", None)
+        self._calibrated = False
+        self._bytes_per_step = 0.0
+        self._premigration_sps: Optional[float] = None
+
+    # -- construction helpers -------------------------------------------
+    def _infer_base_config(self) -> ParallaxConfig:
+        """A ParallaxConfig matching a hand-built runner's live plan."""
+        plan = self.runner.plan
+        architecture = _PLAN_ARCHITECTURES.get(plan.name, "hybrid")
+        comm = CommConfig(
+            fusion=bool(getattr(plan, "fusion", False)),
+            fusion_buffer_mb=float(getattr(plan, "fusion_buffer_mb", 4.0)
+                                   or 4.0),
+            compression=getattr(plan, "compression", None),
+            compression_ratio=float(getattr(plan, "compression_ratio", 0.1)
+                                    or 0.1),
+        )
+        return ParallaxConfig(
+            architecture=architecture,
+            search_partitions=False,
+            comm=comm,
+            elastic=ElasticConfig(
+                enabled=True,
+                checkpoint_every=self.runner.checkpoint_every,
+                fault_plan=self.runner.fault_plan,
+                emulate_nic_bw=self.runner.emulate_nic_bw,
+            ),
+            autopilot=self.config,
+        )
+
+    def _incumbent_from_plan(self) -> PlanCandidate:
+        plan = self.runner.plan
+        return PlanCandidate(
+            architecture=_PLAN_ARCHITECTURES.get(plan.name,
+                                                 self.base_config
+                                                 .architecture),
+            fusion=bool(getattr(plan, "fusion", False)),
+            fusion_buffer_mb=float(getattr(plan, "fusion_buffer_mb", 4.0)
+                                   or 4.0),
+            compression=getattr(plan, "compression", None),
+            compression_ratio=float(getattr(plan, "compression_ratio", 0.1)
+                                    or 0.1),
+            num_machines=self.runner.cluster.num_machines,
+        )
+
+    def _builder_for(self, candidate: PlanCandidate):
+        collective = candidate.architecture in ("hybrid", "ar")
+        cfg = replace(
+            self.base_config,
+            architecture=candidate.architecture,
+            comm=replace(
+                self.base_config.comm,
+                fusion=candidate.fusion,
+                fusion_buffer_mb=candidate.fusion_buffer_mb,
+                compression=candidate.compression if collective else None,
+                compression_ratio=candidate.compression_ratio,
+            ),
+        )
+        return graph_plan_builder(cfg, self._overrides_for)
+
+    # -- the decision loop ----------------------------------------------
+    def step(self, iteration: int) -> IterationResult:
+        """One metered training step; may close a window and migrate."""
+        runner = self.runner
+        cursor = runner.transcript.cursor()
+        totals = getattr(runner.backend, "serialization_totals", None)
+        before = dict(totals) if totals else {}
+        try:
+            result = runner.step(iteration)
+        except WorkerFailureError:
+            self.monitor.mark_fault("fault/worker_kill")
+            raise
+        transfers, events = runner.transcript.since(cursor)
+        totals = getattr(runner.backend, "serialization_totals", None)
+        counters = {}
+        if totals:
+            for key, value in totals.items():
+                delta = value - before.get(key, 0)
+                if delta:
+                    counters[key] = delta
+        window = self.monitor.observe_step(
+            iteration, result.wall_time, transfers, events,
+            counters=counters,
+            num_machines=runner.cluster.num_machines,
+        )
+        if window is not None:
+            self._on_window(window, iteration)
+        return result
+
+    def run(self, num_iterations: int, start_iteration: int = 0,
+            shrink_on_failure: bool = False) -> List[IterationResult]:
+        """The fault-recovering loop of ``run_elastic``, metered.
+
+        Identical checkpoint/recovery semantics -- each step just routes
+        through :meth:`step` so the controller sees every iteration.
+        """
+        runner = self.runner
+        results: List[IterationResult] = []
+        end = start_iteration + num_iterations
+        runner.checkpoint(start_iteration)
+        i = start_iteration
+        while i < end:
+            try:
+                result = self.step(i)
+            except WorkerFailureError as failure:
+                runner._recover(failure, shrink=shrink_on_failure)
+                del results[runner._checkpoint_iteration - start_iteration:]
+                i = runner._checkpoint_iteration
+                continue
+            results.append(result)
+            i += 1
+            if (i - start_iteration) % runner.checkpoint_every == 0:
+                runner.checkpoint(i)
+        return results
+
+    def _on_window(self, window: TelemetryWindow, iteration: int) -> None:
+        self._refit(window, iteration)
+        if self._premigration_sps is not None:
+            self._check_improvement(window, iteration)
+        if self.governor_blocked(window, iteration):
+            return
+        if not self._calibrated:
+            self._log_decision(Decision(
+                window=window.index, iteration=iteration, action="hold",
+                incumbent=self.incumbent.label,
+                reason="no clean window measured yet"))
+            return
+        next_iteration = iteration + 1
+        degradations = self.monitor.active_degradations(next_iteration)
+        remaining = self.monitor.remaining_degraded_steps(
+            next_iteration, self.incumbent.num_machines)
+        proposal = self.planner.propose(
+            self.profile, self.incumbent,
+            num_partitions=self.runner.num_partitions,
+            measured_network_bytes=self._bytes_per_step,
+            degradations=degradations,
+            emulate_nic_bw=self.runner.emulate_nic_bw,
+            remaining_degraded_steps=remaining,
+            banned=self.governor.banned(window.index),
+        )
+        if proposal is None:
+            self._log_decision(Decision(
+                window=window.index, iteration=iteration, action="hold",
+                incumbent=self.incumbent.label,
+                reason="no candidate beats the incumbent past hysteresis"))
+            return
+        self._execute(proposal, window, iteration)
+
+    def governor_blocked(self, window: TelemetryWindow,
+                         iteration: int) -> bool:
+        """Record and report a cooldown block, if one is active."""
+        if not self.governor.in_cooldown(window.index):
+            return False
+        self._log_decision(Decision(
+            window=window.index, iteration=iteration, action="blocked",
+            incumbent=self.incumbent.label,
+            reason=f"cooldown ({self.governor.current_cooldown} windows)"))
+        return True
+
+    def _refit(self, window: TelemetryWindow, iteration: int) -> None:
+        """Keep the cost model and profile current (clean windows only)."""
+        cost = fit_from_telemetry(self.monitor.windows, base=self.base_cost)
+        self.planner.update_cost(cost)
+        clean = self.monitor.last_clean_window()
+        if clean is None:
+            return
+        cluster = self.planner.cluster.scaled(self.incumbent.num_machines)
+        plan = self.planner.sync_plan(self.incumbent, self.profile,
+                                      self.runner.num_partitions)
+        self.profile = calibrate_gpu_time(
+            self.profile, plan, cluster, clean.mean_step_time, cost)
+        self._bytes_per_step = clean.network_bytes / max(1, clean.steps)
+        self._calibrated = True
+        self.runner.transcript.note(
+            "autopilot/refit", iteration=iteration,
+            window=window.index,
+            gpu_time_per_iter=self.profile.gpu_time_per_iter,
+            bytes_per_step=self._bytes_per_step,
+            clean_window=clean.index,
+        )
+
+    def _check_improvement(self, window: TelemetryWindow,
+                           iteration: int) -> None:
+        """Back off if the last migration did not actually help.
+
+        The first full window on the new plan must beat the measured
+        steps/sec of the window that triggered the migration; otherwise
+        the prediction was wrong and the candidate is banned while the
+        cooldown grows.
+        """
+        baseline = self._premigration_sps
+        self._premigration_sps = None
+        if baseline is None or window.steps_per_sec > baseline:
+            return
+        self.governor.failed(window.index, self.incumbent.label)
+        self._log_decision(Decision(
+            window=window.index, iteration=iteration, action="backoff",
+            incumbent=self.incumbent.label,
+            candidate=self.incumbent.label,
+            reason=(f"non-improving migration: {window.steps_per_sec:.2f} "
+                    f"steps/s vs {baseline:.2f} before"),
+        ))
+
+    def _execute(self, proposal: Proposal, window: TelemetryWindow,
+                 iteration: int) -> None:
+        candidate = proposal.candidate
+        builder = self._builder_for(candidate)
+        new_cluster = self.planner.cluster.scaled(candidate.num_machines)
+        start = time.perf_counter()
+        try:
+            self.runner.rescale(new_cluster, plan_builder=builder)
+        except Exception as error:
+            # rescale rolled the fleet back; back off and move on.
+            self.governor.failed(window.index, candidate.label)
+            self._log_decision(Decision(
+                window=window.index, iteration=iteration, action="rollback",
+                incumbent=self.incumbent.label, candidate=candidate.label,
+                gain=proposal.gain,
+                reason=f"migration failed: {type(error).__name__}: {error}",
+                wall_time=time.perf_counter() - start,
+            ))
+            self.monitor.mark_fault("autopilot/rollback")
+            return
+        replaced = self.incumbent
+        self.incumbent = candidate
+        self.governor.migrated(window.index, replaced.label)
+        self._premigration_sps = window.steps_per_sec
+        self._log_decision(Decision(
+            window=window.index, iteration=iteration, action="migrate",
+            incumbent=replaced.label, candidate=candidate.label,
+            gain=proposal.gain,
+            reason=(f"predicted {proposal.predicted_units_per_sec:.1f} "
+                    f"units/s vs {proposal.incumbent_units_per_sec:.1f} "
+                    f"over {proposal.horizon_steps} steps"),
+            wall_time=time.perf_counter() - start,
+        ))
+
+    def _log_decision(self, decision: Decision) -> None:
+        self.decision_log.append(decision)
+        self.runner.transcript.note(
+            f"autopilot/{decision.action}",
+            iteration=decision.iteration,
+            window=decision.window,
+            incumbent=decision.incumbent,
+            candidate=decision.candidate or "",
+            gain=round(decision.gain, 6) if decision.gain is not None
+            else 0.0,
+            reason=decision.reason,
+        )
+
+    # -- contracts -------------------------------------------------------
+    @property
+    def migrations(self) -> List[Decision]:
+        return [d for d in self.decision_log if d.action == "migrate"]
+
+    @property
+    def no_flapping(self) -> bool:
+        """The bench contract: no A->B->A inside a cooldown span.
+
+        True iff no two migrations land within ``cooldown_windows`` of
+        each other and no migration returns to the plan it replaced
+        within twice the cooldown.  The governor enforces exactly this,
+        so the property is a cross-check, not a hope.
+        """
+        cooldown = max(1, self.config.cooldown_windows)
+        migrations = self.migrations
+        for a, b in zip(migrations, migrations[1:]):
+            if b.window - a.window <= cooldown:
+                return False
+            if b.candidate == a.incumbent and \
+                    b.window - a.window <= 2 * cooldown:
+                return False
+        return True
+
+    def decision_summary(self) -> List[Dict]:
+        """JSON-ready decision log (for bench reports)."""
+        return [
+            {
+                "window": d.window,
+                "iteration": d.iteration,
+                "action": d.action,
+                "incumbent": d.incumbent,
+                "candidate": d.candidate,
+                "gain": d.gain,
+                "reason": d.reason,
+                "wall_time": d.wall_time,
+            }
+            for d in self.decision_log
+        ]

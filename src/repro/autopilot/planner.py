@@ -1,0 +1,324 @@
+"""Candidate enumeration and pricing for online replanning.
+
+The planner re-solves a small version of the paper's Equation-1 search
+every telemetry window: enumerate candidate configurations (plan
+family, fusion buffer, compression codec, replica count), price each
+one through :func:`~repro.cluster.simulator.simulate_iteration` with the
+*calibrated* profile and cost model, add the measured NIC-degradation
+penalty (the exact formula the functional plane's emulation pays), and
+propose a switch only when the best candidate beats the incumbent by a
+hysteresis margin *and* pays back its migration cost over the decision
+horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.baselines.horovod import horovod_plan
+from repro.baselines.opt_ps import opt_ps_plan
+from repro.baselines.tf_ps import tf_ps_plan
+from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.cluster.faults import emulated_degradation_delay
+from repro.cluster.plan import SyncPlan
+from repro.cluster.simulator import plan_wire_bytes, simulate_iteration, \
+    simulate_rescale
+from repro.cluster.spec import ClusterSpec
+from repro.core.hybrid import hybrid_plan
+from repro.core.transform.plan import classify_variables
+from repro.nn.profiles import ModelProfile, VariableProfile
+
+_COLLECTIVE_FAMILIES = ("hybrid", "ar")
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One point in the autopilot's configuration space."""
+
+    architecture: str
+    fusion: bool = True
+    fusion_buffer_mb: float = 4.0
+    compression: Optional[str] = None
+    compression_ratio: float = 0.1
+    num_machines: int = 1
+
+    @property
+    def label(self) -> str:
+        """Compact identity used in decision logs and revert bans."""
+        fusion = f"f{self.fusion_buffer_mb:g}" if self.fusion else "nofuse"
+        codec = (f"{self.compression}@{self.compression_ratio:g}"
+                 if self.compression else "exact")
+        return f"{self.architecture}/{fusion}/{codec}/m{self.num_machines}"
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """A priced migration the planner wants the controller to execute."""
+
+    candidate: PlanCandidate
+    incumbent: PlanCandidate
+    predicted_step_time: float
+    incumbent_step_time: float
+    predicted_units_per_sec: float
+    incumbent_units_per_sec: float
+    gain: float  # fractional goodput improvement over the incumbent
+    migration_cost: float  # predicted downtime of the switch, seconds
+    horizon_steps: int  # steps the gain was amortized over
+
+
+def derive_profile(
+    model,
+    alphas: Optional[Dict[str, float]] = None,
+    gpu_time_per_iter: float = 1e-3,
+    name: str = "live",
+) -> ModelProfile:
+    """A :class:`ModelProfile` of the live graph, for the simulator.
+
+    Builds one :class:`VariableProfile` per synchronized variable,
+    merging partition shards back into their parent (the SyncPlan-level
+    plan builders re-partition from ``num_partitions``), with sparsity
+    from the static classifier and alpha from the measured values
+    *alphas* when available.  ``gpu_time_per_iter`` is a placeholder --
+    the controller calibrates it against measured step times before any
+    pricing (:func:`~repro.cluster.simulator.calibrate_gpu_time`).
+    """
+    graph = model.graph
+    alphas = alphas or {}
+    sparse_map = classify_variables(graph)
+    merged: Dict[str, Dict] = {}
+    order: List[str] = []
+    for var_name in graph.gradient_info:
+        var = graph.variables[var_name]
+        info = getattr(var, "partition_info", None)
+        parent = info["parent"] if info else var_name
+        entry = merged.get(parent)
+        if entry is None:
+            entry = merged[parent] = {
+                "elements": 0, "rows": 0,
+                "sparse": bool(sparse_map.get(var_name)),
+                "alpha": None,
+            }
+            order.append(parent)
+        num_elements = 1
+        for dim in var.shape:
+            num_elements *= int(dim)
+        entry["elements"] += num_elements
+        entry["rows"] += int(var.shape[0]) if var.shape else 1
+        entry["sparse"] = entry["sparse"] or bool(sparse_map.get(var_name))
+        if var_name in alphas:
+            # measure_alpha already parent-merges, so any shard carries
+            # the parent's value.
+            entry["alpha"] = float(alphas[var_name])
+    variables = []
+    for parent in order:
+        entry = merged[parent]
+        alpha = entry["alpha"]
+        if alpha is None or not 0.0 < alpha <= 1.0:
+            alpha = 1.0
+        variables.append(VariableProfile(
+            name=parent,
+            num_elements=entry["elements"],
+            is_sparse=entry["sparse"],
+            alpha=alpha if entry["sparse"] else 1.0,
+            rows=entry["rows"] if entry["sparse"] else None,
+        ))
+    return ModelProfile(
+        name=name,
+        variables=variables,
+        batch_per_gpu=getattr(model, "batch_size", 1),
+        units_per_sample=1,
+        unit="samples",
+        gpu_time_per_iter=gpu_time_per_iter,
+    )
+
+
+class Planner:
+    """Enumerates and prices candidate configurations each window."""
+
+    def __init__(
+        self,
+        config,
+        cluster: ClusterSpec,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        sparse_as_dense_threshold: float = 0.95,
+    ):
+        self.config = config
+        self.cluster = cluster  # the full fleet; candidates scale it down
+        self.cost = cost
+        self.sparse_as_dense_threshold = sparse_as_dense_threshold
+
+    def update_cost(self, cost: CostModel) -> None:
+        """Adopt a refitted cost model (the online calibration stage)."""
+        self.cost = cost
+
+    # -- candidate space ------------------------------------------------
+    def candidates(self, incumbent: PlanCandidate) -> List[PlanCandidate]:
+        """The configuration points priced against *incumbent*."""
+        machine_counts = {incumbent.num_machines}
+        if self.config.consider_rescale:
+            lo = max(1, self.config.min_machines)
+            machine_counts.update(
+                range(lo, self.cluster.num_machines + 1))
+        families = list(self.config.plan_families)
+        if incumbent.architecture not in families:
+            families.append(incumbent.architecture)
+        out: List[PlanCandidate] = []
+        seen = set()
+        for arch in families:
+            if arch in _COLLECTIVE_FAMILIES:
+                fusions: Sequence[float] = self.config.fusion_buffers_mb
+                codecs: Sequence[Optional[str]] = self.config.codecs
+            else:
+                fusions = (incumbent.fusion_buffer_mb,)
+                codecs = (None,)
+            for machines in sorted(machine_counts):
+                for buffer_mb in fusions:
+                    for codec in codecs:
+                        candidate = PlanCandidate(
+                            architecture=arch,
+                            fusion=True,
+                            fusion_buffer_mb=buffer_mb,
+                            compression=codec,
+                            compression_ratio=self.config.compression_ratio,
+                            num_machines=machines,
+                        )
+                        if candidate.label not in seen:
+                            seen.add(candidate.label)
+                            out.append(candidate)
+        if incumbent.label not in seen:
+            out.append(incumbent)
+        return out
+
+    def sync_plan(self, candidate: PlanCandidate,
+                  profile: ModelProfile,
+                  num_partitions: int = 1) -> SyncPlan:
+        """The performance-plane plan a candidate prices as."""
+        if candidate.architecture == "hybrid":
+            plan = hybrid_plan(
+                profile, num_partitions=num_partitions,
+                sparse_as_dense_threshold=self.sparse_as_dense_threshold)
+        elif candidate.architecture == "ps":
+            plan = tf_ps_plan(profile, num_partitions=num_partitions)
+        elif candidate.architecture == "opt_ps":
+            plan = opt_ps_plan(profile, num_partitions=num_partitions)
+        else:
+            plan = horovod_plan(profile)
+        if candidate.architecture in _COLLECTIVE_FAMILIES:
+            plan = plan.with_fusion(
+                candidate.fusion_buffer_mb if candidate.fusion else 0)
+            if candidate.compression:
+                plan = plan.with_compression(candidate.compression,
+                                             candidate.compression_ratio)
+        return plan
+
+    # -- pricing --------------------------------------------------------
+    def propose(
+        self,
+        profile: ModelProfile,
+        incumbent: PlanCandidate,
+        *,
+        num_partitions: int = 1,
+        measured_network_bytes: float = 0.0,
+        degradations: Iterable = (),
+        emulate_nic_bw: Optional[float] = None,
+        remaining_degraded_steps: int = 0,
+        banned: Iterable[str] = (),
+    ) -> Optional[Proposal]:
+        """The best migration worth making, or None to hold.
+
+        *profile* must already be calibrated against a clean-window
+        measurement; *measured_network_bytes* is the incumbent's
+        measured per-step cross-machine byte count, used to scale the
+        simulator's per-candidate wire bytes onto the same footing the
+        functional emulation charges.  *degradations* are the
+        currently-active windows the telemetry monitor reconstructed
+        from fault notes; a candidate with fewer machines escapes
+        degradations scheduled on the machines it drops.
+        """
+        degradations = list(degradations)
+        banned = set(banned)
+        inc_time, inc_ups, inc_wire = self._score(
+            incumbent, profile, num_partitions, None,
+            degradations, emulate_nic_bw, measured_network_bytes)
+        best: Optional[Tuple[PlanCandidate, float, float]] = None
+        for candidate in self.candidates(incumbent):
+            if candidate.label == incumbent.label:
+                continue
+            if candidate.label in banned:
+                continue
+            time_s, ups, _ = self._score(
+                candidate, profile, num_partitions, inc_wire,
+                degradations, emulate_nic_bw, measured_network_bytes)
+            if best is None or ups > best[2]:
+                best = (candidate, time_s, ups)
+        if best is None or inc_ups <= 0:
+            return None
+        candidate, cand_time, cand_ups = best
+        gain = cand_ups / inc_ups - 1.0
+        if gain <= self.config.hysteresis:
+            return None
+        # Payback: the per-unit time saved over the horizon must exceed
+        # the migration's predicted downtime.  Under an active
+        # degradation the horizon is its remaining length; otherwise a
+        # long-run horizon lets structural wins through.
+        horizon = (remaining_degraded_steps if remaining_degraded_steps > 0
+                   else self.config.window_steps * 10)
+        old_cluster = self.cluster.scaled(incumbent.num_machines)
+        new_cluster = self.cluster.scaled(candidate.num_machines)
+        inc_plan = self.sync_plan(incumbent, profile, num_partitions)
+        migration_cost = simulate_rescale(
+            inc_plan, old_cluster, new_cluster, self.cost).downtime
+        units = horizon * profile.units_per_iteration(old_cluster.total_gpus)
+        saved = units * (1.0 / inc_ups - 1.0 / cand_ups)
+        if saved <= migration_cost:
+            return None
+        return Proposal(
+            candidate=candidate,
+            incumbent=incumbent,
+            predicted_step_time=cand_time,
+            incumbent_step_time=inc_time,
+            predicted_units_per_sec=cand_ups,
+            incumbent_units_per_sec=inc_ups,
+            gain=gain,
+            migration_cost=migration_cost,
+            horizon_steps=horizon,
+        )
+
+    def _score(
+        self,
+        candidate: PlanCandidate,
+        profile: ModelProfile,
+        num_partitions: int,
+        incumbent_wire: Optional[float],
+        degradations,
+        emulate_nic_bw: Optional[float],
+        measured_network_bytes: float,
+    ) -> Tuple[float, float, float]:
+        """(step time, units/sec, simulated wire bytes) for a candidate.
+
+        The degradation penalty uses measured bytes scaled by the
+        simulated candidate/incumbent wire-byte ratio: the simulator's
+        absolute byte accounting (one worker's view) and the
+        transcript's (every machine's flows) differ by a plan-dependent
+        constant, and the ratio cancels it.
+        """
+        cluster = self.cluster.scaled(candidate.num_machines)
+        plan = self.sync_plan(candidate, profile, num_partitions)
+        breakdown = simulate_iteration(profile, plan, cluster, self.cost)
+        wire = plan_wire_bytes(breakdown)
+        factor = 1.0
+        for d in degradations:
+            if d.machine < candidate.num_machines:
+                factor *= d.factor
+        if incumbent_wire is None or incumbent_wire <= 0:
+            degraded_bytes = measured_network_bytes or wire
+        else:
+            degraded_bytes = (measured_network_bytes * wire / incumbent_wire
+                              if measured_network_bytes else wire)
+        delay = emulated_degradation_delay(degraded_bytes, factor,
+                                           emulate_nic_bw)
+        time_s = breakdown.iteration_time + delay
+        ups = (profile.units_per_iteration(cluster.total_gpus) / time_s
+               if time_s > 0 else 0.0)
+        return time_s, ups, wire

@@ -1,0 +1,239 @@
+"""Telemetry windows: the autopilot's measured view of training.
+
+The controller wraps ``runner.step`` and folds each step's Transcript
+delta -- wall time, network bytes per plane, transport serialization
+counters, fault-plane notes -- into a rolling :class:`TelemetryWindow`.
+A closed window is the unit of decision-making: the refit stage
+calibrates the cost model from *clean* windows only (a window that
+overlapped a NIC degradation, a rescale, or a worker kill is *tainted*
+and excluded -- folding it in would poison later refits with constants
+that describe the fault, not the system), and the planner reads the
+active-degradation state the monitor reconstructs from ``fault/*``
+notes.
+
+The degradation state is measurement-driven: the monitor learns about a
+``NicDegradation`` from the ``fault/nic_degraded`` note the runner
+records when the window opens (which carries the factor and duration),
+never by peeking at the fault plan's future.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.comm.transcript import Note, Transfer
+
+#: Transfer-tag prefixes mapped to the plane they account to.
+_PLANE_PREFIXES = (
+    (("allreduce", "allgatherv", "idx:"), "collective"),
+    (("edge/",), "ps"),
+    (("transport/",), "transport"),
+)
+
+
+def plane_of(tag: str) -> str:
+    """Which accounting plane a transfer tag belongs to.
+
+    ``collective`` covers ring AllReduce / AllGatherV payloads (indices
+    included), ``ps`` the cross-device graph edges (PS pushes/pulls and
+    stitches), ``transport`` the multiproc message plane, ``other``
+    anything new.
+    """
+    for prefixes, plane in _PLANE_PREFIXES:
+        if tag.startswith(prefixes):
+            return plane
+    return "other"
+
+
+@dataclass(frozen=True)
+class TelemetryWindow:
+    """Aggregated measurements over ``window_steps`` consecutive steps.
+
+    ``wire_bytes`` holds cross-machine bytes per plane (see
+    :func:`plane_of`); ``counters`` the transport serialization deltas
+    (empty under the inproc backend); ``fault_tags`` every fault-plane
+    note tag that fired or was active during the window.  ``nic_factor``
+    is the worst combined degradation factor any step in the window ran
+    under (1.0 = clean).
+    """
+
+    index: int
+    start_iteration: int
+    end_iteration: int  # exclusive
+    wall_time: float
+    wire_bytes: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    fault_tags: Tuple[str, ...] = ()
+    nic_factor: float = 1.0
+
+    @property
+    def steps(self) -> int:
+        return self.end_iteration - self.start_iteration
+
+    @property
+    def mean_step_time(self) -> float:
+        return self.wall_time / max(1, self.steps)
+
+    @property
+    def steps_per_sec(self) -> float:
+        return self.steps / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def network_bytes(self) -> int:
+        """Total cross-machine bytes, all planes."""
+        return sum(self.wire_bytes.values())
+
+    @property
+    def tainted(self) -> bool:
+        """Whether fault-plane activity overlapped this window.
+
+        Tainted windows are excluded from calibration: their step times
+        and counters measure the fault, not the system.
+        """
+        return bool(self.fault_tags) or self.nic_factor < 1.0
+
+
+@dataclass(frozen=True)
+class ActiveDegradation:
+    """A NIC degradation learned from its ``fault/nic_degraded`` note."""
+
+    machine: int
+    factor: float
+    start_iteration: int
+    end_iteration: int  # exclusive
+
+    def active_at(self, iteration: int) -> bool:
+        return self.start_iteration <= iteration < self.end_iteration
+
+
+class TelemetryMonitor:
+    """Folds per-step observations into rolling telemetry windows."""
+
+    def __init__(self, window_steps: int, max_windows: int = 64):
+        if window_steps < 1:
+            raise ValueError("window_steps must be >= 1")
+        self.window_steps = window_steps
+        self.max_windows = max_windows
+        self.windows: List[TelemetryWindow] = []
+        self._degradations: List[ActiveDegradation] = []
+        self._reset_accumulators()
+
+    def _reset_accumulators(self) -> None:
+        self._start: Optional[int] = None
+        self._steps = 0
+        self._wall_time = 0.0
+        self._wire_bytes: Dict[str, int] = {}
+        self._counters: Dict[str, float] = {}
+        self._fault_tags: List[str] = []
+        self._nic_factor = 1.0
+
+    def mark_fault(self, tag: str) -> None:
+        """Taint the current window with an out-of-band fault event.
+
+        Used for events the step's own transcript delta cannot carry:
+        a worker kill aborts the step before its delta is read, and a
+        rescale happens between steps.
+        """
+        if tag not in self._fault_tags:
+            self._fault_tags.append(tag)
+
+    def observe_step(
+        self,
+        iteration: int,
+        wall_time: float,
+        transfers: List[Transfer],
+        events: List[Note],
+        counters: Optional[Dict[str, float]] = None,
+        num_machines: Optional[int] = None,
+    ) -> Optional[TelemetryWindow]:
+        """Fold one completed step; return the window it closed, if any.
+
+        *transfers*/*events* are the step's Transcript delta
+        (:meth:`~repro.comm.transcript.Transcript.since`); *counters*
+        the transport serialization-counter delta; *num_machines* the
+        fleet size the step ran on (degradations on machines outside it
+        don't degrade the step).
+        """
+        if self._start is None:
+            self._start = iteration
+        for event in events:
+            if event.tag == "fault/nic_degraded":
+                self._degradations.append(ActiveDegradation(
+                    machine=int(event.get("machine", 0)),
+                    factor=float(event.get("factor", 1.0)),
+                    start_iteration=event.iteration,
+                    end_iteration=event.iteration
+                    + int(event.get("duration", 1)),
+                ))
+            if (event.tag.startswith("fault/")
+                    or event.tag.startswith("elastic/")):
+                self.mark_fault(event.tag)
+        factor = self.nic_factor(iteration, num_machines)
+        if factor < 1.0:
+            self.mark_fault("fault/nic_degraded")
+        self._nic_factor = min(self._nic_factor, factor)
+        self._steps += 1
+        self._wall_time += wall_time
+        for t in transfers:
+            if t.src_machine != t.dst_machine:
+                plane = plane_of(t.tag)
+                self._wire_bytes[plane] = (self._wire_bytes.get(plane, 0)
+                                           + t.nbytes)
+        if counters:
+            for key, value in counters.items():
+                self._counters[key] = self._counters.get(key, 0.0) + value
+        if self._steps < self.window_steps:
+            return None
+        window = TelemetryWindow(
+            index=len(self.windows),
+            start_iteration=self._start,
+            end_iteration=iteration + 1,
+            wall_time=self._wall_time,
+            wire_bytes=dict(self._wire_bytes),
+            counters=dict(self._counters),
+            fault_tags=tuple(self._fault_tags),
+            nic_factor=self._nic_factor,
+        )
+        self.windows.append(window)
+        del self.windows[:-self.max_windows]
+        self._reset_accumulators()
+        return window
+
+    # -- degradation state reconstructed from notes ---------------------
+    def active_degradations(
+        self, iteration: int, num_machines: Optional[int] = None,
+    ) -> List[ActiveDegradation]:
+        """Degradations noted as active at *iteration* on the fleet."""
+        return [
+            d for d in self._degradations
+            if d.active_at(iteration)
+            and (num_machines is None or d.machine < num_machines)
+        ]
+
+    def nic_factor(self, iteration: int,
+                   num_machines: Optional[int] = None) -> float:
+        """Combined degradation factor the fleet pays at *iteration*."""
+        factor = 1.0
+        for d in self.active_degradations(iteration, num_machines):
+            factor *= d.factor
+        return factor
+
+    def remaining_degraded_steps(
+        self, iteration: int, num_machines: Optional[int] = None,
+    ) -> int:
+        """Steps until the last currently-active degradation expires."""
+        active = self.active_degradations(iteration, num_machines)
+        if not active:
+            return 0
+        return max(d.end_iteration for d in active) - iteration
+
+    def clean_windows(self) -> List[TelemetryWindow]:
+        """The calibration-eligible (untainted) windows."""
+        return [w for w in self.windows if not w.tainted]
+
+    def last_clean_window(self) -> Optional[TelemetryWindow]:
+        for window in reversed(self.windows):
+            if not window.tainted:
+                return window
+        return None

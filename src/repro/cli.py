@@ -1369,6 +1369,158 @@ def bench_serve(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
     return 1 if failures else 0
 
 
+def bench_autopilot(cluster: ClusterSpec, iters: int = 40, warmup: int = 5,
+                    seed: int = 0,
+                    output: str = "BENCH_autopilot.json") -> int:
+    """Adaptive replanning vs a static plan under NIC degradation.
+
+    Trains the quickstart workload twice on an elastic runner whose
+    functional plane *pays* for a scripted NIC degradation
+    (``emulate_nic_bw`` calibrated from a probe run so a degraded step
+    costs a known multiple of a clean one): once with the static
+    incumbent plan, once with the autopilot controller attached.  The
+    controller must measure the degradation through its telemetry
+    windows, refit its models, and live-migrate to a cheaper
+    configuration (compressed collectives or a shrink that drops the
+    degraded machine) -- beating the static run's goodput despite
+    paying the migration downtime inside the timed region.
+
+    Contract keys gated by ``bench --check``: ``autopilot_beats_static``
+    (goodput strictly above the static incumbent) and
+    ``autopilot_no_flapping`` (no A->B->A flip inside the controller's
+    cooldown).  The full decision log lands in the report.
+    """
+    _validate_bench_args(iters, warmup)
+    from repro.cluster.faults import FaultPlan, NicDegradation
+    from repro.core.api import auto_parallelize
+    from repro.core.config import (
+        AutopilotConfig,
+        ElasticConfig,
+        ParallaxConfig,
+    )
+
+    # The decision loop needs room: a clean calibration window, a
+    # tainted window to trigger on, and a post-migration stretch for the
+    # payback to land in.
+    iters = max(16, iters)
+    warmup = max(2, warmup)
+    window_steps = max(2, min(4, warmup))
+    checkpoint_every = max(2, iters // 8)
+    factor = 0.25
+    degraded_machine = max(0, cluster.num_machines - 1)
+    fault_plan = FaultPlan(degradations=(
+        NicDegradation(warmup, machine=degraded_machine, factor=factor,
+                       duration=iters),
+    ))
+
+    def build(autopilot: bool, faults=None, nic_bw=None):
+        cfg = ParallaxConfig(
+            search_partitions=False, alpha_measure_batches=0, seed=seed,
+            elastic=ElasticConfig(enabled=True,
+                                  checkpoint_every=checkpoint_every,
+                                  fault_plan=faults,
+                                  emulate_nic_bw=nic_bw),
+            autopilot=AutopilotConfig(enabled=autopilot,
+                                      window_steps=window_steps),
+        )
+        return auto_parallelize(_quickstart_model, cluster, cfg)
+
+    # Probe: clean step time and wire bytes of the incumbent plan, to
+    # size the emulated degradation so one degraded step costs a fixed
+    # multiple of a clean one on this host.
+    probe = build(autopilot=False)
+    probe_iters = max(4, window_steps)
+    for i in range(warmup):
+        probe.step(i)
+    cursor = probe.transcript.cursor()
+    start = time.perf_counter()
+    for i in range(warmup, warmup + probe_iters):
+        probe.step(i)
+    clean_step_time = (time.perf_counter() - start) / probe_iters
+    transfers, _ = probe.transcript.since(cursor)
+    bytes_per_step = sum(t.nbytes for t in transfers
+                         if t.is_network) / probe_iters
+    # Extra wire time per degraded step: bytes * (1/factor - 1) / bw.
+    target_extra = max(0.12, 15.0 * clean_step_time)
+    emulate_nic_bw = (bytes_per_step * (1.0 / factor - 1.0)
+                      / target_extra) or 1.0
+
+    def timed(runner):
+        for i in range(warmup):
+            runner.step(i)
+        start = time.perf_counter()
+        results = runner.fit(iters, start_iteration=warmup)
+        return results, time.perf_counter() - start
+
+    static_runner = build(autopilot=False, faults=fault_plan,
+                          nic_bw=emulate_nic_bw)
+    static_results, static_time = timed(static_runner)
+
+    adaptive = build(autopilot=True, faults=fault_plan,
+                     nic_bw=emulate_nic_bw)
+    adaptive_results, adaptive_time = timed(adaptive)
+    controller = adaptive.autopilot()
+
+    static_goodput = iters / static_time
+    autopilot_goodput = iters / adaptive_time
+    migrations = controller.migrations
+    beats_static = autopilot_goodput > static_goodput
+    no_flapping = controller.no_flapping
+
+    report = {
+        "workload": "quickstart_hybrid_lm",
+        "cluster": {"machines": cluster.num_machines,
+                    "gpus_per_machine": cluster.gpus_per_machine},
+        "iterations": iters,
+        "warmup": warmup,
+        "window_steps": window_steps,
+        "checkpoint_every": checkpoint_every,
+        "degradation": {"iteration": warmup, "machine": degraded_machine,
+                        "factor": factor, "duration": iters},
+        "clean_step_time": clean_step_time,
+        "bytes_per_step": bytes_per_step,
+        "emulate_nic_bw": emulate_nic_bw,
+        "target_extra_delay": target_extra,
+        "static_steps_per_sec": static_goodput,
+        "autopilot_steps_per_sec": autopilot_goodput,
+        "speedup": (autopilot_goodput / static_goodput
+                    if static_goodput else 0.0),
+        "num_migrations": len(migrations),
+        "final_plan": controller.incumbent.label,
+        "autopilot_beats_static": beats_static,
+        "autopilot_no_flapping": no_flapping,
+        "decisions": controller.decision_summary(),
+        "completed_iterations": {"static": len(static_results),
+                                 "autopilot": len(adaptive_results)},
+    }
+    _write_report(output, report)
+
+    print(f"\nAutopilot bench — quickstart LM under a x{1 / factor:.0f} "
+          f"NIC degradation on machine {degraded_machine} "
+          f"({iters} iterations, windows of {window_steps})")
+    print(f"static incumbent: {static_goodput:.1f} steps/s   "
+          f"autopilot: {autopilot_goodput:.1f} steps/s   "
+          f"({report['speedup']:.2f}x)")
+    print(f"migrations: {len(migrations)}   final plan: "
+          f"{controller.incumbent.label}   no flapping: {no_flapping}")
+    for decision in controller.decision_log:
+        print(f"  window {decision.window:>3} iter {decision.iteration:>4} "
+              f"{decision.action:<8} {decision.candidate or '-':<28} "
+              f"{decision.reason}")
+    print(f"wrote {output}")
+
+    failures = []
+    if not beats_static:
+        failures.append(
+            f"autopilot goodput {autopilot_goodput:.1f} steps/s does not "
+            f"beat the static incumbent {static_goodput:.1f}")
+    if not no_flapping:
+        failures.append("controller flapped: A->B->A inside the cooldown")
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    return 1 if failures else 0
+
+
 # Report keys whose False value marks a broken exactness/conservation
 # contract (not a performance number): any of these failing means the
 # bench itself detected wrong arithmetic, and ``bench --check`` treats
@@ -1385,6 +1537,8 @@ _CHECK_CONTRACT_KEYS = (
     "batched_bit_identical",
     "hot_reload_bit_identical",
     "batched_speedup_ok",
+    "autopilot_beats_static",
+    "autopilot_no_flapping",
 )
 
 # Allowed steps/sec drop vs the history reference before --check fails.
@@ -1573,9 +1727,9 @@ def bench_all(cluster: ClusterSpec, iters: int, warmup: int,
     One command produces/extends ``BENCH_engine.json``,
     ``BENCH_fusion.json``, ``BENCH_elastic.json``,
     ``BENCH_parallel.json``, ``BENCH_compression.json``,
-    ``BENCH_verify.json`` and ``BENCH_serve.json`` (each keeps its
-    history of earlier runs) -- the aggregation step the bench
-    trajectory was missing.
+    ``BENCH_verify.json``, ``BENCH_serve.json`` and
+    ``BENCH_autopilot.json`` (each keeps its history of earlier runs)
+    -- the aggregation step the bench trajectory was missing.
     """
     families = (
         ("engine", lambda: bench(cluster, iters=iters, warmup=warmup,
@@ -1592,6 +1746,8 @@ def bench_all(cluster: ClusterSpec, iters: int, warmup: int,
         ("verify", lambda: cli_verify(cluster, seed=seed)),
         ("serve", lambda: bench_serve(cluster, iters=iters, warmup=warmup,
                                       seed=seed)),
+        ("autopilot", lambda: bench_autopilot(cluster, iters=iters,
+                                              warmup=warmup, seed=seed)),
     )
     failures = []
     for name, run in families:
@@ -1650,6 +1806,12 @@ def main(argv=None) -> int:
                              "the convergence contract")
     parser.add_argument("--ratio", type=float, default=0.1,
                         help="bench --compression: top-k keep fraction")
+    parser.add_argument("--autopilot", action="store_true",
+                        help="bench: online adaptive replanning -- "
+                             "autopilot-controlled goodput vs the static "
+                             "incumbent plan under a scripted, functionally "
+                             "emulated NIC degradation, plus the decision "
+                             "log and the no-flapping contract")
     parser.add_argument("--serve", action="store_true",
                         help="bench: serving plane -- batched QPS vs "
                              "batch size through the compiled forward "
@@ -1687,8 +1849,8 @@ def main(argv=None) -> int:
     parser.add_argument("--all", action="store_true", dest="all_families",
                         help="bench: run every bench family (engine, "
                              "fusion, elastic, parallel, compression, "
-                             "verify, serve), merging results into the "
-                             "per-family BENCH_*.json files")
+                             "verify, serve, autopilot), merging results "
+                             "into the per-family BENCH_*.json files")
     parser.add_argument("--check", action="store_true",
                         help="bench: regression gate -- compare every "
                              "BENCH_*.json's current run against its "
@@ -1701,7 +1863,8 @@ def main(argv=None) -> int:
                              "BENCH_elastic.json with --elastic, "
                              "BENCH_parallel.json with --parallel, "
                              "BENCH_compression.json with --compression, "
-                             "or BENCH_serve.json with --serve; ignored "
+                             "BENCH_serve.json with --serve, or "
+                             "BENCH_autopilot.json with --autopilot; ignored "
                              "by --all, which writes every family's "
                              "file)")
     args = parser.parse_args(argv)
@@ -1727,6 +1890,7 @@ def main(argv=None) -> int:
             ("--parallel", args.parallel), ("--all", args.all_families),
             ("--compression", args.compression), ("--check", args.check),
             ("--network", args.network), ("--serve", args.serve),
+            ("--autopilot", args.autopilot),
         ) if flag]
         if len(chosen) > 1:
             raise SystemExit(f"bench: choose one of {' / '.join(chosen)}")
@@ -1735,6 +1899,11 @@ def main(argv=None) -> int:
         if args.all_families:
             return bench_all(cluster, iters=args.iters, warmup=args.warmup,
                              seed=args.seed)
+        if args.autopilot:
+            return bench_autopilot(
+                cluster, iters=args.iters, warmup=args.warmup,
+                seed=args.seed,
+                output=args.bench_output or "BENCH_autopilot.json")
         if args.serve:
             return bench_serve(
                 cluster, iters=args.iters, warmup=args.warmup,

@@ -239,6 +239,24 @@ def fit_transport_constants(samples, base: "CostModel" = None) -> "CostModel":
     return base.with_overrides(**overrides) if overrides else base
 
 
+def fit_from_telemetry(windows, base: "CostModel" = None) -> "CostModel":
+    """Online refit from autopilot telemetry windows.
+
+    Feeds each window's accumulated transport counters through
+    :func:`fit_transport_constants` -- but only windows untainted by
+    fault-plane activity.  A window that overlapped a scheduled
+    ``NicDegradation`` (or a rescale, or a worker kill) measured wall
+    time and counters under transient conditions; folding it in would
+    poison every later refit with constants that describe the fault,
+    not the transport.  Windows without counters (the inproc backend
+    records none) are skipped, so an all-inproc history returns *base*
+    unchanged.
+    """
+    samples = [w.counters for w in windows
+               if not w.tainted and w.counters]
+    return fit_transport_constants(samples, base)
+
+
 def fit_network_constants(measurement, base: "CostModel" = None,
                           ) -> "CostModel":
     """Calibrate ``tcp_bw`` / ``tcp_latency`` from a link microbench.

@@ -22,7 +22,7 @@ architecture pays its own full cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL, union_alpha
@@ -779,3 +779,50 @@ def pick_plan_under_budget(
         if tp > best_throughput:
             best, best_throughput = plan, tp
     return best
+
+
+def calibrate_gpu_time(
+    profile: ModelProfile,
+    plan: SyncPlan,
+    cluster: ClusterSpec,
+    measured_iteration_time: float,
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> ModelProfile:
+    """Refit ``gpu_time_per_iter`` so the simulator matches a measurement.
+
+    The autopilot's online refit: given the *measured* step time of the
+    incumbent plan (from a clean telemetry window -- degraded windows
+    must be excluded, see ``fit_from_telemetry``), solve for the compute
+    term that makes ``simulate_iteration`` reproduce it.  The predicted
+    iteration time is strictly increasing in ``gpu_time_per_iter``
+    (compute is an additive term), so a bisection converges; the
+    returned profile prices every *candidate* plan with calibrated
+    compute plus modeled communication.
+
+    If even zero compute predicts more than the measurement (the comm
+    terms alone exceed it), the floor profile is returned -- candidate
+    *ranking* stays meaningful because the compute term is shared.
+    """
+    if measured_iteration_time <= 0:
+        raise ValueError("measured_iteration_time must be > 0")
+    floor = 1e-9
+
+    def predicted(gpu_time: float) -> float:
+        probe = replace(profile, gpu_time_per_iter=gpu_time)
+        return simulate_iteration(probe, plan, cluster, cost).iteration_time
+
+    if predicted(floor) >= measured_iteration_time:
+        return replace(profile, gpu_time_per_iter=floor)
+    hi = max(measured_iteration_time, profile.gpu_time_per_iter, floor)
+    while predicted(hi) < measured_iteration_time:
+        hi *= 2.0
+        if hi > 1e6:  # pathological measurement; give up gracefully
+            break
+    lo = floor
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if predicted(mid) < measured_iteration_time:
+            lo = mid
+        else:
+            hi = mid
+    return replace(profile, gpu_time_per_iter=0.5 * (lo + hi))

@@ -11,31 +11,34 @@ transformation, placement) is automatic.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.cluster.faults import FaultPlan
 from repro.cluster.spec import ClusterSpec
+from repro.core.config import (
+    AutopilotConfig,
+    CommConfig,
+    ElasticConfig,
+    ParallaxConfig,
+    ServeConfig,
+    graph_plan_builder,
+)
 from repro.core.elastic import ElasticRunner
 from repro.core.partition_context import partitioner, sampling_partitions
 from repro.core.partitioner import PartitionSearch, SearchResult
-from repro.core.runner import DistributedRunner
-from repro.core.transform.plan import (
-    GraphSyncPlan,
-    ar_graph_plan,
-    classify_variables,
-    hybrid_graph_plan,
-    ps_graph_plan,
-)
+from repro.core.runner import DistributedRunner, IterationResult
+from repro.core.transform.plan import classify_variables
 from repro.graph.session import Session
 from repro.nn.datasets import Dataset
 from repro.nn.models.common import BuiltModel
 from repro.tensor.sparse import IndexedSlices
 
-__all__ = ["shard", "partitioner", "ParallaxConfig", "get_runner",
-           "ElasticRunner", "FaultPlan"]
+__all__ = ["shard", "partitioner", "auto_parallelize", "Runner",
+           "ParallaxConfig", "CommConfig", "ElasticConfig", "ServeConfig",
+           "AutopilotConfig", "get_runner", "make_server", "ElasticRunner",
+           "FaultPlan"]
 
 
 def shard(dataset: Dataset) -> Dataset:
@@ -47,173 +50,6 @@ def shard(dataset: Dataset) -> Dataset:
     """
     dataset._parallax_shard = True  # type: ignore[attr-defined]
     return dataset
-
-
-@dataclass
-class ParallaxConfig:
-    """Optional knobs of ``get_runner`` (paper section 4.1).
-
-    Attributes:
-        architecture: "hybrid" (Parallax), "ps", "opt_ps", or "ar" --
-            mostly for ablations; the paper's Parallax is "hybrid".
-        local_aggregation: aggregate gradients per machine before pushing.
-        smart_placement: colocate aggregation/update ops with their
-            variable's server.
-        average_dense / average_sparse: aggregation method per variable
-            type (mean when True, sum when False).
-        search_partitions: run the Equation-1 partition search.
-        sample_iterations / sample_warmup: iterations measured (after
-            discarding warmup) per sampled partition count.  The paper
-            runs 100 and discards 50; tests use small values.
-        max_partitions: upper bound for the search.
-        sparse_as_dense_threshold: sparse variables whose *measured* alpha
-            reaches this are synchronized as dense via AllReduce
-            (section 3.1's near-1 refinement).  Set > 1 to disable.
-        alpha_measure_batches: batches used to measure per-variable alpha
-            (0 disables measurement and the threshold rule).
-        fusion: pack dense AllReduce gradients into size-capped buckets
-            (Horovod-style tensor fusion); bit-identical to unfused
-            training, but each bucket rides one overlap-scheduled
-            collective instead of one collective per variable.
-        fusion_buffer_mb: fusion bucket size cap in megabytes (measured
-            in on-wire bytes, so compression fits more gradient per
-            bucket).
-        compression: gradient compression on the collective paths --
-            None (exact), "topk" (keep the ``compression_ratio``
-            largest-magnitude coordinates, with a per-replica
-            error-feedback residual carrying the rest forward), "fp16"
-            (round-trip half-precision quantization), or "topk+fp16".
-            PS-synchronized variables are unaffected; requires a
-            collective architecture ("hybrid" or "ar").
-        compression_ratio: fraction of elements (rows, for sparse
-            gradients) top-k keeps.
-        elastic: return an :class:`~repro.core.elastic.ElasticRunner`
-            (supports ``rescale`` and fault-injected recovery) instead of
-            a plain DistributedRunner.
-        checkpoint_every: elastic checkpoint cadence -- in-memory
-            recovery snapshots per this many completed iterations.
-        fault_plan: optional deterministic failure schedule injected into
-            every ``step`` (elastic runners recover from it;
-            non-elastic runners surface ``WorkerFailureError``).
-        backend: execution backend of the returned runner -- "inproc"
-            (default; the sequential in-process engine) or "multiproc"
-            (one OS worker process per replica, exchanging messages over
-            a :class:`~repro.comm.transport.Transport`; bit-identical
-            losses, real wall-clock parallelism).  The partition search
-            always samples in-process.
-        transport: message plane of the multiproc backend -- "shm"
-            (default), "queue", or "tcp" (loopback sockets; the
-            cross-host plane exercised in one process).  Requires
-            ``backend="multiproc"``.
-        plan_cache_size: LRU cap on compiled plans per session (distinct
-            fetch signatures beyond this recompile on next use).
-        verify_plans: run the static plan verifier
-            (:mod:`repro.analysis`) on the transformed graph and refuse
-            to train on a plan with a deadlock, collective-congruence,
-            alias-soundness, or byte-accounting finding.  Off by default
-            in production (verification costs a few percent of compile
-            time); the test suite turns it on globally via the
-            ``REPRO_VERIFY_PLANS`` environment variable.
-        save_path: if set, ``runner.save()`` writes variables here by
-            default (the config's "file path to save trained variables").
-        seed: variable-initialization seed.
-        serve_max_batch: serving plane -- most requests one batch
-            coalesces (:func:`make_server` hands it to the
-            :class:`~repro.serve.batcher.RequestBatcher`); a full batch
-            launches immediately.
-        serve_max_delay_ms: serving plane -- longest a waiting request
-            is held open for batch-mates before its (possibly partial)
-            batch launches.
-    """
-
-    architecture: str = "hybrid"
-    local_aggregation: bool = True
-    smart_placement: bool = True
-    average_dense: bool = True
-    average_sparse: bool = True
-    search_partitions: bool = True
-    sample_iterations: int = 2
-    sample_warmup: int = 1
-    max_partitions: int = 512
-    sparse_as_dense_threshold: float = 0.95
-    alpha_measure_batches: int = 2
-    fusion: bool = True
-    fusion_buffer_mb: float = 4.0
-    compression: Optional[str] = None
-    compression_ratio: float = 0.1
-    elastic: bool = False
-    checkpoint_every: int = 1
-    fault_plan: Optional[FaultPlan] = None
-    backend: str = "inproc"
-    transport: Optional[str] = None
-    plan_cache_size: int = 32
-    verify_plans: bool = False
-    save_path: Optional[str] = None
-    seed: int = 0
-    serve_max_batch: int = 8
-    serve_max_delay_ms: float = 2.0
-
-    def __post_init__(self):
-        if self.architecture not in ("hybrid", "ps", "opt_ps", "ar"):
-            raise ValueError(
-                f"unknown architecture {self.architecture!r}; expected "
-                "hybrid, ps, opt_ps, or ar"
-            )
-        if self.sample_iterations < 1:
-            raise ValueError("sample_iterations must be >= 1")
-        if self.sample_warmup < 0:
-            raise ValueError("sample_warmup must be >= 0")
-        if self.max_partitions < 1:
-            raise ValueError("max_partitions must be >= 1")
-        if self.alpha_measure_batches < 0:
-            raise ValueError("alpha_measure_batches must be >= 0")
-        if self.fusion_buffer_mb <= 0:
-            raise ValueError("fusion_buffer_mb must be > 0")
-        if self.compression is not None:
-            from repro.comm.compression import parse_spec
-
-            parse_spec(self.compression)  # raises on unknown specs
-            if self.architecture in ("ps", "opt_ps"):
-                raise ValueError(
-                    "compression applies to collective synchronization; "
-                    f"the {self.architecture!r} architecture has no "
-                    "collective path"
-                )
-        if not 0.0 < self.compression_ratio <= 1.0:
-            raise ValueError("compression_ratio must be in (0, 1]")
-        if self.checkpoint_every < 1:
-            raise ValueError("checkpoint_every must be >= 1")
-        if self.plan_cache_size < 1:
-            raise ValueError("plan_cache_size must be >= 1")
-        if self.serve_max_batch < 1:
-            raise ValueError("serve_max_batch must be >= 1")
-        if self.serve_max_delay_ms < 0:
-            raise ValueError("serve_max_delay_ms must be >= 0")
-        from repro.core.backend import BACKENDS
-
-        if self.backend not in BACKENDS:
-            raise ValueError(
-                f"unknown backend {self.backend!r}; expected one of "
-                f"{sorted(BACKENDS)}"
-            )
-        if self.transport is not None:
-            from repro.core.backend import MultiprocBackend
-
-            if self.backend != "multiproc":
-                raise ValueError(
-                    "transport selection requires backend='multiproc' "
-                    "(the inproc engine has no message plane)"
-                )
-            if self.transport not in MultiprocBackend.TRANSPORTS:
-                raise ValueError(
-                    f"unknown transport {self.transport!r}; expected "
-                    f"one of {MultiprocBackend.TRANSPORTS}"
-                )
-        if self.fault_plan is not None and not self.elastic:
-            raise ValueError(
-                "fault_plan requires elastic=True: a plain runner cannot "
-                "recover from injected failures"
-            )
 
 
 def resolve_cluster(resource_info: Union[ClusterSpec, dict, str],
@@ -324,40 +160,6 @@ def measure_alpha(model: BuiltModel, num_batches: int,
     return result
 
 
-def _make_plan(graph, config: ParallaxConfig,
-               sparse_as_dense: Dict[str, bool]) -> GraphSyncPlan:
-    if config.architecture == "hybrid":
-        return hybrid_graph_plan(
-            graph,
-            local_aggregation=config.local_aggregation,
-            smart_placement=config.smart_placement,
-            average_dense=config.average_dense,
-            average_sparse=config.average_sparse,
-            sparse_as_dense=sparse_as_dense,
-            fusion=config.fusion,
-            fusion_buffer_mb=config.fusion_buffer_mb,
-            compression=config.compression,
-            compression_ratio=config.compression_ratio,
-        )
-    if config.architecture == "ps":
-        return ps_graph_plan(graph, local_aggregation=False,
-                             smart_placement=False,
-                             average_dense=config.average_dense,
-                             average_sparse=config.average_sparse)
-    if config.architecture == "opt_ps":
-        return ps_graph_plan(graph, local_aggregation=True,
-                             smart_placement=True,
-                             average_dense=config.average_dense,
-                             average_sparse=config.average_sparse,
-                             name="opt_ps")
-    return ar_graph_plan(graph, average_dense=config.average_dense,
-                         average_sparse=config.average_sparse,
-                         fusion=config.fusion,
-                         fusion_buffer_mb=config.fusion_buffer_mb,
-                         compression=config.compression,
-                         compression_ratio=config.compression_ratio)
-
-
 def _partition_bounds(model: BuiltModel, config: ParallaxConfig) -> int:
     """Largest partition count any partitioner-scoped variable allows."""
     pvars = model.graph.get_collection("partitioned_variables")
@@ -367,26 +169,17 @@ def _partition_bounds(model: BuiltModel, config: ParallaxConfig) -> int:
     return max(1, min(config.max_partitions, max_rows))
 
 
-def get_runner(
+def _build_distributed(
     model_builder: Callable[[], BuiltModel],
     resource_info: Union[ClusterSpec, dict, str],
-    config: Optional[ParallaxConfig] = None,
+    config: Optional[ParallaxConfig],
 ) -> DistributedRunner:
-    """Automatically parallelize a single-GPU model (Figure 3, line 19).
+    """The full build pipeline behind :func:`auto_parallelize`.
 
-    Args:
-        model_builder: zero-argument callable building the single-GPU
-            graph -- including ``gradients`` and ``opt.update`` -- and
-            returning a :class:`BuiltModel`.  Variables created inside a
-            ``parallax.partitioner()`` scope within the builder are
-            partitioned with the searched count.
-        resource_info: cluster description (ClusterSpec, dict, or a JSON
-            resource file path).
-        config: optional :class:`ParallaxConfig`.
-
-    Returns:
-        A :class:`DistributedRunner`; its ``partition_search`` attribute
-        records the Equation-1 search when one ran.
+    Probes the single-GPU graph, measures alpha for the sparse-as-dense
+    refinement, runs the Equation-1 partition search, transforms the
+    winning graph under the config's architecture, and wires the chosen
+    backend -- returning a ready (possibly elastic) runner.
     """
     cluster = resolve_cluster(resource_info)
     cfg = config if config is not None else ParallaxConfig()
@@ -405,6 +198,7 @@ def get_runner(
     probe = build(initial)
 
     # Sparse-as-dense refinement from measured alpha (section 3.1).
+    alphas: Dict[str, float] = {}
     sparse_as_dense: Dict[str, bool] = {}
     if (cfg.alpha_measure_batches > 0
             and cfg.sparse_as_dense_threshold <= 1.0
@@ -437,6 +231,8 @@ def get_runner(
             if _parent_name(graph, name) in parent_overrides
         }
 
+    plan_builder = graph_plan_builder(cfg, overrides_for)
+
     search_result: Optional[SearchResult] = None
     best_partitions = initial
     max_partitions = _partition_bounds(probe, cfg)
@@ -445,7 +241,7 @@ def get_runner(
 
         def measure(num_partitions: int) -> float:
             model = build(num_partitions)
-            plan = _make_plan(model.graph, cfg, overrides_for(model.graph))
+            plan = plan_builder(model.graph)
             # The runner compiles its step fetches once (in __init__), so
             # every sampled iteration -- warmup included -- replays the
             # same CompiledPlan; the measurement sees steady-state
@@ -462,24 +258,22 @@ def get_runner(
 
     final_model = (probe if best_partitions == initial
                    else build(best_partitions))
-    plan = _make_plan(final_model.graph, cfg,
-                      overrides_for(final_model.graph))
-    backend = cfg.backend
-    if cfg.transport is not None:
+    plan = plan_builder(final_model.graph)
+    backend = cfg.comm.backend
+    if cfg.comm.transport is not None:
         from repro.core.backend import MultiprocBackend
 
         # A configured instance; make_backend passes it through and
         # elastic rescales clone it with .fresh(), so the transport
         # choice survives every migration.
-        backend = MultiprocBackend(transport=cfg.transport)
-    if cfg.elastic:
+        backend = MultiprocBackend(transport=cfg.comm.transport)
+    if cfg.elastic.enabled:
         runner: DistributedRunner = ElasticRunner(
             final_model, cluster, plan,
             model_builder=model_builder,
-            plan_builder=lambda graph: _make_plan(graph, cfg,
-                                                  overrides_for(graph)),
-            checkpoint_every=cfg.checkpoint_every,
-            fault_plan=cfg.fault_plan,
+            plan_builder=plan_builder,
+            checkpoint_every=cfg.elastic.checkpoint_every,
+            fault_plan=cfg.elastic.fault_plan,
             seed=cfg.seed,
             backend=backend,
             plan_cache_size=cfg.plan_cache_size,
@@ -493,9 +287,138 @@ def get_runner(
             verify_plans=True if cfg.verify_plans else None)
     runner.partition_search = search_result
     runner.config = cfg
+    runner.measured_alphas = alphas
+    runner.plan_overrides_for = overrides_for
+    runner.emulate_nic_bw = cfg.elastic.emulate_nic_bw
     if cfg.save_path:
         runner.default_save_path = cfg.save_path
     return runner
+
+
+class Runner:
+    """User-facing handle over an automatically parallelized model.
+
+    Returned by :func:`auto_parallelize`.  Training state, checkpoints,
+    and the Transcript live in :attr:`distributed` (the underlying
+    :class:`~repro.core.runner.DistributedRunner` or
+    :class:`~repro.core.elastic.ElasticRunner`); unknown attributes
+    (``save``, ``restore``, ``close``, ``transcript``, ...) delegate to
+    it.  The handle adds routing: :meth:`fit` and :meth:`step` drive
+    training through the autopilot controller when the config enables
+    one, through the fault-recovering elastic loop when the runner is
+    elastic, and plainly otherwise; :meth:`serve` stands up an inference
+    server over the live weights.
+    """
+
+    def __init__(self, distributed: DistributedRunner):
+        self.distributed = distributed
+        self._controller = None
+
+    @property
+    def config(self) -> ParallaxConfig:
+        """The resolved config the runner was built under."""
+        return self.distributed.config
+
+    @property
+    def elastic(self) -> bool:
+        """Whether the underlying runner supports rescale/recovery."""
+        return isinstance(self.distributed, ElasticRunner)
+
+    def autopilot(self):
+        """The runner's :class:`~repro.autopilot.AutopilotController`.
+
+        Created lazily on first use (requires an elastic runner); the
+        same controller instance is returned thereafter, so its decision
+        log spans the whole run.
+        """
+        if self._controller is None:
+            from repro.autopilot import AutopilotController
+
+            self._controller = AutopilotController(self.distributed)
+        return self._controller
+
+    def step(self, iteration: int) -> IterationResult:
+        """One synchronous training step.
+
+        Routes through the autopilot controller (which meters the step
+        and may live-migrate the plan at window boundaries) when the
+        config enables it.
+        """
+        if self.config.autopilot.enabled:
+            return self.autopilot().step(iteration)
+        return self.distributed.step(iteration)
+
+    def fit(self, num_iterations: int, start_iteration: int = 0,
+            shrink_on_failure: bool = False) -> List[IterationResult]:
+        """Train for *num_iterations*, with whatever loop the config asks.
+
+        Autopilot-enabled configs get the metered adaptive loop, elastic
+        runners the fault-recovering ``run_elastic`` loop, and plain
+        runners a straight step loop (*shrink_on_failure* applies to the
+        first two).
+        """
+        if self.config.autopilot.enabled:
+            return self.autopilot().run(
+                num_iterations, start_iteration,
+                shrink_on_failure=shrink_on_failure)
+        if self.elastic:
+            return self.distributed.run_elastic(
+                num_iterations, start_iteration,
+                shrink_on_failure=shrink_on_failure)
+        return self.distributed.run(num_iterations, start_iteration)
+
+    def serve(self, **kwargs):
+        """An :class:`~repro.serve.server.InferenceServer` over the live
+        weights (``make_server`` with this runner's model and config)."""
+        return make_server(self.distributed.model, self.config,
+                           runner=self.distributed, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self.distributed, name)
+
+
+def auto_parallelize(
+    model_builder: Callable[[], BuiltModel],
+    resource_info: Union[ClusterSpec, dict, str],
+    config: Optional[ParallaxConfig] = None,
+) -> Runner:
+    """Automatically parallelize a single-GPU model (Figure 3, line 19).
+
+    The one-call public entry point: builds the model, measures alpha,
+    runs the Equation-1 partition search, transforms the graph under
+    ``config.architecture``, and returns a :class:`Runner` handle whose
+    ``fit``/``step``/``serve``/``autopilot`` methods drive the result.
+
+    Args:
+        model_builder: zero-argument callable building the single-GPU
+            graph -- including ``gradients`` and ``opt.update`` -- and
+            returning a :class:`BuiltModel`.  Variables created inside a
+            ``parallax.partitioner()`` scope within the builder are
+            partitioned with the searched count.
+        resource_info: cluster description (ClusterSpec, dict, or a JSON
+            resource file path).
+        config: optional :class:`ParallaxConfig`.
+
+    Returns:
+        A :class:`Runner`; its ``partition_search`` attribute records
+        the Equation-1 search when one ran.
+    """
+    return Runner(_build_distributed(model_builder, resource_info, config))
+
+
+def get_runner(
+    model_builder: Callable[[], BuiltModel],
+    resource_info: Union[ClusterSpec, dict, str],
+    config: Optional[ParallaxConfig] = None,
+) -> DistributedRunner:
+    """The pre-facade entry point: the bare distributed runner.
+
+    Equivalent to ``auto_parallelize(...).distributed`` -- same build
+    pipeline, without the :class:`Runner` handle.  Kept for existing
+    callers; new code should prefer :func:`auto_parallelize`.
+    """
+    return auto_parallelize(model_builder, resource_info,
+                            config).distributed
 
 
 def make_server(model, config: Optional[ParallaxConfig] = None, *,
@@ -525,8 +448,8 @@ def make_server(model, config: Optional[ParallaxConfig] = None, *,
     return InferenceServer(
         model, weights,
         fetches=fetches,
-        max_batch=cfg.serve_max_batch,
-        max_delay_ms=cfg.serve_max_delay_ms,
+        max_batch=cfg.serve.max_batch,
+        max_delay_ms=cfg.serve.max_delay_ms,
         router=router,
         plan_cache_size=cfg.plan_cache_size,
     )

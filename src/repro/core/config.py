@@ -1,0 +1,535 @@
+"""Grouped configuration for the public Parallax API.
+
+``ParallaxConfig`` began as a flat bag of ~20 knobs accreted across the
+engine, fusion, elastic, transport, and serving PRs.  This module
+regroups it into sub-configs that mirror the planes of the system:
+
+* :class:`CommConfig` -- the synchronization plane (fusion, gradient
+  compression, execution backend, message transport).
+* :class:`ElasticConfig` -- the elastic runtime (checkpoint cadence,
+  fault schedule, functional NIC-degradation emulation).
+* :class:`ServeConfig` -- the serving plane (batch coalescing).
+* :class:`AutopilotConfig` -- the online replanning controller
+  (telemetry window, hysteresis, cooldown/backoff).
+
+The legacy flat constructor kwargs (``ParallaxConfig(fusion=False)``,
+``ParallaxConfig(elastic=True)`` and friends) keep working through
+deprecation shims: each one emits a ``DeprecationWarning`` whose message
+starts with ``ParallaxConfig`` (the test suite escalates exactly those
+to errors outside the explicit shim tests) and forwards to the grouped
+field, so a legacy construction builds a config equal to its grouped
+spelling.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cluster.faults import FaultPlan
+
+__all__ = [
+    "CommConfig",
+    "ElasticConfig",
+    "ServeConfig",
+    "AutopilotConfig",
+    "ParallaxConfig",
+    "graph_plan_builder",
+]
+
+
+@dataclass
+class CommConfig:
+    """Synchronization-plane knobs: fusion, compression, backend, transport.
+
+    Attributes:
+        fusion: pack dense AllReduce gradients into size-capped buckets
+            (Horovod-style tensor fusion); bit-identical to unfused
+            training.
+        fusion_buffer_mb: fusion bucket size cap in megabytes (measured
+            in on-wire bytes, so compression fits more gradient per
+            bucket).
+        compression: gradient compression on the collective paths --
+            None (exact), "topk", "fp16", or "topk+fp16".  PS-synchronized
+            variables are unaffected; requires a collective architecture.
+        compression_ratio: fraction of elements (rows, for sparse
+            gradients) top-k keeps.
+        backend: execution backend -- "inproc" (sequential in-process
+            engine) or "multiproc" (one OS worker process per replica).
+        transport: message plane of the multiproc backend -- "shm"
+            (default), "queue", or "tcp".  Requires ``backend="multiproc"``.
+    """
+
+    fusion: bool = True
+    fusion_buffer_mb: float = 4.0
+    compression: Optional[str] = None
+    compression_ratio: float = 0.1
+    backend: str = "inproc"
+    transport: Optional[str] = None
+
+    def __post_init__(self):
+        if self.fusion_buffer_mb <= 0:
+            raise ValueError("fusion_buffer_mb must be > 0")
+        if self.compression is not None:
+            from repro.comm.compression import parse_spec
+
+            parse_spec(self.compression)  # raises on unknown specs
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError("compression_ratio must be in (0, 1]")
+        from repro.core.backend import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{sorted(BACKENDS)}"
+            )
+        if self.transport is not None:
+            from repro.core.backend import MultiprocBackend
+
+            if self.backend != "multiproc":
+                raise ValueError(
+                    "transport selection requires backend='multiproc' "
+                    "(the inproc engine has no message plane)"
+                )
+            if self.transport not in MultiprocBackend.TRANSPORTS:
+                raise ValueError(
+                    f"unknown transport {self.transport!r}; expected "
+                    f"one of {MultiprocBackend.TRANSPORTS}"
+                )
+
+
+@dataclass
+class ElasticConfig:
+    """Elastic-runtime knobs: checkpointing, fault schedule, emulation.
+
+    Attributes:
+        enabled: return an :class:`~repro.core.elastic.ElasticRunner`
+            (supports ``rescale`` and fault-injected recovery) instead of
+            a plain DistributedRunner.
+        checkpoint_every: in-memory recovery snapshots per this many
+            completed iterations.
+        fault_plan: optional deterministic failure schedule injected into
+            every ``step``.
+        emulate_nic_bw: when set (bytes/second), the functional plane
+            *pays* for scheduled :class:`~repro.cluster.faults.NicDegradation`
+            windows instead of merely noting them: each step inside a
+            degradation window sleeps for the extra wire time
+            ``bytes * (1/factor - 1) / emulate_nic_bw`` its network
+            transfers would take on the degraded link.  The autopilot's
+            planner prices candidates with the identical formula, so
+            predicted and measured step times agree.  None (default)
+            disables the emulation.
+
+    Truthiness follows ``enabled`` so legacy ``if config.elastic:``
+    checks keep their meaning against the grouped field.
+    """
+
+    enabled: bool = False
+    checkpoint_every: int = 1
+    fault_plan: Optional[FaultPlan] = None
+    emulate_nic_bw: Optional[float] = None
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def __post_init__(self):
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.fault_plan is not None and not self.enabled:
+            raise ValueError(
+                "fault_plan requires elastic=True: a plain runner cannot "
+                "recover from injected failures"
+            )
+        if self.emulate_nic_bw is not None and self.emulate_nic_bw <= 0:
+            raise ValueError("emulate_nic_bw must be > 0 bytes/second")
+
+
+@dataclass
+class ServeConfig:
+    """Serving-plane knobs handed to the request batcher.
+
+    Attributes:
+        max_batch: most requests one batch coalesces; a full batch
+            launches immediately.
+        max_delay_ms: longest a waiting request is held open for
+            batch-mates before its (possibly partial) batch launches.
+    """
+
+    max_batch: int = 8
+    max_delay_ms: float = 2.0
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("serve_max_batch must be >= 1")
+        if self.max_delay_ms < 0:
+            raise ValueError("serve_max_delay_ms must be >= 0")
+
+
+@dataclass
+class AutopilotConfig:
+    """Online-replanning controller knobs (see :mod:`repro.autopilot`).
+
+    Attributes:
+        enabled: attach an :class:`~repro.autopilot.AutopilotController`
+            to the runner (requires an elastic runner).
+        window_steps: telemetry window length in steps; the controller
+            refits and reconsiders the plan once per closed window.
+        hysteresis: a candidate must beat the incumbent's predicted
+            step time by this fraction before a migration is proposed.
+        cooldown_windows: windows to hold after a migration before the
+            next one may be proposed; a switch back to the plan just
+            replaced is refused for twice this many windows (the
+            no-flapping contract).
+        backoff_factor: cooldown multiplier applied after a failed or
+            non-improving migration.
+        max_backoff_windows: cap on the grown cooldown.
+        plan_families: candidate architectures the planner enumerates.
+        fusion_buffers_mb: candidate fusion bucket caps.
+        codecs: candidate compression specs (None = exact) tried on
+            collective architectures.
+        compression_ratio: top-k keep fraction used by candidate codecs.
+        consider_rescale: also enumerate smaller replica counts that
+            drop degraded machines from the fleet.
+        min_machines: floor for replica-count candidates.
+    """
+
+    enabled: bool = False
+    window_steps: int = 8
+    hysteresis: float = 0.10
+    cooldown_windows: int = 2
+    backoff_factor: float = 2.0
+    max_backoff_windows: int = 16
+    plan_families: Tuple[str, ...] = ("hybrid", "ar")
+    fusion_buffers_mb: Tuple[float, ...] = (1.0, 4.0, 16.0)
+    codecs: Tuple[Optional[str], ...] = (None, "fp16", "topk", "topk+fp16")
+    compression_ratio: float = 0.1
+    consider_rescale: bool = True
+    min_machines: int = 1
+
+    def __post_init__(self):
+        if self.window_steps < 1:
+            raise ValueError("window_steps must be >= 1")
+        if self.hysteresis < 0:
+            raise ValueError("hysteresis must be >= 0")
+        if self.cooldown_windows < 0:
+            raise ValueError("cooldown_windows must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_backoff_windows < self.cooldown_windows:
+            raise ValueError(
+                "max_backoff_windows must be >= cooldown_windows"
+            )
+        for family in self.plan_families:
+            if family not in ("hybrid", "ps", "opt_ps", "ar"):
+                raise ValueError(f"unknown plan family {family!r}")
+        if not self.plan_families:
+            raise ValueError("plan_families must name at least one family")
+        if any(mb <= 0 for mb in self.fusion_buffers_mb):
+            raise ValueError("fusion_buffers_mb entries must be > 0")
+        for codec in self.codecs:
+            if codec is not None:
+                from repro.comm.compression import parse_spec
+
+                parse_spec(codec)
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError("compression_ratio must be in (0, 1]")
+        if self.min_machines < 1:
+            raise ValueError("min_machines must be >= 1")
+
+
+# Legacy flat kwarg -> (grouped field, sub-config attribute).
+_LEGACY_KWARGS: Dict[str, Tuple[str, str]] = {
+    "fusion": ("comm", "fusion"),
+    "fusion_buffer_mb": ("comm", "fusion_buffer_mb"),
+    "compression": ("comm", "compression"),
+    "compression_ratio": ("comm", "compression_ratio"),
+    "backend": ("comm", "backend"),
+    "transport": ("comm", "transport"),
+    "elastic": ("elastic", "enabled"),
+    "checkpoint_every": ("elastic", "checkpoint_every"),
+    "fault_plan": ("elastic", "fault_plan"),
+    "serve_max_batch": ("serve", "max_batch"),
+    "serve_max_delay_ms": ("serve", "max_delay_ms"),
+}
+
+_GROUP_TYPES = {
+    "comm": CommConfig,
+    "elastic": ElasticConfig,
+    "serve": ServeConfig,
+    "autopilot": AutopilotConfig,
+}
+
+
+@dataclass(init=False)
+class ParallaxConfig:
+    """Optional knobs of ``get_runner`` (paper section 4.1), grouped.
+
+    Search/placement knobs stay top-level; everything plane-specific
+    lives in a sub-config:
+
+    * ``comm`` -- :class:`CommConfig` (fusion, compression, backend,
+      transport).
+    * ``elastic`` -- :class:`ElasticConfig` (checkpointing, fault
+      schedule, NIC-degradation emulation).  Truthy iff enabled.
+    * ``serve`` -- :class:`ServeConfig` (request batching).
+    * ``autopilot`` -- :class:`AutopilotConfig` (online replanning).
+
+    Top-level attributes:
+        architecture: "hybrid" (Parallax), "ps", "opt_ps", or "ar" --
+            mostly for ablations; the paper's Parallax is "hybrid".
+        local_aggregation: aggregate gradients per machine before pushing.
+        smart_placement: colocate aggregation/update ops with their
+            variable's server.
+        average_dense / average_sparse: aggregation method per variable
+            type (mean when True, sum when False).
+        search_partitions: run the Equation-1 partition search.
+        sample_iterations / sample_warmup: iterations measured (after
+            discarding warmup) per sampled partition count.
+        max_partitions: upper bound for the search.
+        sparse_as_dense_threshold: sparse variables whose *measured*
+            alpha reaches this are synchronized as dense via AllReduce
+            (section 3.1's near-1 refinement).  Set > 1 to disable.
+        alpha_measure_batches: batches used to measure per-variable alpha
+            (0 disables measurement and the threshold rule).
+        plan_cache_size: LRU cap on compiled plans per session.
+        verify_plans: run the static plan verifier on the transformed
+            graph and refuse to train on a plan with a finding.
+        save_path: if set, ``runner.save()`` writes variables here by
+            default.
+        seed: variable-initialization seed.
+
+    The pre-grouping flat kwargs (``fusion=``, ``compression=``,
+    ``backend=``, ``elastic=True``, ``checkpoint_every=``,
+    ``serve_max_batch=``, ...) are accepted with a ``DeprecationWarning``
+    and forwarded to the grouped fields; matching read properties
+    (``config.fusion`` etc.) warn and forward likewise.
+    """
+
+    architecture: str = "hybrid"
+    local_aggregation: bool = True
+    smart_placement: bool = True
+    average_dense: bool = True
+    average_sparse: bool = True
+    search_partitions: bool = True
+    sample_iterations: int = 2
+    sample_warmup: int = 1
+    max_partitions: int = 512
+    sparse_as_dense_threshold: float = 0.95
+    alpha_measure_batches: int = 2
+    plan_cache_size: int = 32
+    verify_plans: bool = False
+    save_path: Optional[str] = None
+    seed: int = 0
+    comm: CommConfig = field(default_factory=CommConfig)
+    elastic: ElasticConfig = field(default_factory=ElasticConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    autopilot: AutopilotConfig = field(default_factory=AutopilotConfig)
+
+    def __init__(
+        self,
+        architecture: str = "hybrid",
+        local_aggregation: bool = True,
+        smart_placement: bool = True,
+        average_dense: bool = True,
+        average_sparse: bool = True,
+        search_partitions: bool = True,
+        sample_iterations: int = 2,
+        sample_warmup: int = 1,
+        max_partitions: int = 512,
+        sparse_as_dense_threshold: float = 0.95,
+        alpha_measure_batches: int = 2,
+        plan_cache_size: int = 32,
+        verify_plans: bool = False,
+        save_path: Optional[str] = None,
+        seed: int = 0,
+        comm: Optional[CommConfig] = None,
+        elastic: Optional[ElasticConfig] = None,
+        serve: Optional[ServeConfig] = None,
+        autopilot: Optional[AutopilotConfig] = None,
+        **legacy,
+    ):
+        self.architecture = architecture
+        self.local_aggregation = local_aggregation
+        self.smart_placement = smart_placement
+        self.average_dense = average_dense
+        self.average_sparse = average_sparse
+        self.search_partitions = search_partitions
+        self.sample_iterations = sample_iterations
+        self.sample_warmup = sample_warmup
+        self.max_partitions = max_partitions
+        self.sparse_as_dense_threshold = sparse_as_dense_threshold
+        self.alpha_measure_batches = alpha_measure_batches
+        self.plan_cache_size = plan_cache_size
+        self.verify_plans = verify_plans
+        self.save_path = save_path
+        self.seed = seed
+
+        # ``elastic`` carried a bool before the grouping; route it
+        # through the shim path so both spellings stay valid.
+        if isinstance(elastic, bool):
+            legacy["elastic"] = elastic
+            elastic = None
+
+        shimmed: Dict[str, Dict[str, object]] = {
+            "comm": {}, "elastic": {}, "serve": {},
+        }
+        for key, value in legacy.items():
+            try:
+                group, name = _LEGACY_KWARGS[key]
+            except KeyError:
+                raise TypeError(
+                    "ParallaxConfig() got an unexpected keyword argument "
+                    f"{key!r}"
+                ) from None
+            warnings.warn(
+                f"ParallaxConfig({key}=...) is deprecated; use "
+                f"{group}={_GROUP_TYPES[group].__name__}({name}=...)",
+                DeprecationWarning, stacklevel=2,
+            )
+            shimmed[group][name] = value
+
+        provided = {"comm": comm, "elastic": elastic, "serve": serve}
+        for group, flat in shimmed.items():
+            if flat and provided[group] is not None:
+                raise TypeError(
+                    f"pass either the grouped {group}= config or the "
+                    f"legacy flat kwargs {sorted(flat)}, not both"
+                )
+        for group, value in provided.items():
+            if value is not None and not isinstance(value,
+                                                    _GROUP_TYPES[group]):
+                raise TypeError(
+                    f"{group}= expects {_GROUP_TYPES[group].__name__}, "
+                    f"got {value!r}"
+                )
+        if autopilot is not None and not isinstance(autopilot,
+                                                    AutopilotConfig):
+            raise TypeError(
+                f"autopilot= expects AutopilotConfig, got {autopilot!r}"
+            )
+
+        # ``is not None`` rather than truthiness: a disabled
+        # ElasticConfig is falsy but still an explicit grouped value.
+        self.comm = (comm if comm is not None
+                     else CommConfig(**shimmed["comm"]))
+        self.elastic = (elastic if elastic is not None
+                        else ElasticConfig(**shimmed["elastic"]))
+        self.serve = (serve if serve is not None
+                      else ServeConfig(**shimmed["serve"]))
+        self.autopilot = (autopilot if autopilot is not None
+                          else AutopilotConfig())
+        self.__post_init__()
+
+    def __post_init__(self):
+        if self.architecture not in ("hybrid", "ps", "opt_ps", "ar"):
+            raise ValueError(
+                f"unknown architecture {self.architecture!r}; expected "
+                "hybrid, ps, opt_ps, or ar"
+            )
+        if self.sample_iterations < 1:
+            raise ValueError("sample_iterations must be >= 1")
+        if self.sample_warmup < 0:
+            raise ValueError("sample_warmup must be >= 0")
+        if self.max_partitions < 1:
+            raise ValueError("max_partitions must be >= 1")
+        if self.alpha_measure_batches < 0:
+            raise ValueError("alpha_measure_batches must be >= 0")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
+        # Cross-group checks: each sub-config validates itself on
+        # construction, but these couple a sub-config to a top-level
+        # field or to another group.
+        if (self.comm.compression is not None
+                and self.architecture in ("ps", "opt_ps")):
+            raise ValueError(
+                "compression applies to collective synchronization; "
+                f"the {self.architecture!r} architecture has no "
+                "collective path"
+            )
+        if self.autopilot.enabled and not self.elastic.enabled:
+            raise ValueError(
+                "autopilot requires an elastic runner: set "
+                "elastic=ElasticConfig(enabled=True)"
+            )
+
+
+def _deprecated_read_alias(flat: str, group: str, name: str) -> property:
+    def getter(self):
+        warnings.warn(
+            f"ParallaxConfig.{flat} is deprecated; read "
+            f"config.{group}.{name}",
+            DeprecationWarning, stacklevel=2,
+        )
+        return getattr(getattr(self, group), name)
+
+    getter.__name__ = flat
+    getter.__doc__ = f"Deprecated alias for ``{group}.{name}``."
+    return property(getter)
+
+
+for _flat, (_group, _name) in _LEGACY_KWARGS.items():
+    if _flat == "elastic":
+        # The grouped field keeps the name; ElasticConfig.__bool__
+        # preserves legacy truthiness checks.
+        continue
+    setattr(ParallaxConfig, _flat,
+            _deprecated_read_alias(_flat, _group, _name))
+del _flat, _group, _name
+
+
+def graph_plan_builder(
+    config: ParallaxConfig,
+    overrides_for: Optional[Callable[[object], Dict[str, bool]]] = None,
+) -> Callable:
+    """Return a ``graph -> GraphSyncPlan`` builder for *config*.
+
+    The builder applies the config's architecture and communication
+    knobs to any graph with gradient info; *overrides_for* maps a graph
+    to its measured sparse-as-dense decisions (re-keyed onto that
+    graph's own shard names).  ``get_runner`` hands the returned builder
+    to :class:`~repro.core.elastic.ElasticRunner` so rescales rebuild
+    congruent plans, and the autopilot builds per-candidate variants of
+    it to migrate between plan families at a fixed partition count.
+    """
+    from repro.core.transform.plan import (
+        ar_graph_plan,
+        hybrid_graph_plan,
+        ps_graph_plan,
+    )
+
+    def build(graph):
+        comm = config.comm
+        if config.architecture == "hybrid":
+            overrides = overrides_for(graph) if overrides_for else {}
+            return hybrid_graph_plan(
+                graph,
+                local_aggregation=config.local_aggregation,
+                smart_placement=config.smart_placement,
+                average_dense=config.average_dense,
+                average_sparse=config.average_sparse,
+                sparse_as_dense=overrides,
+                fusion=comm.fusion,
+                fusion_buffer_mb=comm.fusion_buffer_mb,
+                compression=comm.compression,
+                compression_ratio=comm.compression_ratio,
+            )
+        if config.architecture == "ps":
+            return ps_graph_plan(graph, local_aggregation=False,
+                                 smart_placement=False,
+                                 average_dense=config.average_dense,
+                                 average_sparse=config.average_sparse)
+        if config.architecture == "opt_ps":
+            return ps_graph_plan(graph, local_aggregation=True,
+                                 smart_placement=True,
+                                 average_dense=config.average_dense,
+                                 average_sparse=config.average_sparse,
+                                 name="opt_ps")
+        return ar_graph_plan(graph, average_dense=config.average_dense,
+                             average_sparse=config.average_sparse,
+                             fusion=comm.fusion,
+                             fusion_buffer_mb=comm.fusion_buffer_mb,
+                             compression=comm.compression,
+                             compression_ratio=comm.compression_ratio)
+
+    return build

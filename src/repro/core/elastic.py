@@ -323,6 +323,7 @@ class ElasticRunner(DistributedRunner):
         new_cluster: ClusterSpec,
         num_partitions: Optional[int] = None,
         state: Optional[Dict[str, np.ndarray]] = None,
+        plan_builder: Optional[Callable] = None,
     ) -> "ElasticRunner":
         """Migrate training onto *new_cluster* without losing state.
 
@@ -334,11 +335,24 @@ class ElasticRunner(DistributedRunner):
         snapshot left off: the next ``step`` on M replicas is
         bit-identical to a fresh M-replica runner restored from the same
         checkpoint.
+
+        Passing *plan_builder* migrates onto a *different* plan (the
+        autopilot's plan-family / fusion / compression switches): the
+        new builder produces the plan for this rescale -- also when the
+        partition count is unchanged -- and replaces ``self.plan_builder``
+        once the migration commits, so later rescales stay on the new
+        plan family.  A rolled-back migration keeps the old builder.
         """
         start = time.perf_counter()
         if state is None:
             state = self._snapshot()
+        builder = plan_builder if plan_builder is not None \
+            else self.plan_builder
         model, plan = self.model, self.plan
+        if plan_builder is not None:
+            # Build before touching any runner state: a builder that
+            # raises leaves the runner untouched.
+            plan = plan_builder(model.graph)
         if (num_partitions is not None
                 and num_partitions != self.num_partitions):
             if self.model_builder is None:
@@ -362,7 +376,7 @@ class ElasticRunner(DistributedRunner):
                 state, old_layout, partition_layout(model.graph),
                 replicated=replicated_slot_suffixes(self.model.graph,
                                                     old_layout))
-            plan = self.plan_builder(model.graph)
+            plan = builder(model.graph)
 
         old_replicas = self.num_replicas
         compiled_before = CompiledPlan.compiled_total
@@ -411,8 +425,10 @@ class ElasticRunner(DistributedRunner):
                 setattr(self, name, value)
             raise
         # The migration committed: release the pre-rescale backend's
-        # workers (a no-op for inproc).
+        # workers (a no-op for inproc) and adopt the new plan builder.
         old_guts["backend"].shutdown()
+        if plan_builder is not None:
+            self.plan_builder = plan_builder
         self.num_rescales += 1
         # The migrated state is the new recovery point: the old
         # checkpoint's names may no longer exist after a re-shard.

@@ -21,7 +21,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.cluster.faults import FaultPlan, WorkerFailureError
+from repro.cluster.faults import (
+    FaultPlan,
+    WorkerFailureError,
+    emulated_degradation_delay,
+)
 from repro.cluster.spec import ClusterSpec
 from repro.comm.transcript import Transcript
 from repro.core.backend import make_backend
@@ -330,13 +334,41 @@ class DistributedRunner:
         """
         self._inject_faults(iteration)
         start = time.perf_counter()
+        cursor = self.transcript.cursor()
         losses = self.backend.run_step(iteration)
+        delay = self._emulated_degradation_delay(iteration, cursor)
+        if delay > 0.0:
+            time.sleep(delay)
         return IterationResult(
             iteration=iteration,
             mean_loss=float(np.mean(losses)),
             replica_losses=losses,
             wall_time=time.perf_counter() - start,
         )
+
+    def _emulated_degradation_delay(self, iteration: int, cursor) -> float:
+        """Wall-clock price of this step's scheduled NIC degradation.
+
+        Off unless ``emulate_nic_bw`` is set (the default): scheduled
+        degradations are then only *noted*, never paid for.  When on,
+        the step's network transfers (the transcript delta since
+        *cursor*) are charged the extra wire time a ``factor``-degraded
+        NIC would add -- the exact formula the autopilot's planner
+        prices candidates with, so its predictions match what this
+        sleep costs.  Degradations on machines outside the current
+        fleet don't count: rescaling away a degraded machine escapes
+        its window.
+        """
+        if self.fault_plan is None or self.emulate_nic_bw is None:
+            return 0.0
+        factor = self.fault_plan.cluster_nic_factor(
+            iteration, self.cluster.num_machines)
+        if factor >= 1.0:
+            return 0.0
+        transfers, _ = self.transcript.since(cursor)
+        network_bytes = sum(t.nbytes for t in transfers if t.is_network)
+        return emulated_degradation_delay(network_bytes, factor,
+                                          self.emulate_nic_bw)
 
     def _inject_faults(self, iteration: int) -> None:
         """Fire this iteration's scheduled faults (each at most once)."""
@@ -374,6 +406,9 @@ class DistributedRunner:
     partition_search = None
     config = None
     default_save_path: Optional[str] = None
+    # Bytes/second for functional NIC-degradation emulation (None = off);
+    # an instance attribute survives elastic re-init like _faults_fired.
+    emulate_nic_bw: Optional[float] = None
 
     # -- checkpointing ------------------------------------------------------
     def logical_state(self) -> Dict[str, np.ndarray]:

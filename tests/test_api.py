@@ -8,6 +8,8 @@ import pytest
 import repro as parallax
 from repro.cluster.spec import ClusterSpec
 from repro.core.api import (
+    CommConfig,
+    ElasticConfig,
     ParallaxConfig,
     get_runner,
     measure_alpha,
@@ -283,13 +285,14 @@ class TestConfigValidation:
 
     def test_nonpositive_fusion_buffer_rejected(self):
         with pytest.raises(ValueError, match="fusion_buffer_mb"):
-            ParallaxConfig(fusion_buffer_mb=0.0)
+            CommConfig(fusion_buffer_mb=0.0)
         with pytest.raises(ValueError, match="fusion_buffer_mb"):
-            ParallaxConfig(fusion_buffer_mb=-4.0)
+            CommConfig(fusion_buffer_mb=-4.0)
 
     def test_boundary_values_accepted(self):
         ParallaxConfig(sample_warmup=0, max_partitions=1,
-                       alpha_measure_batches=0, fusion_buffer_mb=0.5)
+                       alpha_measure_batches=0,
+                       comm=CommConfig(fusion_buffer_mb=0.5))
 
     def test_nonpositive_sample_iterations_rejected(self):
         with pytest.raises(ValueError, match="sample_iterations"):
@@ -306,14 +309,15 @@ class TestConfigValidation:
 
     def test_nonpositive_checkpoint_every_rejected(self):
         with pytest.raises(ValueError, match="checkpoint_every"):
-            ParallaxConfig(checkpoint_every=0)
+            ElasticConfig(checkpoint_every=0)
 
     def test_fault_plan_without_elastic_rejected(self):
         from repro.cluster.faults import FaultPlan
 
         with pytest.raises(ValueError, match="elastic"):
-            ParallaxConfig(fault_plan=FaultPlan.kill(0, 0))
-        ParallaxConfig(elastic=True, fault_plan=FaultPlan.kill(0, 0))
+            ElasticConfig(fault_plan=FaultPlan.kill(0, 0))
+        ParallaxConfig(elastic=ElasticConfig(enabled=True,
+                                             fault_plan=FaultPlan.kill(0, 0)))
 
 
 class TestResolveClusterValidation:
@@ -424,10 +428,11 @@ class TestElasticConfig:
         from repro.core.elastic import ElasticRunner
 
         runner = get_runner(lm_builder(), SMALL,
-                            ParallaxConfig(search_partitions=False,
-                                           alpha_measure_batches=0,
-                                           elastic=True,
-                                           checkpoint_every=2))
+                            ParallaxConfig(
+                                search_partitions=False,
+                                alpha_measure_batches=0,
+                                elastic=ElasticConfig(enabled=True,
+                                                      checkpoint_every=2)))
         assert isinstance(runner, ElasticRunner)
         assert runner.checkpoint_every == 2
         runner.step(0)
@@ -437,9 +442,10 @@ class TestElasticConfig:
 
     def test_elastic_runner_can_reshard_through_user_builder(self):
         runner = get_runner(lm_builder(), SMALL,
-                            ParallaxConfig(search_partitions=False,
-                                           alpha_measure_batches=0,
-                                           elastic=True))
+                            ParallaxConfig(
+                                search_partitions=False,
+                                alpha_measure_batches=0,
+                                elastic=ElasticConfig(enabled=True)))
         runner.step(0)
         old = runner.num_partitions
         runner.rescale(ClusterSpec(1, 2), num_partitions=old + 1)
@@ -454,7 +460,8 @@ class TestElasticConfig:
 
         runner = get_runner(
             lm_builder(), SMALL,
-            ParallaxConfig(search_partitions=False, elastic=True,
+            ParallaxConfig(search_partitions=False,
+                           elastic=ElasticConfig(enabled=True),
                            sparse_as_dense_threshold=0.0,
                            alpha_measure_batches=1))
         emb_methods = {name: m for name, m in runner.plan.methods.items()
@@ -505,7 +512,7 @@ class TestMeasureAlphaDenseAtRuntime:
 class TestBackendConfig:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
-            ParallaxConfig(backend="cloud")
+            CommConfig(backend="cloud")
 
     def test_plan_cache_size_validated(self):
         with pytest.raises(ValueError, match="plan_cache_size"):
@@ -514,12 +521,14 @@ class TestBackendConfig:
 
     def test_default_backend_is_inproc(self):
         cfg = ParallaxConfig()
-        assert cfg.backend == "inproc"
+        assert cfg.comm.backend == "inproc"
         assert cfg.plan_cache_size == 32
 
     def test_get_runner_threads_backend_through(self):
-        cfg = ParallaxConfig(backend="multiproc", search_partitions=False,
-                             alpha_measure_batches=0, fusion=False,
+        cfg = ParallaxConfig(comm=CommConfig(backend="multiproc",
+                                             fusion=False),
+                             search_partitions=False,
+                             alpha_measure_batches=0,
                              plan_cache_size=8)
         runner = get_runner(lm_builder(), {"machines": 2,
                                            "gpus_per_machine": 1}, cfg)
@@ -538,8 +547,9 @@ class TestBackendConfig:
         inproc = get_runner(lm_builder(), resources,
                             ParallaxConfig(**base))
         want = [inproc.step(i).replica_losses for i in range(2)]
-        multiproc = get_runner(lm_builder(), resources,
-                               ParallaxConfig(backend="multiproc", **base))
+        multiproc = get_runner(
+            lm_builder(), resources,
+            ParallaxConfig(comm=CommConfig(backend="multiproc"), **base))
         try:
             got = [multiproc.step(i).replica_losses for i in range(2)]
         finally:

@@ -1,0 +1,638 @@
+"""Autopilot suite: telemetry, refit hygiene, planning, and adaptation.
+
+The contracts under test:
+
+* Telemetry windows classify transfer planes correctly and are tainted
+  by any overlapping fault-plane activity, and **tainted windows never
+  reach calibration** (the NicDegradation-poisoning regression).
+* ``calibrate_gpu_time`` recovers the compute term that produced a
+  measured step time (simulator round trip).
+* The planner holds when nothing beats the incumbent, escapes a
+  degraded machine or compresses under a measured NIC degradation, and
+  never proposes a banned candidate.
+* The hysteresis governor admits no flapping schedule at all -- a
+  hypothesis property over random proposal/outcome streams.
+* A failed migration rolls back bit-exactly: the runner's logical state
+  and subsequent trajectory are identical to a twin that never tried.
+* Differential: under a scripted, *paid-for* NIC degradation the
+  autopilot's goodput is at least the static runner's -- on the inproc
+  and the multiproc backends.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autopilot import (
+    AutopilotController,
+    AutopilotConfig,
+    HysteresisGovernor,
+    PlanCandidate,
+    Planner,
+    Proposal,
+    TelemetryMonitor,
+    TelemetryWindow,
+    derive_profile,
+    plane_of,
+)
+from repro.autopilot.telemetry import ActiveDegradation
+from repro.cluster.costmodel import (
+    DEFAULT_COST_MODEL,
+    fit_from_telemetry,
+    fit_transport_constants,
+)
+from repro.cluster.faults import FaultPlan, NicDegradation
+from repro.cluster.simulator import calibrate_gpu_time, simulate_iteration
+from repro.cluster.spec import ClusterSpec
+from repro.comm.transcript import Note, Transfer
+from repro.core.api import auto_parallelize
+from repro.core.config import CommConfig, ElasticConfig, ParallaxConfig
+from repro.core.elastic import ElasticRunner
+from repro.core.runner import DistributedRunner
+from repro.core.transform.plan import hybrid_graph_plan
+from repro.graph.gradients import gradients
+from repro.nn.models import build_lm
+from repro.nn.optimizers import GradientDescentOptimizer
+
+SEED = 7
+C2x1 = ClusterSpec(num_machines=2, gpus_per_machine=1)
+C2x2 = ClusterSpec(num_machines=2, gpus_per_machine=2)
+
+
+def small_model():
+    model = build_lm(batch_size=4, vocab_size=40, seq_len=3, emb_dim=8,
+                     hidden=10, num_partitions=2, seed=0)
+    with model.graph.as_default():
+        gvs = gradients(model.loss)
+        GradientDescentOptimizer(0.4).update(gvs)
+    return model
+
+
+def make_elastic(cluster=C2x2, **kwargs):
+    model = small_model()
+    return ElasticRunner(model, cluster, hybrid_graph_plan(model.graph),
+                         seed=SEED, **kwargs)
+
+
+def note(tag, iteration, **info):
+    return Note(tag, iteration, tuple(sorted(info.items())))
+
+
+def xfer(tag, nbytes, src=0, dst=1):
+    return Transfer(tag, src, dst, nbytes)
+
+
+# ======================================================================
+# Plane classification + windowing
+# ======================================================================
+class TestPlaneClassification:
+    @pytest.mark.parametrize("tag,plane", [
+        ("allreduce/bucket0", "collective"),
+        ("allgatherv/emb_0", "collective"),
+        ("idx:emb_0", "collective"),
+        ("edge/push/w", "ps"),
+        ("transport/step", "transport"),
+        ("checkpoint/state", "other"),
+    ])
+    def test_plane_of(self, tag, plane):
+        assert plane_of(tag) == plane
+
+    def test_window_accounts_cross_machine_bytes_by_plane(self):
+        monitor = TelemetryMonitor(window_steps=1)
+        window = monitor.observe_step(0, 0.1, [
+            xfer("allreduce/b0", 100),
+            xfer("edge/pull/emb", 40),
+            xfer("allreduce/b0", 7, src=1, dst=1),  # local: free
+        ], [])
+        assert window.wire_bytes == {"collective": 100, "ps": 40}
+        assert window.network_bytes == 140
+
+
+class TestTelemetryWindowing:
+    def test_windows_close_every_window_steps(self):
+        monitor = TelemetryMonitor(window_steps=3)
+        closed = [monitor.observe_step(i, 0.5, [], []) for i in range(7)]
+        assert [w is not None for w in closed] == [
+            False, False, True, False, False, True, False]
+        first = closed[2]
+        assert (first.index, first.start_iteration, first.end_iteration) \
+            == (0, 0, 3)
+        assert first.steps == 3
+        assert first.mean_step_time == pytest.approx(0.5)
+        assert first.steps_per_sec == pytest.approx(3 / 1.5)
+
+    def test_counters_accumulate_across_steps(self):
+        monitor = TelemetryMonitor(window_steps=2)
+        monitor.observe_step(0, 0.1, [], [], counters={"pickle_bytes": 10})
+        window = monitor.observe_step(1, 0.1, [], [],
+                                      counters={"pickle_bytes": 5,
+                                                "serialize_s": 0.2})
+        assert window.counters == {"pickle_bytes": 15, "serialize_s": 0.2}
+
+    def test_nic_degraded_note_taints_and_is_learned(self):
+        monitor = TelemetryMonitor(window_steps=2)
+        events = [note("fault/nic_degraded", 0, machine=1, factor=0.25,
+                       duration=3)]
+        monitor.observe_step(0, 0.1, [], events, num_machines=2)
+        w0 = monitor.observe_step(1, 0.1, [], [], num_machines=2)
+        assert w0.tainted
+        assert "fault/nic_degraded" in w0.fault_tags
+        assert w0.nic_factor == pytest.approx(0.25)
+        # iterations 0..2 degraded, 3 onwards clean
+        monitor.observe_step(2, 0.1, [], [], num_machines=2)
+        w1 = monitor.observe_step(3, 0.1, [], [], num_machines=2)
+        assert w1.tainted  # step 2 overlapped the window
+        w2 = monitor.observe_step(5, 0.1, [], [],
+                                  num_machines=2) or \
+            monitor.observe_step(6, 0.1, [], [], num_machines=2)
+        assert not w2.tainted
+        assert monitor.clean_windows() == [w2]
+        assert monitor.last_clean_window() is w2
+
+    def test_degradation_outside_fleet_does_not_degrade(self):
+        monitor = TelemetryMonitor(window_steps=1)
+        events = [note("fault/nic_degraded", 0, machine=3, factor=0.5,
+                       duration=10)]
+        # The note itself tags the window (fault/ prefix), but a
+        # 2-machine fleet never pays machine 3's degradation.
+        monitor.observe_step(0, 0.1, [], events, num_machines=2)
+        assert monitor.nic_factor(1, num_machines=2) == 1.0
+        assert monitor.active_degradations(1, num_machines=2) == []
+        assert monitor.nic_factor(1, num_machines=4) == 0.5
+        assert monitor.remaining_degraded_steps(1, num_machines=4) == 9
+
+    def test_mark_fault_taints_current_window(self):
+        monitor = TelemetryMonitor(window_steps=2)
+        monitor.mark_fault("fault/worker_kill")
+        window = monitor.observe_step(0, 0.1, [], []) or \
+            monitor.observe_step(1, 0.1, [], [])
+        assert window.tainted
+        assert "fault/worker_kill" in window.fault_tags
+
+    def test_window_history_is_bounded(self):
+        monitor = TelemetryMonitor(window_steps=1, max_windows=4)
+        for i in range(10):
+            monitor.observe_step(i, 0.1, [], [])
+        assert len(monitor.windows) == 4
+        assert [w.start_iteration for w in monitor.windows] == [6, 7, 8, 9]
+
+
+# ======================================================================
+# Refit hygiene: tainted windows never reach calibration (the
+# NicDegradation-poisoning regression)
+# ======================================================================
+class TestTaintedWindowsExcludedFromRefit:
+    CLEAN = {"pickle_bytes": 1_000_000.0, "serialize_s": 0.01}
+    # A degraded window's wall time measures the fault, not the
+    # transport: folding it in would inflate c_serialize 1000x.
+    POISON = {"pickle_bytes": 1_000_000.0, "serialize_s": 10.0}
+
+    def window(self, index, counters, tainted):
+        return TelemetryWindow(
+            index=index, start_iteration=index * 4,
+            end_iteration=index * 4 + 4, wall_time=1.0,
+            counters=dict(counters),
+            fault_tags=("fault/nic_degraded",) if tainted else (),
+            nic_factor=0.25 if tainted else 1.0,
+        )
+
+    def test_fit_ignores_tainted_windows(self):
+        clean = self.window(0, self.CLEAN, tainted=False)
+        poisoned = self.window(1, self.POISON, tainted=True)
+        fitted = fit_from_telemetry([clean, poisoned])
+        assert fitted.c_serialize == pytest.approx(0.01 / 1_000_000.0)
+        assert fitted == fit_from_telemetry([clean])
+
+    def test_the_poison_is_real(self):
+        # Regression guard for the guard: feeding the tainted counters
+        # straight into the fitter DOES corrupt the constant, so the
+        # exclusion above is load-bearing, not vacuous.
+        poisoned = fit_transport_constants([self.CLEAN, self.POISON])
+        assert poisoned.c_serialize > 100 * (0.01 / 1_000_000.0)
+
+    def test_all_tainted_history_returns_base_unchanged(self):
+        windows = [self.window(i, self.POISON, tainted=True)
+                   for i in range(3)]
+        assert fit_from_telemetry(windows) == DEFAULT_COST_MODEL
+
+    def test_counterless_inproc_windows_are_skipped(self):
+        windows = [self.window(i, {}, tainted=False) for i in range(3)]
+        assert fit_from_telemetry(windows) == DEFAULT_COST_MODEL
+
+    def test_scripted_degradation_taints_live_windows(self):
+        """End to end: a scheduled NicDegradation's windows are tainted
+        and the controller calibrates from the clean ones only."""
+        plan = FaultPlan(degradations=(
+            NicDegradation(iteration=4, machine=1, factor=0.5,
+                           duration=4),))
+        runner = make_elastic(cluster=C2x1, fault_plan=plan,
+                              checkpoint_every=4)
+        runner.emulate_nic_bw = 1e9
+        config = AutopilotConfig(
+            enabled=True, window_steps=2, hysteresis=1e9,  # never migrate
+            consider_rescale=False, plan_families=("hybrid",),
+            fusion_buffers_mb=(4.0,), codecs=(None,))
+        controller = AutopilotController(runner, config)
+        for i in range(12):
+            controller.step(i)
+        windows = controller.monitor.windows
+        assert len(windows) == 6
+        # degradation active over iterations [4, 8)
+        tainted = [w.tainted for w in windows]
+        assert tainted == [False, False, True, True, False, False]
+        assert controller.monitor.clean_windows() == [
+            windows[0], windows[1], windows[4], windows[5]]
+        # the learned degradation matches the schedule
+        (d,) = controller.monitor._degradations
+        assert (d.machine, d.factor) == (1, 0.5)
+        assert (d.start_iteration, d.end_iteration) == (4, 8)
+        # refit notes fired each window, calibrated from clean windows
+        refits = runner.transcript.events("autopilot/refit")
+        assert len(refits) == 6
+        assert refits[2].get("clean_window") == 1  # not the tainted 2
+        assert controller._calibrated
+
+
+# ======================================================================
+# calibrate_gpu_time: the simulator round trip
+# ======================================================================
+class TestCalibrateGpuTime:
+    def setup_method(self):
+        self.profile = derive_profile(small_model(), gpu_time_per_iter=1e-3)
+        planner = Planner(AutopilotConfig(), C2x2)
+        self.plan = planner.sync_plan(
+            PlanCandidate("hybrid", num_machines=2), self.profile, 2)
+
+    def test_round_trip_recovers_compute_term(self):
+        from dataclasses import replace
+
+        truth = replace(self.profile, gpu_time_per_iter=0.007)
+        measured = simulate_iteration(
+            truth, self.plan, C2x2).iteration_time
+        calibrated = calibrate_gpu_time(
+            self.profile, self.plan, C2x2, measured)
+        assert calibrated.gpu_time_per_iter == pytest.approx(0.007,
+                                                             rel=1e-3)
+        assert simulate_iteration(
+            calibrated, self.plan, C2x2).iteration_time \
+            == pytest.approx(measured, rel=1e-3)
+
+    def test_measurement_below_comm_floor_returns_floor_profile(self):
+        calibrated = calibrate_gpu_time(
+            self.profile, self.plan, C2x2, 1e-12)
+        assert calibrated.gpu_time_per_iter <= 1e-6
+
+    def test_rejects_nonpositive_measurement(self):
+        with pytest.raises(ValueError, match="measured_iteration_time"):
+            calibrate_gpu_time(self.profile, self.plan, C2x2, 0.0)
+
+
+# ======================================================================
+# Planner: hold / escape / compress / ban
+# ======================================================================
+class TestPlanner:
+    def setup_method(self):
+        self.profile = derive_profile(small_model(), gpu_time_per_iter=5e-4)
+
+    def test_candidates_include_incumbent_and_respect_min_machines(self):
+        config = AutopilotConfig(min_machines=2)
+        planner = Planner(config, ClusterSpec(3, 1))
+        incumbent = PlanCandidate("hybrid", num_machines=3)
+        candidates = planner.candidates(incumbent)
+        labels = {c.label for c in candidates}
+        assert incumbent.label in labels
+        assert all(c.num_machines >= 2 for c in candidates)
+
+    def test_holds_when_space_is_just_the_incumbent(self):
+        config = AutopilotConfig(plan_families=("hybrid",),
+                                 fusion_buffers_mb=(4.0,), codecs=(None,),
+                                 consider_rescale=False)
+        planner = Planner(config, C2x1)
+        incumbent = PlanCandidate("hybrid", fusion_buffer_mb=4.0,
+                                  num_machines=2)
+        assert planner.propose(self.profile, incumbent,
+                               num_partitions=2) is None
+
+    def test_infinite_hysteresis_always_holds(self):
+        planner = Planner(AutopilotConfig(hysteresis=1e9), C2x1)
+        incumbent = PlanCandidate("hybrid", num_machines=2)
+        assert planner.propose(
+            self.profile, incumbent, num_partitions=2,
+            measured_network_bytes=1e6,
+            degradations=[ActiveDegradation(1, 0.25, 0, 1000)],
+            emulate_nic_bw=1e5, remaining_degraded_steps=1000) is None
+
+    def degraded_proposal(self, banned=()):
+        planner = Planner(AutopilotConfig(), C2x1)
+        incumbent = PlanCandidate("hybrid", fusion_buffer_mb=4.0,
+                                  num_machines=2)
+        return planner.propose(
+            self.profile, incumbent, num_partitions=2,
+            measured_network_bytes=2e6,
+            degradations=[ActiveDegradation(1, 0.25, 0, 1000)],
+            emulate_nic_bw=1e5, remaining_degraded_steps=1000,
+            banned=banned)
+
+    def test_escapes_or_compresses_under_degradation(self):
+        proposal = self.degraded_proposal()
+        assert proposal is not None
+        candidate = proposal.candidate
+        # The win must come from dodging the degraded NIC: drop the
+        # degraded machine or shrink the bytes that cross it.
+        assert (candidate.num_machines == 1
+                or candidate.compression is not None)
+        assert proposal.gain > AutopilotConfig().hysteresis
+        assert proposal.predicted_units_per_sec \
+            > proposal.incumbent_units_per_sec
+        assert proposal.migration_cost > 0
+
+    def test_banned_candidate_is_never_proposed(self):
+        first = self.degraded_proposal()
+        second = self.degraded_proposal(banned={first.candidate.label})
+        assert second is None or \
+            second.candidate.label != first.candidate.label
+
+
+# ======================================================================
+# Hysteresis governor: the no-flapping property
+# ======================================================================
+class TestHysteresisGovernor:
+    def config(self, **kw):
+        kw.setdefault("cooldown_windows", 2)
+        kw.setdefault("max_backoff_windows", 16)
+        return AutopilotConfig(**kw)
+
+    def test_backoff_grows_and_is_capped(self):
+        governor = HysteresisGovernor(self.config(backoff_factor=2.0))
+        assert governor.current_cooldown == 2
+        for expected in (4, 8, 16, 16):
+            governor.failed(0, "plan-x")
+            assert governor.current_cooldown == expected
+
+    def test_successful_migration_resets_backoff(self):
+        governor = HysteresisGovernor(self.config(backoff_factor=2.0))
+        governor.failed(0, "plan-x")
+        assert governor.current_cooldown == 4
+        governor.migrated(10, "plan-y")
+        assert governor.current_cooldown == 2
+
+    def test_replaced_plan_banned_for_two_cooldowns(self):
+        governor = HysteresisGovernor(self.config())
+        governor.migrated(5, "plan-a")
+        assert "plan-a" in governor.banned(6)
+        assert "plan-a" in governor.banned(9)   # 5 + 1 + 2*2 = 10
+        assert "plan-a" not in governor.banned(10)
+
+    @given(
+        events=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3), st.booleans()),
+            min_size=1, max_size=50),
+        cooldown=st.integers(min_value=1, max_value=4),
+        backoff=st.floats(min_value=1.0, max_value=3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_schedule_flaps(self, events, cooldown, backoff):
+        """Whatever the proposal/outcome stream, the admitted migration
+        schedule satisfies the no-flapping contract: consecutive
+        migrations more than ``cooldown`` windows apart, and no return
+        to a replaced plan within two cooldowns of replacing it."""
+        governor = HysteresisGovernor(self.config(
+            cooldown_windows=cooldown, backoff_factor=backoff,
+            max_backoff_windows=16))
+        incumbent = "plan-inc"
+        migrations = []
+        for window, (pick, succeeded) in enumerate(events):
+            label = f"plan-{pick}"
+            if governor.in_cooldown(window):
+                continue
+            if label == incumbent or label in governor.banned(window):
+                continue
+            if succeeded:
+                governor.migrated(window, incumbent)
+                migrations.append((window, label, incumbent))
+                incumbent = label
+            else:
+                governor.failed(window, label)
+            assert governor.current_cooldown \
+                <= governor.config.max_backoff_windows
+        for (w1, _, _), (w2, label2, _) in zip(migrations, migrations[1:]):
+            assert w2 - w1 > cooldown
+        for i, (w1, _, replaced) in enumerate(migrations):
+            for w2, label2, _ in migrations[i + 1:]:
+                if label2 == replaced:
+                    assert w2 - w1 > 2 * cooldown
+
+
+# ======================================================================
+# Rollback: a failed migration leaves no trace
+# ======================================================================
+class TestRollbackBitIdentity:
+    def twins(self):
+        return make_elastic(cluster=C2x2), make_elastic(cluster=C2x2)
+
+    def test_failing_plan_builder_leaves_runner_untouched(self):
+        runner, twin = self.twins()
+        for i in range(3):
+            runner.step(i)
+            twin.step(i)
+
+        def bad_builder(graph):
+            raise RuntimeError("synthetic plan-build failure")
+
+        old_builder = runner.plan_builder
+        with pytest.raises(RuntimeError, match="synthetic"):
+            runner.rescale(ClusterSpec(1, 2), plan_builder=bad_builder)
+        assert runner.plan_builder is old_builder
+        assert runner.num_replicas == 4
+        self.assert_trajectories_match(runner, twin)
+
+    def test_midflight_failure_rolls_back_bit_exactly(self):
+        runner, twin = self.twins()
+        for i in range(3):
+            runner.step(i)
+            twin.step(i)
+        backend_before = runner.backend
+        state_before = {k: v.copy()
+                        for k, v in runner.logical_state().items()}
+
+        def boom(state):
+            raise RuntimeError("synthetic load failure")
+
+        # Fail *after* the new session/backend exist, so the except
+        # path has real work to undo.
+        runner._load_state = boom
+        try:
+            with pytest.raises(RuntimeError, match="synthetic"):
+                runner.rescale(ClusterSpec(1, 2))
+        finally:
+            del runner.__dict__["_load_state"]
+        assert runner.backend is backend_before
+        assert runner.num_replicas == 4
+        after = runner.logical_state()
+        assert set(after) == set(state_before)
+        for name in after:
+            np.testing.assert_array_equal(after[name], state_before[name],
+                                          err_msg=name)
+        self.assert_trajectories_match(runner, twin)
+
+    def assert_trajectories_match(self, runner, twin):
+        for i in range(3, 6):
+            a = runner.step(i)
+            b = twin.step(i)
+            np.testing.assert_array_equal(
+                np.asarray(a.replica_losses), np.asarray(b.replica_losses),
+                err_msg=f"trajectories diverged at step {i}")
+
+    def test_controller_records_rollback_and_bans_candidate(self):
+        runner = make_elastic(cluster=C2x1)
+        config = AutopilotConfig(enabled=True, window_steps=2)
+        controller = AutopilotController(runner, config)
+
+        def failing_rescale(new_cluster, **kwargs):
+            raise RuntimeError("synthetic migration failure")
+
+        runner.rescale = failing_rescale
+        incumbent_before = controller.incumbent
+        candidate = PlanCandidate("hybrid", compression="fp16",
+                                  num_machines=1)
+        proposal = Proposal(
+            candidate=candidate, incumbent=incumbent_before,
+            predicted_step_time=0.5, incumbent_step_time=1.0,
+            predicted_units_per_sec=8.0, incumbent_units_per_sec=4.0,
+            gain=1.0, migration_cost=0.01, horizon_steps=40)
+        window = TelemetryWindow(index=3, start_iteration=6,
+                                 end_iteration=8, wall_time=1.0)
+        controller._execute(proposal, window, iteration=7)
+        assert controller.incumbent is incumbent_before
+        (decision,) = controller.decision_log
+        assert decision.action == "rollback"
+        assert decision.candidate == candidate.label
+        assert candidate.label in controller.governor.banned(4)
+        assert controller.governor.in_cooldown(4)
+        (event,) = runner.transcript.events("autopilot/rollback")
+        assert event.get("candidate") == candidate.label
+        # the interrupted window is tainted: its timing measured a
+        # failed migration, not the plan
+        assert "autopilot/rollback" in controller.monitor._fault_tags
+
+    def test_controller_requires_an_elastic_runner(self):
+        model = small_model()
+        plain = DistributedRunner(model, C2x1,
+                                  hybrid_graph_plan(model.graph), seed=SEED)
+        with pytest.raises(TypeError, match="ElasticRunner"):
+            AutopilotController(plain)
+
+
+# ======================================================================
+# Differential: autopilot vs static under a paid-for degradation
+# ======================================================================
+def _differential(backend, iters, extra_floor):
+    """Measured goodput of (static, autopilot) runs of the same schedule.
+
+    The degradation is *paid for* (``emulate_nic_bw``), calibrated from
+    a probe run so every degraded step costs ~10 clean step times (at
+    least *extra_floor* seconds): large enough that escaping it
+    dominates both measurement noise and migration downtime.
+    """
+    warmup, factor = 4, 0.25
+    degraded = iters - warmup
+
+    def build(autopilot, fault_plan=None, nic_bw=None):
+        return auto_parallelize(small_model, C2x1, ParallaxConfig(
+            search_partitions=False, alpha_measure_batches=0, seed=SEED,
+            comm=CommConfig(backend=backend),
+            elastic=ElasticConfig(enabled=True, checkpoint_every=4,
+                                  fault_plan=fault_plan,
+                                  emulate_nic_bw=nic_bw),
+            autopilot=AutopilotConfig(enabled=autopilot, window_steps=3),
+        ))
+
+    probe = build(autopilot=False)
+    cursor = probe.transcript.cursor()
+    start = time.perf_counter()
+    for i in range(4):
+        probe.step(i)
+    clean_step = (time.perf_counter() - start) / 4
+    transfers, _ = probe.transcript.since(cursor)
+    bytes_per_step = sum(t.nbytes for t in transfers if t.is_network) / 4
+    probe.close()
+    target_extra = max(extra_floor, 10.0 * clean_step)
+    nic_bw = bytes_per_step * (1 / factor - 1) / target_extra or 1.0
+
+    plan = FaultPlan(degradations=(
+        NicDegradation(iteration=warmup, machine=1, factor=factor,
+                       duration=iters),))
+
+    def timed(runner):
+        for i in range(warmup):
+            runner.step(i)
+        start = time.perf_counter()
+        runner.fit(degraded, start_iteration=warmup)
+        elapsed = time.perf_counter() - start
+        return degraded / elapsed
+
+    static = build(autopilot=False, fault_plan=plan, nic_bw=nic_bw)
+    static_sps = timed(static)
+    static.close()
+    adaptive = build(autopilot=True, fault_plan=plan, nic_bw=nic_bw)
+    adaptive_sps = timed(adaptive)
+    return static_sps, adaptive_sps, adaptive
+
+
+class TestAutopilotBeatsStatic:
+    def test_inproc(self):
+        static_sps, adaptive_sps, runner = _differential(
+            "inproc", iters=22, extra_floor=0.05)
+        controller = runner.autopilot()
+        try:
+            assert controller.migrations, \
+                "autopilot never migrated off the degraded plan"
+            assert controller.no_flapping
+            assert adaptive_sps >= static_sps, (
+                f"autopilot {adaptive_sps:.2f} steps/s lost to static "
+                f"{static_sps:.2f}")
+        finally:
+            runner.close()
+
+    def test_multiproc(self):
+        static_sps, adaptive_sps, runner = _differential(
+            "multiproc", iters=22, extra_floor=0.30)
+        controller = runner.autopilot()
+        try:
+            assert controller.migrations, \
+                "autopilot never migrated off the degraded plan"
+            assert controller.no_flapping
+            assert adaptive_sps >= static_sps, (
+                f"autopilot {adaptive_sps:.2f} steps/s lost to static "
+                f"{static_sps:.2f}")
+        finally:
+            runner.close()
+
+
+class TestRunnerFacadeRouting:
+    def test_step_routes_through_controller_when_enabled(self):
+        runner = auto_parallelize(small_model, C2x1, ParallaxConfig(
+            search_partitions=False, alpha_measure_batches=0, seed=SEED,
+            elastic=ElasticConfig(enabled=True),
+            autopilot=AutopilotConfig(enabled=True, window_steps=2)))
+        try:
+            for i in range(4):
+                runner.step(i)
+            controller = runner.autopilot()
+            assert controller is runner.autopilot()  # one instance
+            assert len(controller.monitor.windows) == 2
+            assert controller.decision_log  # windows produced decisions
+        finally:
+            runner.close()
+
+    def test_autopilot_requires_elastic_runner(self):
+        runner = auto_parallelize(small_model, C2x1, ParallaxConfig(
+            search_partitions=False, alpha_measure_batches=0, seed=SEED))
+        try:
+            with pytest.raises(TypeError, match="ElasticRunner"):
+                runner.autopilot()
+        finally:
+            runner.close()

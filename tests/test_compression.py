@@ -32,7 +32,7 @@ from repro.comm.compression import (
     wire_bytes,
     wire_fraction,
 )
-from repro.core.api import ParallaxConfig
+from repro.core.api import CommConfig, ParallaxConfig
 from repro.core.elastic import ElasticRunner, reshard_logical_state
 from repro.core.runner import DistributedRunner
 from repro.core.transform.plan import (
@@ -254,21 +254,25 @@ class TestConfigValidation:
                           compression="fp16")
 
     def test_parallax_config_validates_compression(self):
-        ParallaxConfig(compression="topk+fp16", compression_ratio=0.5)
+        ParallaxConfig(comm=CommConfig(compression="topk+fp16",
+                                       compression_ratio=0.5))
         with pytest.raises(ValueError, match="compression"):
-            ParallaxConfig(compression="gzip")
+            CommConfig(compression="gzip")
         with pytest.raises(ValueError, match="compression_ratio"):
-            ParallaxConfig(compression="topk", compression_ratio=0.0)
+            CommConfig(compression="topk", compression_ratio=0.0)
         with pytest.raises(ValueError, match="collective"):
-            ParallaxConfig(architecture="ps", compression="fp16")
+            ParallaxConfig(architecture="ps",
+                           comm=CommConfig(compression="fp16"))
 
     def test_get_runner_threads_compression_through(self):
         from repro.core.api import get_runner
 
         runner = get_runner(
             small_lm, ClusterSpec(2, 1),
-            ParallaxConfig(architecture="ar", compression="topk",
-                           compression_ratio=0.25, search_partitions=False,
+            ParallaxConfig(architecture="ar",
+                           comm=CommConfig(compression="topk",
+                                           compression_ratio=0.25),
+                           search_partitions=False,
                            alpha_measure_batches=0))
         assert runner.plan.compression == "topk"
         assert runner.plan.compression_ratio == 0.25

@@ -1,0 +1,144 @@
+"""Grouped-config API: legacy flat kwargs == grouped spellings.
+
+The deprecation contract: every pre-grouping flat kwarg of
+``ParallaxConfig`` still works, warns with a message starting
+``ParallaxConfig`` (the suite-wide filter escalates those everywhere but
+inside these ``pytest.warns`` blocks), and constructs a config equal to
+its grouped spelling.  Mixing a grouped sub-config with that group's
+flat kwargs is an error, as is an unknown kwarg -- the shim must not
+swallow typos.
+"""
+
+import warnings
+
+import pytest
+
+from repro.cluster.faults import FaultPlan, WorkerFailure
+from repro.core.config import (
+    AutopilotConfig,
+    CommConfig,
+    ElasticConfig,
+    ParallaxConfig,
+    ServeConfig,
+)
+
+FAULTS = FaultPlan(failures=(WorkerFailure(iteration=1, worker=0),))
+
+# (flat kwargs, equivalent grouped config) -- one case per legacy kwarg.
+LEGACY_EQUIVALENTS = [
+    ({"fusion": False}, {"comm": CommConfig(fusion=False)}),
+    ({"fusion_buffer_mb": 2.5}, {"comm": CommConfig(fusion_buffer_mb=2.5)}),
+    ({"compression": "fp16"}, {"comm": CommConfig(compression="fp16")}),
+    ({"compression": "topk", "compression_ratio": 0.5},
+     {"comm": CommConfig(compression="topk", compression_ratio=0.5)}),
+    ({"backend": "multiproc"}, {"comm": CommConfig(backend="multiproc")}),
+    ({"backend": "multiproc", "transport": "tcp"},
+     {"comm": CommConfig(backend="multiproc", transport="tcp")}),
+    ({"elastic": True}, {"elastic": ElasticConfig(enabled=True)}),
+    ({"elastic": True, "checkpoint_every": 3},
+     {"elastic": ElasticConfig(enabled=True, checkpoint_every=3)}),
+    ({"elastic": True, "fault_plan": FAULTS},
+     {"elastic": ElasticConfig(enabled=True, fault_plan=FAULTS)}),
+    ({"serve_max_batch": 3}, {"serve": ServeConfig(max_batch=3)}),
+    ({"serve_max_delay_ms": 0.5}, {"serve": ServeConfig(max_delay_ms=0.5)}),
+]
+
+
+class TestLegacyKwargParity:
+    @pytest.mark.parametrize("flat,grouped", LEGACY_EQUIVALENTS,
+                             ids=lambda kw: "+".join(sorted(kw)))
+    def test_flat_kwargs_build_the_grouped_config(self, flat, grouped):
+        with pytest.warns(DeprecationWarning, match="^ParallaxConfig"):
+            legacy = ParallaxConfig(**flat)
+        assert legacy == ParallaxConfig(**grouped)
+
+    def test_elastic_false_matches_default(self):
+        with pytest.warns(DeprecationWarning, match="^ParallaxConfig"):
+            legacy = ParallaxConfig(elastic=False)
+        assert legacy == ParallaxConfig()
+        assert not legacy.elastic
+
+    def test_warning_names_the_grouped_replacement(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"comm=CommConfig\(fusion=...\)"):
+            ParallaxConfig(fusion=False)
+
+    def test_flat_kwargs_do_not_disturb_other_groups(self):
+        with pytest.warns(DeprecationWarning):
+            config = ParallaxConfig(serve_max_batch=3)
+        assert config.comm == CommConfig()
+        assert config.elastic == ElasticConfig()
+        assert config.autopilot == AutopilotConfig()
+
+
+class TestShimStrictness:
+    def test_unknown_kwarg_is_a_type_error(self):
+        with pytest.raises(TypeError, match="fusio"):
+            ParallaxConfig(fusio=False)
+
+    def test_grouped_plus_flat_same_group_is_a_type_error(self):
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(TypeError, match="not both"):
+            ParallaxConfig(comm=CommConfig(), fusion=False)
+
+    def test_grouped_plus_flat_other_group_is_fine(self):
+        with pytest.warns(DeprecationWarning):
+            config = ParallaxConfig(comm=CommConfig(fusion=False),
+                                    serve_max_batch=3)
+        assert config.comm.fusion is False
+        assert config.serve.max_batch == 3
+
+    def test_wrong_grouped_type_is_a_type_error(self):
+        with pytest.raises(TypeError, match="CommConfig"):
+            ParallaxConfig(comm=ServeConfig())
+        with pytest.raises(TypeError, match="AutopilotConfig"):
+            ParallaxConfig(autopilot=True)
+
+    def test_flat_validation_still_fires_through_the_shim(self):
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(ValueError, match="fusion_buffer_mb"):
+            ParallaxConfig(fusion_buffer_mb=0)
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(ValueError, match="fault_plan requires"):
+            ParallaxConfig(fault_plan=FAULTS)
+
+
+class TestDeprecatedReadAliases:
+    def test_read_aliases_warn_and_forward(self):
+        config = ParallaxConfig(comm=CommConfig(fusion=False,
+                                                fusion_buffer_mb=2.0),
+                                serve=ServeConfig(max_batch=5))
+        for attr, expected in [("fusion", False), ("fusion_buffer_mb", 2.0),
+                               ("compression", None), ("backend", "inproc"),
+                               ("serve_max_batch", 5)]:
+            with pytest.warns(DeprecationWarning,
+                              match=f"^ParallaxConfig.{attr}"):
+                assert getattr(config, attr) == expected
+
+    def test_grouped_reads_do_not_warn(self):
+        config = ParallaxConfig(elastic=ElasticConfig(enabled=True))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert config.comm.fusion is True
+            assert config.elastic.enabled is True
+            assert config.serve.max_batch == 8
+            assert config.autopilot.enabled is False
+
+    def test_elastic_field_keeps_legacy_truthiness(self):
+        assert not ParallaxConfig().elastic
+        assert ParallaxConfig(
+            elastic=ElasticConfig(enabled=True)).elastic
+        assert bool(ElasticConfig(enabled=False)) is False
+
+
+class TestCrossGroupValidation:
+    def test_autopilot_requires_elastic(self):
+        with pytest.raises(ValueError, match="autopilot requires"):
+            ParallaxConfig(autopilot=AutopilotConfig(enabled=True))
+        ParallaxConfig(elastic=ElasticConfig(enabled=True),
+                       autopilot=AutopilotConfig(enabled=True))
+
+    def test_compression_requires_a_collective_architecture(self):
+        with pytest.raises(ValueError, match="collective"):
+            ParallaxConfig(architecture="ps",
+                           comm=CommConfig(compression="fp16"))

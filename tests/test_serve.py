@@ -14,7 +14,7 @@ import pytest
 
 from repro.cluster.spec import ClusterSpec
 from repro.comm.transport import make_transport
-from repro.core.api import ParallaxConfig, make_server
+from repro.core.api import ParallaxConfig, ServeConfig, make_server
 from repro.core.runner import DistributedRunner
 from repro.core.transform.plan import hybrid_graph_plan
 from repro.graph.gradients import gradients
@@ -300,7 +300,8 @@ class TestInferenceServer:
 class TestMakeServer:
     def test_make_server_applies_config_knobs(self):
         model = MODEL_BUILDERS["lm"]()
-        config = ParallaxConfig(serve_max_batch=3, serve_max_delay_ms=1.5)
+        config = ParallaxConfig(serve=ServeConfig(max_batch=3,
+                                                  max_delay_ms=1.5))
         server = make_server(model, config)
         try:
             assert server.batcher.max_batch == 3
@@ -323,9 +324,9 @@ class TestMakeServer:
 
     def test_config_rejects_bad_serving_knobs(self):
         with pytest.raises(ValueError):
-            ParallaxConfig(serve_max_batch=0)
+            ServeConfig(max_batch=0)
         with pytest.raises(ValueError):
-            ParallaxConfig(serve_max_delay_ms=-1.0)
+            ServeConfig(max_delay_ms=-1.0)
 
 
 # ======================================================================

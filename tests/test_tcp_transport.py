@@ -195,14 +195,15 @@ class TestRegistry:
             make_transport("carrier-pigeon", 1)
 
     def test_config_rejects_transport_without_multiproc(self):
-        from repro.core.api import ParallaxConfig
+        from repro.core.api import CommConfig, ParallaxConfig
 
         with pytest.raises(ValueError, match="multiproc"):
-            ParallaxConfig(backend="inproc", transport="tcp")
+            CommConfig(backend="inproc", transport="tcp")
         with pytest.raises(ValueError, match="unknown transport"):
-            ParallaxConfig(backend="multiproc", transport="smoke-signal")
+            CommConfig(backend="multiproc", transport="smoke-signal")
         # Valid combination constructs.
-        ParallaxConfig(backend="multiproc", transport="tcp")
+        ParallaxConfig(comm=CommConfig(backend="multiproc",
+                                       transport="tcp"))
 
 
 class TestBenchNetwork:
